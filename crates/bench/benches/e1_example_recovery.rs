@@ -1,0 +1,32 @@
+//! E1 — end-to-end recovery of the paper's Example 1 (Figures 1–2):
+//! the full engine run on the 9-row employee table with the demo's
+//! attribute selections.
+
+use charles_bench::engine_for;
+use charles_core::CharlesConfig;
+use charles_synth::example1;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let scenario = example1();
+    let mut group = c.benchmark_group("e1_example_recovery");
+    group.sample_size(20);
+    group.bench_function("full_run_fig1", |b| {
+        b.iter(|| {
+            let engine = engine_for(&scenario, CharlesConfig::default().with_threads(1))
+                .with_condition_attrs(["edu", "exp", "gen"])
+                .with_transform_attrs(["bonus", "salary"]);
+            let result = engine.run().expect("run");
+            black_box(result.summaries.len())
+        })
+    });
+    group.bench_function("setup_assistant_only", |b| {
+        let engine = engine_for(&scenario, CharlesConfig::default());
+        b.iter(|| black_box(engine.setup().expect("setup").condition_candidates.len()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! E2 — candidate evaluation and ranking (demo step 8): times the search
+//! layer in isolation (candidate generation, parallel evaluation,
+//! deduplication, ranking).
+
+use charles_bench::pair_of;
+use charles_core::{generate_candidates, run_search, CharlesConfig, SearchContext};
+use charles_synth::employees;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let scenario = employees(100, 7);
+    let pair = pair_of(&scenario);
+    let config = CharlesConfig::default().with_threads(1);
+    let cond = vec!["edu".to_string(), "exp".to_string(), "gen".to_string()];
+    let tran = vec!["bonus".to_string(), "salary".to_string()];
+
+    let mut group = c.benchmark_group("e2_ranking");
+    group.sample_size(20);
+    group.bench_function("generate_candidates", |b| {
+        b.iter(|| black_box(generate_candidates(&cond, &tran, &config).len()))
+    });
+    group.bench_function("evaluate_and_rank_n200", |b| {
+        let ctx = SearchContext::new(&pair, "bonus", &tran, &config).expect("ctx");
+        let candidates = generate_candidates(&cond, &tran, &config);
+        b.iter(|| {
+            let (ranked, stats) = run_search(&ctx, &candidates).expect("search");
+            black_box((ranked.len(), stats.evaluated))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! E3 — the α slider (demo step 6): full runs at the extremes and the
+//! default, verifying α has no runtime cost (it only reweights scores).
+
+use charles_bench::engine_for;
+use charles_core::CharlesConfig;
+use charles_synth::employees;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let scenario = employees(100, 77);
+    let mut group = c.benchmark_group("e3_alpha_tradeoff");
+    group.sample_size(10);
+    for alpha in [0.0, 0.5, 1.0] {
+        group.bench_with_input(
+            BenchmarkId::new("run_at_alpha", format!("{alpha:.1}")),
+            &alpha,
+            |b, &alpha| {
+                b.iter(|| {
+                    let engine = engine_for(
+                        &scenario,
+                        CharlesConfig::default().with_alpha(alpha),
+                    );
+                    black_box(engine.run().expect("run").summaries.len())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! E4 — the Section-3 demo dataset: county payroll recovery at scale.
+
+use charles_bench::engine_for;
+use charles_core::CharlesConfig;
+use charles_synth::county;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_county_recovery");
+    group.sample_size(10);
+    for n in [100usize, 250, 500] {
+        let scenario = county(n, 42);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("full_run", n), &scenario, |b, scenario| {
+            b.iter(|| {
+                let engine = engine_for(scenario, CharlesConfig::default());
+                black_box(engine.run().expect("run").summaries.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

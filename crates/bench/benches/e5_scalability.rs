@@ -1,0 +1,71 @@
+//! E5 — scalability: pipeline-stage costs as rows grow, and search-space
+//! growth with (c, t).
+
+use charles_bench::pair_of;
+use charles_core::combi::bounded_subset_count;
+use charles_core::partition::{cluster_residuals, induce_partitions};
+use charles_core::CharlesConfig;
+use charles_synth::county;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench_stages(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5_stage_costs");
+    group.sample_size(10);
+    let config = CharlesConfig::default();
+    for n in [1_000usize, 4_000, 16_000] {
+        let scenario = county(n, 42);
+        let pair = pair_of(&scenario);
+        let y_new = pair.target_numeric_aligned("base_salary").expect("aligned");
+        let y_old = pair.source().numeric("base_salary").expect("numeric");
+        let residuals: Vec<f64> = y_new
+            .iter()
+            .zip(y_old.iter())
+            .map(|(a, b)| a - b)
+            .collect();
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(
+            BenchmarkId::new("cluster_residuals_k4", n),
+            &residuals,
+            |b, residuals| {
+                b.iter(|| black_box(cluster_residuals(residuals, 4, &config).expect("cluster")))
+            },
+        );
+        let labels = cluster_residuals(&residuals, 4, &config).expect("cluster");
+        let cond = vec!["department".to_string(), "grade".to_string()];
+        group.bench_with_input(
+            BenchmarkId::new("induce_partitions", n),
+            &labels,
+            |b, labels| {
+                b.iter(|| {
+                    black_box(
+                        induce_partitions(pair.source(), &cond, labels, &config)
+                            .expect("induce")
+                            .len(),
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_search_space(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5_search_space");
+    // Pure counting: shows the combinatorial growth the paper warns about.
+    group.bench_function("subset_counts_c4_t3", |b| {
+        b.iter(|| {
+            let mut total = 0u64;
+            for n_cond in 1..=8u64 {
+                for c in 1..=4usize {
+                    total += bounded_subset_count(n_cond as usize, c);
+                }
+            }
+            black_box(total)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_stages, bench_search_space);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! E6 — robustness: full runs under increasing out-of-policy noise.
+
+use charles_bench::engine_for;
+use charles_core::CharlesConfig;
+use charles_synth::{employees, perturb, Scenario};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let base = employees(100, 23);
+    let mut group = c.benchmark_group("e6_noise");
+    group.sample_size(10);
+    for frac in [0.0, 0.1, 0.4] {
+        let noisy = perturb(&base.target, "bonus", frac, 0.5, 99)
+            .expect("perturb")
+            .table;
+        let scenario = Scenario {
+            name: format!("noise-{frac}"),
+            source: base.source.clone(),
+            target: noisy,
+            target_attr: "bonus".into(),
+            policy: base.policy.clone(),
+        };
+        group.bench_with_input(
+            BenchmarkId::new("full_run_noise", format!("{:.0}%", frac * 100.0)),
+            &scenario,
+            |b, scenario| {
+                b.iter(|| {
+                    let engine =
+                        engine_for(scenario, CharlesConfig::default());
+                    black_box(engine.run().expect("run").summaries.len())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

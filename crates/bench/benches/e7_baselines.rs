@@ -1,0 +1,82 @@
+//! E7 — baseline explainers: each must be dramatically cheaper than the
+//! full search (they are single-model fits or raw diffs).
+
+use charles_bench::pair_of;
+use charles_core::CharlesConfig;
+use charles_diff::{
+    exhaustive_list_baseline, flat_delta_baseline, flat_ratio_baseline,
+    global_regression_baseline, no_change_baseline, update_distance,
+};
+use charles_synth::county;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let scenario = county(1_000, 42);
+    let pair = pair_of(&scenario);
+    let config = CharlesConfig::default();
+    let mut group = c.benchmark_group("e7_baselines");
+    group.sample_size(20);
+    group.bench_function("exhaustive_list", |b| {
+        b.iter(|| {
+            black_box(
+                exhaustive_list_baseline(&pair, "base_salary", &config)
+                    .expect("baseline")
+                    .explanation_units,
+            )
+        })
+    });
+    group.bench_function("global_regression", |b| {
+        b.iter(|| {
+            black_box(
+                global_regression_baseline(&pair, "base_salary", &config)
+                    .expect("baseline")
+                    .scores
+                    .accuracy,
+            )
+        })
+    });
+    group.bench_function("flat_ratio_r4", |b| {
+        b.iter(|| {
+            black_box(
+                flat_ratio_baseline(&pair, "base_salary", &config)
+                    .expect("baseline")
+                    .scores
+                    .score,
+            )
+        })
+    });
+    group.bench_function("flat_delta", |b| {
+        b.iter(|| {
+            black_box(
+                flat_delta_baseline(&pair, "base_salary", &config)
+                    .expect("baseline")
+                    .scores
+                    .score,
+            )
+        })
+    });
+    group.bench_function("no_change", |b| {
+        b.iter(|| {
+            black_box(
+                no_change_baseline(&pair, "base_salary", &config)
+                    .expect("baseline")
+                    .scores
+                    .score,
+            )
+        })
+    });
+    group.bench_function("update_distance", |b| {
+        b.iter(|| {
+            black_box(
+                update_distance(&scenario.source, &scenario.target, "name")
+                    .expect("distance")
+                    .total(),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

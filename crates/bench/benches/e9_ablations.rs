@@ -1,0 +1,52 @@
+//! E9 — ablations: partition-discovery method and constant snapping.
+
+use charles_bench::engine_for;
+use charles_core::{CharlesConfig, PartitionMethod};
+use charles_synth::county;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let scenario = county(200, 42);
+    let mut group = c.benchmark_group("e9_ablations");
+    group.sample_size(10);
+    for (label, method) in [
+        ("kmeans", PartitionMethod::ResidualKMeans),
+        ("quantile", PartitionMethod::ResidualQuantile),
+        ("dbscan", PartitionMethod::ResidualDbscan),
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new("partition_method", label),
+            &method,
+            |b, &method| {
+                b.iter(|| {
+                    let engine = engine_for(
+                        &scenario,
+                        CharlesConfig::default()
+                            .with_partition_method(method),
+                    );
+                    black_box(engine.run().expect("run").summaries.len())
+                })
+            },
+        );
+    }
+    for snap in [true, false] {
+        group.bench_with_input(
+            BenchmarkId::new("snapping", snap),
+            &snap,
+            |b, &snap| {
+                b.iter(|| {
+                    let engine = engine_for(
+                        &scenario,
+                        CharlesConfig::default().with_snapping(snap),
+                    );
+                    black_box(engine.run().expect("run").summaries.len())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,108 @@
+//! # charles-bench
+//!
+//! Shared harness for the ChARLES experiment suite (DESIGN.md §3).
+//! The Criterion benches under `benches/` time the pipeline; the `repro`
+//! binary (`cargo run --release -p charles-bench --bin repro`) regenerates
+//! every experiment table recorded in `EXPERIMENTS.md`.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use charles_core::{
+    evaluate_recovery, Charles, CharlesConfig, RecoveryReport, RunResult, TruthRule,
+};
+use charles_relation::SnapshotPair;
+use charles_synth::Scenario;
+
+/// Convert a synthetic policy into recovery-metric truth rules.
+pub fn truth_rules(scenario: &Scenario) -> Vec<TruthRule> {
+    scenario
+        .policy
+        .rule_pairs()
+        .into_iter()
+        .map(|(condition, expr)| TruthRule { condition, expr })
+        .collect()
+}
+
+/// Align a scenario's snapshots.
+pub fn pair_of(scenario: &Scenario) -> SnapshotPair {
+    SnapshotPair::align(scenario.source.clone(), scenario.target.clone())
+        .expect("scenario snapshots align")
+}
+
+/// Build an engine for a scenario with a given config.
+pub fn engine_for(scenario: &Scenario, config: CharlesConfig) -> Charles {
+    Charles::from_pair(pair_of(scenario), &scenario.target_attr)
+        .expect("valid scenario target")
+        .with_config(config)
+}
+
+/// Run a scenario and evaluate the top summary against ground truth.
+pub fn run_and_evaluate(
+    scenario: &Scenario,
+    config: CharlesConfig,
+) -> (RunResult, RecoveryReport) {
+    let pair = pair_of(scenario);
+    let result = engine_for(scenario, config.clone()).run().expect("engine runs");
+    let top = result.top().expect("summaries produced");
+    let report = evaluate_recovery(
+        top,
+        &pair,
+        &scenario.target_attr,
+        &truth_rules(scenario),
+        &config,
+    )
+    .expect("recovery evaluates");
+    (result, report)
+}
+
+/// Fixed-width experiment table printer (rows of pre-formatted cells).
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("\n### {title}\n");
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (w, cell) in widths.iter_mut().zip(row.iter()) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut line = String::from("|");
+    for (h, w) in header.iter().zip(widths.iter()) {
+        line.push_str(&format!(" {h:w$} |"));
+    }
+    println!("{line}");
+    let mut sep = String::from("|");
+    for w in &widths {
+        sep.push_str(&format!("{:-<width$}|", "", width = w + 2));
+    }
+    println!("{sep}");
+    for row in rows {
+        let mut line = String::from("|");
+        for (cell, w) in row.iter().zip(widths.iter()) {
+            line.push_str(&format!(" {cell:w$} |"));
+        }
+        println!("{line}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use charles_synth::example1;
+
+    #[test]
+    fn harness_runs_example1() {
+        let scenario = example1();
+        let (result, report) = run_and_evaluate(&scenario, CharlesConfig::default());
+        assert!(!result.summaries.is_empty());
+        assert!((-1.0..=1.0).contains(&report.ari));
+    }
+
+    #[test]
+    fn table_printer_is_shape_safe() {
+        print_table(
+            "smoke",
+            &["a", "long-header"],
+            &[vec!["1".into(), "2".into()]],
+        );
+    }
+}

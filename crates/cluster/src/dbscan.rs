@@ -1,0 +1,178 @@
+//! DBSCAN density clustering — used as the partition-discovery ablation
+//! (experiment E9): an alternative to the paper's k-means step that needs
+//! no `k` but is sensitive to density parameters.
+
+use crate::error::{ClusterError, Result};
+
+/// Label assigned to points in no cluster.
+pub const NOISE: isize = -1;
+
+/// DBSCAN result: cluster id per point (`NOISE` = -1 for outliers).
+#[derive(Debug, Clone)]
+pub struct DbscanResult {
+    /// Cluster label per point; `-1` marks noise.
+    pub labels: Vec<isize>,
+    /// Number of clusters found.
+    pub n_clusters: usize,
+}
+
+impl DbscanResult {
+    /// Number of noise points.
+    pub fn noise_count(&self) -> usize {
+        self.labels.iter().filter(|&&l| l == NOISE).count()
+    }
+
+    /// Indices per cluster (noise excluded).
+    pub fn cluster_members(&self) -> Vec<Vec<usize>> {
+        let mut members = vec![Vec::new(); self.n_clusters];
+        for (i, &l) in self.labels.iter().enumerate() {
+            if l >= 0 {
+                members[l as usize].push(i);
+            }
+        }
+        members
+    }
+}
+
+fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+    a.iter()
+        .zip(b.iter())
+        .map(|(&x, &y)| (x - y) * (x - y))
+        .sum()
+}
+
+/// Classic DBSCAN with Euclidean distance (exact neighbour scan, O(n²)).
+///
+/// `eps` is the neighbourhood radius; `min_points` the density threshold
+/// (including the point itself).
+pub fn dbscan(points: &[Vec<f64>], eps: f64, min_points: usize) -> Result<DbscanResult> {
+    if eps <= 0.0 || !eps.is_finite() {
+        return Err(ClusterError::InvalidParameter(format!(
+            "eps must be positive and finite, got {eps}"
+        )));
+    }
+    if min_points == 0 {
+        return Err(ClusterError::InvalidParameter(
+            "min_points must be ≥ 1".into(),
+        ));
+    }
+    let n = points.len();
+    if n > 0 {
+        let dim = points[0].len();
+        for p in points {
+            if p.len() != dim {
+                return Err(ClusterError::DimensionMismatch {
+                    expected: dim,
+                    found: p.len(),
+                });
+            }
+            if p.iter().any(|v| !v.is_finite()) {
+                return Err(ClusterError::NonFinite);
+            }
+        }
+    }
+    let eps_sq = eps * eps;
+    let neighbours = |i: usize| -> Vec<usize> {
+        (0..n)
+            .filter(|&j| sq_dist(&points[i], &points[j]) <= eps_sq)
+            .collect()
+    };
+
+    const UNVISITED: isize = -2;
+    let mut labels = vec![UNVISITED; n];
+    let mut cluster: isize = 0;
+    for i in 0..n {
+        if labels[i] != UNVISITED {
+            continue;
+        }
+        let nbrs = neighbours(i);
+        if nbrs.len() < min_points {
+            labels[i] = NOISE;
+            continue;
+        }
+        labels[i] = cluster;
+        let mut frontier: Vec<usize> = nbrs;
+        let mut cursor = 0;
+        while cursor < frontier.len() {
+            let j = frontier[cursor];
+            cursor += 1;
+            if labels[j] == NOISE {
+                labels[j] = cluster; // border point
+            }
+            if labels[j] != UNVISITED {
+                continue;
+            }
+            labels[j] = cluster;
+            let jn = neighbours(j);
+            if jn.len() >= min_points {
+                frontier.extend(jn);
+            }
+        }
+        cluster += 1;
+    }
+    Ok(DbscanResult {
+        labels,
+        n_clusters: cluster as usize,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_dense_blobs_with_outlier() {
+        let mut pts: Vec<Vec<f64>> = (0..10).map(|i| vec![0.0 + i as f64 * 0.05]).collect();
+        pts.extend((0..10).map(|i| vec![10.0 + i as f64 * 0.05]));
+        pts.push(vec![100.0]);
+        let res = dbscan(&pts, 0.2, 3).unwrap();
+        assert_eq!(res.n_clusters, 2);
+        assert_eq!(res.noise_count(), 1);
+        assert_eq!(res.labels[20], NOISE);
+        assert!(res.labels[..10].iter().all(|&l| l == res.labels[0]));
+        assert!(res.labels[10..20].iter().all(|&l| l == res.labels[10]));
+        assert_ne!(res.labels[0], res.labels[10]);
+    }
+
+    #[test]
+    fn all_noise_when_sparse() {
+        let pts: Vec<Vec<f64>> = (0..5).map(|i| vec![i as f64 * 100.0]).collect();
+        let res = dbscan(&pts, 1.0, 2).unwrap();
+        assert_eq!(res.n_clusters, 0);
+        assert_eq!(res.noise_count(), 5);
+    }
+
+    #[test]
+    fn border_points_join_clusters() {
+        // Chain where the middle point bridges: core at 0.0 and 0.1, border
+        // at 0.25 reachable but not core.
+        let pts = vec![vec![0.0], vec![0.1], vec![0.05], vec![0.25]];
+        let res = dbscan(&pts, 0.15, 3).unwrap();
+        assert_eq!(res.n_clusters, 1);
+        assert_eq!(res.labels[3], 0, "border point should join the cluster");
+    }
+
+    #[test]
+    fn empty_input() {
+        let res = dbscan(&[], 1.0, 2).unwrap();
+        assert_eq!(res.n_clusters, 0);
+        assert!(res.labels.is_empty());
+    }
+
+    #[test]
+    fn validation() {
+        assert!(dbscan(&[vec![1.0]], 0.0, 2).is_err());
+        assert!(dbscan(&[vec![1.0]], 1.0, 0).is_err());
+        assert!(dbscan(&[vec![1.0], vec![1.0, 2.0]], 1.0, 2).is_err());
+        assert!(dbscan(&[vec![f64::INFINITY]], 1.0, 1).is_err());
+    }
+
+    #[test]
+    fn cluster_members_exclude_noise() {
+        let pts = vec![vec![0.0], vec![0.05], vec![0.1], vec![50.0]];
+        let res = dbscan(&pts, 0.2, 2).unwrap();
+        let members = res.cluster_members();
+        assert_eq!(members.len(), res.n_clusters);
+        assert_eq!(members[0], vec![0, 1, 2]);
+    }
+}

@@ -1,0 +1,59 @@
+//! Error types for clustering routines.
+
+use std::fmt;
+
+/// Errors produced by clustering algorithms.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClusterError {
+    /// Fewer points than requested clusters.
+    TooFewPoints {
+        /// Number of points provided.
+        points: usize,
+        /// Number of clusters requested.
+        k: usize,
+    },
+    /// `k = 0` or another degenerate parameter.
+    InvalidParameter(String),
+    /// Points have inconsistent dimensionality.
+    DimensionMismatch {
+        /// Expected dimensionality.
+        expected: usize,
+        /// Dimensionality found.
+        found: usize,
+    },
+    /// Input contained NaN/infinite coordinates.
+    NonFinite,
+}
+
+impl fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusterError::TooFewPoints { points, k } => {
+                write!(f, "cannot form {k} clusters from {points} points")
+            }
+            ClusterError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+            ClusterError::DimensionMismatch { expected, found } => {
+                write!(f, "dimension mismatch: expected {expected}, found {found}")
+            }
+            ClusterError::NonFinite => write!(f, "non-finite coordinate in input"),
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}
+
+/// Convenience result alias for the cluster crate.
+pub type Result<T> = std::result::Result<T, ClusterError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert!(ClusterError::TooFewPoints { points: 2, k: 5 }
+            .to_string()
+            .contains("5 clusters from 2 points"));
+        assert!(ClusterError::NonFinite.to_string().contains("non-finite"));
+    }
+}

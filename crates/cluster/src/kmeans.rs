@@ -1,0 +1,320 @@
+//! Lloyd's k-means with k-means++ seeding and restarts.
+
+use crate::error::{ClusterError, Result};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A k-means clustering result.
+#[derive(Debug, Clone)]
+pub struct KMeansResult {
+    /// Cluster id (0..k) per input point.
+    pub assignments: Vec<usize>,
+    /// Cluster centroids, `k × dim`.
+    pub centroids: Vec<Vec<f64>>,
+    /// Total within-cluster sum of squared distances.
+    pub inertia: f64,
+    /// Lloyd iterations executed in the winning restart.
+    pub iterations: usize,
+}
+
+impl KMeansResult {
+    /// Number of clusters.
+    pub fn k(&self) -> usize {
+        self.centroids.len()
+    }
+
+    /// Sizes of each cluster.
+    pub fn cluster_sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.k()];
+        for &a in &self.assignments {
+            sizes[a] += 1;
+        }
+        sizes
+    }
+
+    /// Row indices belonging to each cluster.
+    pub fn cluster_members(&self) -> Vec<Vec<usize>> {
+        let mut members = vec![Vec::new(); self.k()];
+        for (i, &a) in self.assignments.iter().enumerate() {
+            members[a].push(i);
+        }
+        members
+    }
+}
+
+/// Configuration for [`kmeans`].
+#[derive(Debug, Clone)]
+pub struct KMeansConfig {
+    /// Number of clusters.
+    pub k: usize,
+    /// Maximum Lloyd iterations per restart.
+    pub max_iterations: usize,
+    /// Independent restarts (best inertia wins).
+    pub restarts: usize,
+    /// RNG seed for deterministic behaviour.
+    pub seed: u64,
+}
+
+impl KMeansConfig {
+    /// Standard configuration for `k` clusters.
+    pub fn new(k: usize) -> Self {
+        KMeansConfig {
+            k,
+            max_iterations: 100,
+            restarts: 4,
+            seed: 0x0C4A_71E5,
+        }
+    }
+
+    /// Override the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+    a.iter()
+        .zip(b.iter())
+        .map(|(&x, &y)| (x - y) * (x - y))
+        .sum()
+}
+
+fn validate(points: &[Vec<f64>], k: usize) -> Result<usize> {
+    if k == 0 {
+        return Err(ClusterError::InvalidParameter("k must be ≥ 1".into()));
+    }
+    if points.len() < k {
+        return Err(ClusterError::TooFewPoints {
+            points: points.len(),
+            k,
+        });
+    }
+    let dim = points[0].len();
+    if dim == 0 {
+        return Err(ClusterError::InvalidParameter(
+            "points must have at least one dimension".into(),
+        ));
+    }
+    for p in points {
+        if p.len() != dim {
+            return Err(ClusterError::DimensionMismatch {
+                expected: dim,
+                found: p.len(),
+            });
+        }
+        if p.iter().any(|v| !v.is_finite()) {
+            return Err(ClusterError::NonFinite);
+        }
+    }
+    Ok(dim)
+}
+
+/// k-means++ seeding: first centroid uniform, then proportional to squared
+/// distance from the nearest chosen centroid.
+fn seed_centroids(points: &[Vec<f64>], k: usize, rng: &mut StdRng) -> Vec<Vec<f64>> {
+    let mut centroids: Vec<Vec<f64>> = Vec::with_capacity(k);
+    centroids.push(points[rng.gen_range(0..points.len())].clone());
+    let mut dists: Vec<f64> = points
+        .iter()
+        .map(|p| sq_dist(p, &centroids[0]))
+        .collect();
+    while centroids.len() < k {
+        let total: f64 = dists.iter().sum();
+        let next = if total <= 0.0 {
+            // All residual mass is zero (duplicate points): pick uniformly.
+            rng.gen_range(0..points.len())
+        } else {
+            let mut target = rng.gen::<f64>() * total;
+            let mut chosen = points.len() - 1;
+            for (i, &d) in dists.iter().enumerate() {
+                target -= d;
+                if target <= 0.0 {
+                    chosen = i;
+                    break;
+                }
+            }
+            chosen
+        };
+        centroids.push(points[next].clone());
+        for (d, p) in dists.iter_mut().zip(points.iter()) {
+            let nd = sq_dist(p, centroids.last().expect("just pushed"));
+            if nd < *d {
+                *d = nd;
+            }
+        }
+    }
+    centroids
+}
+
+fn lloyd(
+    points: &[Vec<f64>],
+    mut centroids: Vec<Vec<f64>>,
+    max_iterations: usize,
+) -> (Vec<usize>, Vec<Vec<f64>>, f64, usize) {
+    let n = points.len();
+    let k = centroids.len();
+    let dim = points[0].len();
+    let mut assignments = vec![0usize; n];
+    let mut iterations = 0;
+    for it in 0..max_iterations {
+        iterations = it + 1;
+        // Assignment step.
+        let mut changed = false;
+        for (i, p) in points.iter().enumerate() {
+            let mut best = 0;
+            let mut best_d = f64::INFINITY;
+            for (c, centroid) in centroids.iter().enumerate() {
+                let d = sq_dist(p, centroid);
+                if d < best_d {
+                    best_d = d;
+                    best = c;
+                }
+            }
+            if assignments[i] != best {
+                assignments[i] = best;
+                changed = true;
+            }
+        }
+        if !changed && it > 0 {
+            break;
+        }
+        // Update step.
+        let mut sums = vec![vec![0.0; dim]; k];
+        let mut counts = vec![0usize; k];
+        for (p, &a) in points.iter().zip(assignments.iter()) {
+            counts[a] += 1;
+            for (s, &v) in sums[a].iter_mut().zip(p.iter()) {
+                *s += v;
+            }
+        }
+        for c in 0..k {
+            if counts[c] == 0 {
+                // Empty cluster: re-seed at the point farthest from its
+                // centroid to keep k clusters alive.
+                let (far_idx, _) = points
+                    .iter()
+                    .enumerate()
+                    .map(|(i, p)| (i, sq_dist(p, &centroids[assignments[i]])))
+                    .max_by(|a, b| a.1.total_cmp(&b.1))
+                    .expect("points non-empty");
+                centroids[c] = points[far_idx].clone();
+            } else {
+                for (cc, s) in centroids[c].iter_mut().zip(sums[c].iter()) {
+                    *cc = s / counts[c] as f64;
+                }
+            }
+        }
+    }
+    let inertia = points
+        .iter()
+        .zip(assignments.iter())
+        .map(|(p, &a)| sq_dist(p, &centroids[a]))
+        .sum();
+    (assignments, centroids, inertia, iterations)
+}
+
+/// Cluster `points` into `config.k` clusters.
+pub fn kmeans(points: &[Vec<f64>], config: &KMeansConfig) -> Result<KMeansResult> {
+    validate(points, config.k)?;
+    let mut best: Option<KMeansResult> = None;
+    for restart in 0..config.restarts.max(1) {
+        let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(restart as u64));
+        let seeds = seed_centroids(points, config.k, &mut rng);
+        let (assignments, centroids, inertia, iterations) =
+            lloyd(points, seeds, config.max_iterations);
+        if best.as_ref().is_none_or(|b| inertia < b.inertia) {
+            best = Some(KMeansResult {
+                assignments,
+                centroids,
+                inertia,
+                iterations,
+            });
+        }
+    }
+    Ok(best.expect("at least one restart"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_blobs() -> Vec<Vec<f64>> {
+        let mut pts = Vec::new();
+        for i in 0..20 {
+            pts.push(vec![0.0 + (i % 5) as f64 * 0.01, 0.0 + (i / 5) as f64 * 0.01]);
+        }
+        for i in 0..20 {
+            pts.push(vec![10.0 + (i % 5) as f64 * 0.01, 10.0 + (i / 5) as f64 * 0.01]);
+        }
+        pts
+    }
+
+    #[test]
+    fn separates_two_blobs() {
+        let pts = two_blobs();
+        let res = kmeans(&pts, &KMeansConfig::new(2)).unwrap();
+        assert_eq!(res.k(), 2);
+        let first = res.assignments[0];
+        assert!(res.assignments[..20].iter().all(|&a| a == first));
+        assert!(res.assignments[20..].iter().all(|&a| a != first));
+        let sizes = res.cluster_sizes();
+        assert_eq!(sizes, vec![20, 20]);
+        assert!(res.inertia < 1.0);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let pts = two_blobs();
+        let a = kmeans(&pts, &KMeansConfig::new(2).with_seed(7)).unwrap();
+        let b = kmeans(&pts, &KMeansConfig::new(2).with_seed(7)).unwrap();
+        assert_eq!(a.assignments, b.assignments);
+        assert_eq!(a.inertia, b.inertia);
+    }
+
+    #[test]
+    fn k_equals_n_gives_zero_inertia() {
+        let pts = vec![vec![1.0], vec![2.0], vec![3.0]];
+        let res = kmeans(&pts, &KMeansConfig::new(3)).unwrap();
+        assert!(res.inertia < 1e-20);
+        let mut sorted = res.assignments.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn k_one_centroid_is_mean() {
+        let pts = vec![vec![0.0], vec![4.0]];
+        let res = kmeans(&pts, &KMeansConfig::new(1)).unwrap();
+        assert!((res.centroids[0][0] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn duplicate_points_dont_crash() {
+        let pts = vec![vec![1.0, 1.0]; 10];
+        let res = kmeans(&pts, &KMeansConfig::new(3)).unwrap();
+        assert_eq!(res.assignments.len(), 10);
+        assert!(res.inertia < 1e-18);
+    }
+
+    #[test]
+    fn input_validation() {
+        assert!(kmeans(&[vec![1.0]], &KMeansConfig::new(0)).is_err());
+        assert!(kmeans(&[vec![1.0]], &KMeansConfig::new(2)).is_err());
+        assert!(kmeans(&[vec![1.0], vec![1.0, 2.0]], &KMeansConfig::new(1)).is_err());
+        assert!(kmeans(&[vec![f64::NAN]], &KMeansConfig::new(1)).is_err());
+        assert!(kmeans(&[vec![]], &KMeansConfig::new(1)).is_err());
+    }
+
+    #[test]
+    fn cluster_members_partition_indices() {
+        let pts = two_blobs();
+        let res = kmeans(&pts, &KMeansConfig::new(2)).unwrap();
+        let members = res.cluster_members();
+        let total: usize = members.iter().map(Vec::len).sum();
+        assert_eq!(total, pts.len());
+        let mut all: Vec<usize> = members.into_iter().flatten().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..pts.len()).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,248 @@
+//! Exact 1-D k-means by dynamic programming.
+//!
+//! ChARLES clusters *residuals from a global regression fit* — a 1-D
+//! problem — to find candidate partitions. In one dimension, optimal
+//! k-means is solvable exactly in `O(k · n²)` with prefix sums over the
+//! sorted values (the clusters of an optimal solution are contiguous in
+//! sorted order). Exactness matters here: Lloyd's algorithm on residuals
+//! can merge the small, semantically distinct residual groups that
+//! correspond to different latent update rules.
+
+use crate::error::{ClusterError, Result};
+use crate::kmeans::KMeansResult;
+
+/// Inputs longer than this are clustered via a quantile subsample (the DP
+/// is O(k·n²)); the subsample of this size keeps boundaries within one
+/// quantile step of optimal while making large-n clustering O(k·s²+n·k).
+const MAX_EXACT_POINTS: usize = 2048;
+
+/// Cluster scalar `values` into exactly `k` groups, minimizing
+/// within-cluster sum of squared deviations. Exact (dynamic programming)
+/// up to [`MAX_EXACT_POINTS`] inputs; above that, the optimal clustering
+/// of an evenly-strided quantile subsample is extended to all points by
+/// nearest-centroid assignment. Returns assignments aligned with the input
+/// order and 1-D centroids.
+pub fn kmeans_1d(values: &[f64], k: usize) -> Result<KMeansResult> {
+    if values.len() > MAX_EXACT_POINTS && k >= 1 {
+        return kmeans_1d_sampled(values, k);
+    }
+    kmeans_1d_exact(values, k)
+}
+
+/// Large-n path: exact DP on a sorted quantile subsample, then
+/// nearest-centroid assignment of every point.
+fn kmeans_1d_sampled(values: &[f64], k: usize) -> Result<KMeansResult> {
+    if k == 0 {
+        return Err(ClusterError::InvalidParameter("k must be ≥ 1".into()));
+    }
+    if values.iter().any(|v| !v.is_finite()) {
+        return Err(ClusterError::NonFinite);
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let stride = sorted.len().div_ceil(MAX_EXACT_POINTS).max(1);
+    let sample: Vec<f64> = sorted.iter().step_by(stride).copied().collect();
+    let sub = kmeans_1d_exact(&sample, k.min(sample.len()))?;
+    // Centroids are value-ordered; assign by nearest midpoint boundary.
+    let centers: Vec<f64> = sub.centroids.iter().map(|c| c[0]).collect();
+    let boundaries: Vec<f64> = centers
+        .windows(2)
+        .map(|w| (w[0] + w[1]) / 2.0)
+        .collect();
+    let assign = |v: f64| -> usize { boundaries.iter().take_while(|&&b| v >= b).count() };
+    let assignments: Vec<usize> = values.iter().map(|&v| assign(v)).collect();
+    // Recompute centroids and inertia over the full data.
+    let kk = centers.len();
+    let mut sums = vec![0.0; kk];
+    let mut counts = vec![0usize; kk];
+    for (&v, &a) in values.iter().zip(assignments.iter()) {
+        sums[a] += v;
+        counts[a] += 1;
+    }
+    let centroids: Vec<Vec<f64>> = sums
+        .iter()
+        .zip(counts.iter())
+        .zip(centers.iter())
+        .map(|((&s, &c), &fallback)| vec![if c > 0 { s / c as f64 } else { fallback }])
+        .collect();
+    let inertia = values
+        .iter()
+        .zip(assignments.iter())
+        .map(|(&v, &a)| (v - centroids[a][0]).powi(2))
+        .sum();
+    Ok(KMeansResult {
+        assignments,
+        centroids,
+        inertia,
+        iterations: 1,
+    })
+}
+
+/// Exact DP (Wang & Song style) — optimal 1-D k-means.
+fn kmeans_1d_exact(values: &[f64], k: usize) -> Result<KMeansResult> {
+    if k == 0 {
+        return Err(ClusterError::InvalidParameter("k must be ≥ 1".into()));
+    }
+    let n = values.len();
+    if n < k {
+        return Err(ClusterError::TooFewPoints { points: n, k });
+    }
+    if values.iter().any(|v| !v.is_finite()) {
+        return Err(ClusterError::NonFinite);
+    }
+
+    // Sort, remembering original positions.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| values[a].total_cmp(&values[b]));
+    let sorted: Vec<f64> = order.iter().map(|&i| values[i]).collect();
+
+    // Prefix sums for O(1) within-cluster cost of any range.
+    let mut prefix = vec![0.0; n + 1];
+    let mut prefix_sq = vec![0.0; n + 1];
+    for (i, &v) in sorted.iter().enumerate() {
+        prefix[i + 1] = prefix[i] + v;
+        prefix_sq[i + 1] = prefix_sq[i] + v * v;
+    }
+    // Cost of clustering sorted[i..j] (exclusive j) into one cluster.
+    let range_cost = |i: usize, j: usize| -> f64 {
+        let len = (j - i) as f64;
+        if len <= 0.0 {
+            return 0.0;
+        }
+        let s = prefix[j] - prefix[i];
+        let sq = prefix_sq[j] - prefix_sq[i];
+        (sq - s * s / len).max(0.0)
+    };
+
+    // DP over (clusters used, prefix length): cost[c][j] = best cost of
+    // clustering the first j sorted values into c clusters.
+    let inf = f64::INFINITY;
+    let mut cost = vec![vec![inf; n + 1]; k + 1];
+    let mut split = vec![vec![0usize; n + 1]; k + 1];
+    cost[0][0] = 0.0;
+    for c in 1..=k {
+        for j in c..=n {
+            // Last cluster covers sorted[i..j]; i ranges over [c-1, j-1].
+            for i in (c - 1)..j {
+                if cost[c - 1][i] == inf {
+                    continue;
+                }
+                let candidate = cost[c - 1][i] + range_cost(i, j);
+                if candidate < cost[c][j] {
+                    cost[c][j] = candidate;
+                    split[c][j] = i;
+                }
+            }
+        }
+    }
+
+    // Recover boundaries.
+    let mut boundaries = vec![0usize; k + 1];
+    boundaries[k] = n;
+    let mut j = n;
+    for c in (1..=k).rev() {
+        let i = split[c][j];
+        boundaries[c - 1] = i;
+        j = i;
+    }
+
+    // Build assignments (cluster ids ordered by value) and centroids.
+    let mut assignments = vec![0usize; n];
+    let mut centroids = Vec::with_capacity(k);
+    for c in 0..k {
+        let (lo, hi) = (boundaries[c], boundaries[c + 1]);
+        let len = (hi - lo).max(1) as f64;
+        centroids.push(vec![(prefix[hi] - prefix[lo]) / len]);
+        for &orig in &order[lo..hi] {
+            assignments[orig] = c;
+        }
+    }
+    Ok(KMeansResult {
+        assignments,
+        centroids,
+        inertia: cost[k][n],
+        iterations: 1,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_three_group_recovery() {
+        // Three residual groups, like three latent update rules.
+        let values = vec![0.01, 0.02, 0.0, 5.0, 5.1, 4.9, -3.0, -3.1, -2.9];
+        let res = kmeans_1d(&values, 3).unwrap();
+        assert_eq!(res.assignments[0], res.assignments[1]);
+        assert_eq!(res.assignments[0], res.assignments[2]);
+        assert_eq!(res.assignments[3], res.assignments[4]);
+        assert_eq!(res.assignments[3], res.assignments[5]);
+        assert_eq!(res.assignments[6], res.assignments[7]);
+        assert_eq!(res.assignments[6], res.assignments[8]);
+        // Clusters are ordered by value: negative group first.
+        assert_eq!(res.assignments[6], 0);
+        assert_eq!(res.assignments[0], 1);
+        assert_eq!(res.assignments[3], 2);
+        assert!(res.inertia < 0.1);
+    }
+
+    #[test]
+    fn beats_or_matches_any_contiguous_split() {
+        // Optimality sanity check on a small, awkward instance.
+        let values = vec![1.0, 2.0, 3.0, 10.0, 11.0, 25.0];
+        let res = kmeans_1d(&values, 2).unwrap();
+        // Brute force all contiguous splits.
+        let mut best = f64::INFINITY;
+        for s in 1..values.len() {
+            let cost = |xs: &[f64]| -> f64 {
+                let m = xs.iter().sum::<f64>() / xs.len() as f64;
+                xs.iter().map(|x| (x - m).powi(2)).sum()
+            };
+            best = best.min(cost(&values[..s]) + cost(&values[s..]));
+        }
+        assert!((res.inertia - best).abs() < 1e-9);
+    }
+
+    #[test]
+    fn k_one_is_global_variance() {
+        let values = vec![1.0, 3.0];
+        let res = kmeans_1d(&values, 1).unwrap();
+        assert_eq!(res.assignments, vec![0, 0]);
+        assert!((res.inertia - 2.0).abs() < 1e-12);
+        assert!((res.centroids[0][0] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn k_equals_n_zero_cost() {
+        let values = vec![5.0, -1.0, 3.0];
+        let res = kmeans_1d(&values, 3).unwrap();
+        assert!(res.inertia < 1e-18);
+        // Cluster ids are value-ordered: -1 -> 0, 3 -> 1, 5 -> 2.
+        assert_eq!(res.assignments, vec![2, 0, 1]);
+    }
+
+    #[test]
+    fn duplicates_handled() {
+        let values = vec![2.0, 2.0, 2.0, 2.0];
+        let res = kmeans_1d(&values, 2).unwrap();
+        assert_eq!(res.assignments.len(), 4);
+        assert!(res.inertia < 1e-18);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(kmeans_1d(&[1.0], 0).is_err());
+        assert!(kmeans_1d(&[1.0], 2).is_err());
+        assert!(kmeans_1d(&[f64::NAN, 1.0], 1).is_err());
+    }
+
+    #[test]
+    fn unsorted_input_assignments_align_with_input_order() {
+        let values = vec![100.0, 1.0, 101.0, 2.0];
+        let res = kmeans_1d(&values, 2).unwrap();
+        assert_eq!(res.assignments[0], res.assignments[2]);
+        assert_eq!(res.assignments[1], res.assignments[3]);
+        assert_ne!(res.assignments[0], res.assignments[1]);
+    }
+}

@@ -1,0 +1,130 @@
+//! Silhouette coefficient: cluster-quality measure used for selecting `k`.
+
+use crate::error::{ClusterError, Result};
+
+fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+    a.iter()
+        .zip(b.iter())
+        .map(|(&x, &y)| (x - y) * (x - y))
+        .sum()
+}
+
+/// Mean silhouette coefficient over all points, in [-1, 1].
+///
+/// For each point: `s = (b − a) / max(a, b)` where `a` is the mean distance
+/// to its own cluster and `b` the smallest mean distance to another
+/// cluster. Singleton clusters contribute `s = 0` (the standard
+/// convention). Exact O(n²); callers should subsample above ~5k points.
+pub fn silhouette(points: &[Vec<f64>], assignments: &[usize]) -> Result<f64> {
+    let n = points.len();
+    if n != assignments.len() {
+        return Err(ClusterError::DimensionMismatch {
+            expected: n,
+            found: assignments.len(),
+        });
+    }
+    if n == 0 {
+        return Err(ClusterError::TooFewPoints { points: 0, k: 1 });
+    }
+    let k = assignments.iter().max().map_or(0, |&m| m + 1);
+    if k < 2 {
+        // A single cluster has no between-cluster structure to score.
+        return Ok(0.0);
+    }
+    let mut sizes = vec![0usize; k];
+    for &a in assignments {
+        sizes[a] += 1;
+    }
+
+    let mut total = 0.0;
+    for i in 0..n {
+        let own = assignments[i];
+        if sizes[own] <= 1 {
+            continue; // s = 0 for singletons
+        }
+        // Mean distance to every cluster.
+        let mut sums = vec![0.0; k];
+        for j in 0..n {
+            if i == j {
+                continue;
+            }
+            sums[assignments[j]] += sq_dist(&points[i], &points[j]).sqrt();
+        }
+        let a = sums[own] / (sizes[own] - 1) as f64;
+        let b = (0..k)
+            .filter(|&c| c != own && sizes[c] > 0)
+            .map(|c| sums[c] / sizes[c] as f64)
+            .fold(f64::INFINITY, f64::min);
+        if b.is_finite() {
+            let denom = a.max(b);
+            if denom > 0.0 {
+                total += (b - a) / denom;
+            }
+        }
+    }
+    Ok(total / n as f64)
+}
+
+/// Silhouette for scalar values (convenience wrapper used on residuals).
+pub fn silhouette_1d(values: &[f64], assignments: &[usize]) -> Result<f64> {
+    let points: Vec<Vec<f64>> = values.iter().map(|&v| vec![v]).collect();
+    silhouette(&points, assignments)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn well_separated_scores_high() {
+        let points: Vec<Vec<f64>> = [0.0, 0.1, 0.2, 10.0, 10.1, 10.2]
+            .iter()
+            .map(|&v| vec![v])
+            .collect();
+        let assignments = vec![0, 0, 0, 1, 1, 1];
+        let s = silhouette(&points, &assignments).unwrap();
+        assert!(s > 0.95, "s = {s}");
+    }
+
+    #[test]
+    fn bad_clustering_scores_low() {
+        let points: Vec<Vec<f64>> = [0.0, 0.1, 0.2, 10.0, 10.1, 10.2]
+            .iter()
+            .map(|&v| vec![v])
+            .collect();
+        // Deliberately interleaved assignment.
+        let assignments = vec![0, 1, 0, 1, 0, 1];
+        let s = silhouette(&points, &assignments).unwrap();
+        assert!(s < 0.2, "s = {s}");
+    }
+
+    #[test]
+    fn single_cluster_is_zero() {
+        let points = vec![vec![1.0], vec![2.0]];
+        assert_eq!(silhouette(&points, &[0, 0]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn singleton_clusters_contribute_zero() {
+        let points = vec![vec![0.0], vec![0.1], vec![99.0]];
+        let s = silhouette(&points, &[0, 0, 1]).unwrap();
+        // Two good points, one singleton with s=0.
+        assert!(s > 0.6 && s < 1.0, "s = {s}");
+    }
+
+    #[test]
+    fn validation() {
+        assert!(silhouette(&[], &[]).is_err());
+        assert!(silhouette(&[vec![1.0]], &[0, 1]).is_err());
+    }
+
+    #[test]
+    fn wrapper_matches_multidim() {
+        let vals = [0.0, 0.1, 5.0, 5.1];
+        let asg = [0, 0, 1, 1];
+        let a = silhouette_1d(&vals, &asg).unwrap();
+        let pts: Vec<Vec<f64>> = vals.iter().map(|&v| vec![v]).collect();
+        let b = silhouette(&pts, &asg).unwrap();
+        assert_eq!(a, b);
+    }
+}

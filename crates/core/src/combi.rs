@@ -1,0 +1,145 @@
+//! Subset enumeration for the candidate search.
+
+/// All non-empty subsets of `items` with size ≤ `max_len`, in deterministic
+/// order (by size, then lexicographically by index).
+///
+/// The engine enumerates `C ⊆ A_cond, |C| ≤ c` and `T ⊆ A_tran, |T| ≤ t`
+/// exactly as described in the paper ("all possible combinations of
+/// attributes"). Shortlists are small (≤ ~6), so exhaustive enumeration is
+/// cheap.
+pub fn bounded_subsets<T: Clone>(items: &[T], max_len: usize) -> Vec<Vec<T>> {
+    let n = items.len();
+    let cap = max_len.min(n);
+    let mut out = Vec::new();
+    let mut current: Vec<usize> = Vec::new();
+    for size in 1..=cap {
+        current.clear();
+        emit_combinations(n, size, 0, &mut current, &mut |idx| {
+            out.push(idx.iter().map(|&i| items[i].clone()).collect());
+        });
+    }
+    out
+}
+
+/// Recursively emit all `size`-combinations of `0..n` starting at `from`.
+fn emit_combinations(
+    n: usize,
+    size: usize,
+    from: usize,
+    current: &mut Vec<usize>,
+    emit: &mut impl FnMut(&[usize]),
+) {
+    if current.len() == size {
+        emit(current);
+        return;
+    }
+    let remaining = size - current.len();
+    // Enough indices must remain to complete the combination.
+    for i in from..=(n - remaining) {
+        current.push(i);
+        emit_combinations(n, size, i + 1, current, emit);
+        current.pop();
+    }
+}
+
+/// Number of non-empty subsets of an `n`-element set with size ≤ `max_len`
+/// (the search-space size reported by experiment E5).
+pub fn bounded_subset_count(n: usize, max_len: usize) -> u64 {
+    let cap = max_len.min(n);
+    let mut total = 0u64;
+    for size in 1..=cap {
+        total += binomial(n as u64, size as u64);
+    }
+    total
+}
+
+fn binomial(n: u64, k: u64) -> u64 {
+    if k > n {
+        return 0;
+    }
+    let k = k.min(n - k);
+    let mut result = 1u64;
+    for i in 0..k {
+        result = result * (n - i) / (i + 1);
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singletons_and_pairs() {
+        let subs = bounded_subsets(&['a', 'b', 'c'], 2);
+        assert_eq!(
+            subs,
+            vec![
+                vec!['a'],
+                vec!['b'],
+                vec!['c'],
+                vec!['a', 'b'],
+                vec!['a', 'c'],
+                vec!['b', 'c'],
+            ]
+        );
+    }
+
+    #[test]
+    fn full_powerset_minus_empty() {
+        let subs = bounded_subsets(&[1, 2, 3], 3);
+        assert_eq!(subs.len(), 7);
+        assert!(subs.contains(&vec![1, 2, 3]));
+    }
+
+    #[test]
+    fn max_len_larger_than_n() {
+        let subs = bounded_subsets(&[1], 5);
+        assert_eq!(subs, vec![vec![1]]);
+    }
+
+    #[test]
+    fn empty_items() {
+        let subs: Vec<Vec<u8>> = bounded_subsets(&[], 3);
+        assert!(subs.is_empty());
+    }
+
+    #[test]
+    fn counts_match_enumeration() {
+        for n in 0..=7usize {
+            let items: Vec<usize> = (0..n).collect();
+            for max_len in 0..=n {
+                let enumerated = bounded_subsets(&items, max_len).len() as u64;
+                assert_eq!(
+                    enumerated,
+                    bounded_subset_count(n, max_len),
+                    "n={n}, max_len={max_len}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn no_duplicate_subsets() {
+        let subs = bounded_subsets(&[0, 1, 2, 3, 4], 3);
+        let mut seen = std::collections::HashSet::new();
+        for s in &subs {
+            assert!(seen.insert(s.clone()), "duplicate subset {s:?}");
+        }
+    }
+
+    #[test]
+    fn binomial_basics() {
+        assert_eq!(binomial(5, 2), 10);
+        assert_eq!(binomial(5, 0), 1);
+        assert_eq!(binomial(3, 5), 0);
+        assert_eq!(binomial(6, 3), 20);
+    }
+
+    #[test]
+    fn deterministic_order() {
+        let a = bounded_subsets(&["x", "y", "z", "w"], 3);
+        let b = bounded_subsets(&["x", "y", "z", "w"], 3);
+        assert_eq!(a, b);
+    }
+}

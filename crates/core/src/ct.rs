@@ -1,0 +1,139 @@
+//! Conditional transformations — the paper's unit of explanation.
+
+use crate::condition::Condition;
+use crate::transform::Transformation;
+use std::fmt;
+
+/// A condition paired with the transformation that holds on its partition:
+///
+/// ```text
+/// edu = PhD  →  new_bonus = 1.05 × old_bonus + 1000
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConditionalTransformation {
+    /// Which rows this CT explains.
+    pub condition: Condition,
+    /// How those rows' target values evolved.
+    pub transformation: Transformation,
+    /// Rows of the source snapshot matched by the condition.
+    pub rows: Vec<usize>,
+    /// Fraction of the dataset covered (rows / n).
+    pub coverage: f64,
+    /// Mean absolute error of the transformation on this partition.
+    pub mae: f64,
+}
+
+impl ConditionalTransformation {
+    /// Construct with coverage computed from `total_rows`.
+    pub fn new(
+        condition: Condition,
+        transformation: Transformation,
+        rows: Vec<usize>,
+        total_rows: usize,
+        mae: f64,
+    ) -> Self {
+        let coverage = if total_rows == 0 {
+            0.0
+        } else {
+            rows.len() as f64 / total_rows as f64
+        };
+        ConditionalTransformation {
+            condition,
+            transformation,
+            rows,
+            coverage,
+            mae,
+        }
+    }
+
+    /// Number of rows in the partition.
+    pub fn size(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether this CT asserts "no change".
+    pub fn is_no_change(&self) -> bool {
+        self.transformation.is_identity()
+    }
+
+    /// Canonical key for deduplication.
+    pub fn signature(&self) -> String {
+        format!(
+            "{} -> {}",
+            self.condition.signature(),
+            self.transformation.signature()
+        )
+    }
+}
+
+impl fmt::Display for ConditionalTransformation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} → {}", self.condition, self.transformation)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::condition::Descriptor;
+    use crate::transform::Term;
+    use charles_relation::Value;
+
+    fn phd_ct() -> ConditionalTransformation {
+        ConditionalTransformation::new(
+            Condition::all().with(Descriptor::Equals {
+                attr: "edu".into(),
+                value: Value::str("PhD"),
+            }),
+            Transformation::linear(
+                "bonus",
+                vec![Term {
+                    attr: "bonus".into(),
+                    coefficient: 1.05,
+                }],
+                1000.0,
+            ),
+            vec![0, 1, 8],
+            9,
+            0.0,
+        )
+    }
+
+    #[test]
+    fn coverage_computed() {
+        let ct = phd_ct();
+        assert_eq!(ct.size(), 3);
+        assert!((ct.coverage - 3.0 / 9.0).abs() < 1e-12);
+        assert!(!ct.is_no_change());
+    }
+
+    #[test]
+    fn renders_like_figure_2() {
+        assert_eq!(
+            phd_ct().to_string(),
+            "edu = PhD → new_bonus = 1.05 × old_bonus + 1000"
+        );
+    }
+
+    #[test]
+    fn zero_total_rows_safe() {
+        let ct = ConditionalTransformation::new(
+            Condition::all(),
+            Transformation::Identity,
+            vec![],
+            0,
+            0.0,
+        );
+        assert_eq!(ct.coverage, 0.0);
+        assert!(ct.is_no_change());
+    }
+
+    #[test]
+    fn signature_combines_both_sides() {
+        let a = phd_ct();
+        let mut b = phd_ct();
+        assert_eq!(a.signature(), b.signature());
+        b.transformation = Transformation::Identity;
+        assert_ne!(a.signature(), b.signature());
+    }
+}

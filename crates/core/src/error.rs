@@ -1,0 +1,89 @@
+//! Error type for the ChARLES engine.
+
+use charles_cluster::ClusterError;
+use charles_numerics::NumericsError;
+use charles_relation::RelationError;
+use std::fmt;
+
+/// Errors produced while recovering change summaries.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CharlesError {
+    /// An error bubbled up from the relational substrate.
+    Relation(RelationError),
+    /// An error bubbled up from the numeric substrate.
+    Numerics(NumericsError),
+    /// An error bubbled up from the clustering substrate.
+    Cluster(ClusterError),
+    /// The requested target attribute is unusable (missing/non-numeric).
+    BadTargetAttribute(String),
+    /// Engine configuration is inconsistent.
+    BadConfig(String),
+    /// No candidate summaries could be generated (e.g. no usable
+    /// transformation attributes).
+    NoCandidates(String),
+}
+
+impl fmt::Display for CharlesError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CharlesError::Relation(e) => write!(f, "relation error: {e}"),
+            CharlesError::Numerics(e) => write!(f, "numerics error: {e}"),
+            CharlesError::Cluster(e) => write!(f, "cluster error: {e}"),
+            CharlesError::BadTargetAttribute(msg) => {
+                write!(f, "bad target attribute: {msg}")
+            }
+            CharlesError::BadConfig(msg) => write!(f, "bad configuration: {msg}"),
+            CharlesError::NoCandidates(msg) => {
+                write!(f, "no candidate summaries: {msg}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CharlesError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CharlesError::Relation(e) => Some(e),
+            CharlesError::Numerics(e) => Some(e),
+            CharlesError::Cluster(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<RelationError> for CharlesError {
+    fn from(e: RelationError) -> Self {
+        CharlesError::Relation(e)
+    }
+}
+
+impl From<NumericsError> for CharlesError {
+    fn from(e: NumericsError) -> Self {
+        CharlesError::Numerics(e)
+    }
+}
+
+impl From<ClusterError> for CharlesError {
+    fn from(e: ClusterError) -> Self {
+        CharlesError::Cluster(e)
+    }
+}
+
+/// Convenience result alias for the core crate.
+pub type Result<T> = std::result::Result<T, CharlesError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_source() {
+        let e: CharlesError = RelationError::UnknownAttribute("x".into()).into();
+        assert!(matches!(e, CharlesError::Relation(_)));
+        assert!(std::error::Error::source(&e).is_some());
+        let e: CharlesError = NumericsError::InsufficientData { needed: 2, got: 0 }.into();
+        assert!(e.to_string().contains("numerics"));
+        let e = CharlesError::BadConfig("alpha out of range".into());
+        assert!(std::error::Error::source(&e).is_none());
+    }
+}

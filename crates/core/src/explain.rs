@@ -1,0 +1,288 @@
+//! Natural-language rendering of change summaries.
+//!
+//! The paper motivates ChARLES with prose explanations ("employees with
+//! higher level of education should be rewarded more"); this module turns
+//! a recovered summary back into that register: one sentence per
+//! conditional transformation, with percentage phrasing for
+//! near-1 multiplicative coefficients and currency-style flat amounts.
+
+use crate::condition::Descriptor;
+use crate::ct::ConditionalTransformation;
+use crate::summary::ChangeSummary;
+use crate::transform::Transformation;
+
+/// Render a number like a human would write it in a policy memo.
+fn amount(v: f64) -> String {
+    let a = v.abs();
+    if a >= 1_000.0 && (a / 50.0).fract() == 0.0 {
+        // Thousands separator for round dollar-like amounts.
+        let int = a as i64;
+        let s = int.to_string();
+        let mut grouped = String::new();
+        for (i, c) in s.chars().enumerate() {
+            if i > 0 && (s.len() - i) % 3 == 0 {
+                grouped.push(',');
+            }
+            grouped.push(c);
+        }
+        format!("{}{grouped}", if v < 0.0 { "-" } else { "" })
+    } else if a.fract() == 0.0 && a < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+fn percent(p: f64) -> String {
+    let pct = p * 100.0;
+    if (pct.round() - pct).abs() < 1e-9 {
+        format!("{}%", pct.round() as i64)
+    } else {
+        format!("{pct:.1}%")
+    }
+}
+
+/// One descriptor in prose.
+fn describe_descriptor(d: &Descriptor) -> String {
+    match d {
+        Descriptor::Equals { attr, value } => format!("{attr} is {value}"),
+        Descriptor::NotEquals { attr, value } => format!("{attr} is not {value}"),
+        Descriptor::OneOf { attr, values } => {
+            let list: Vec<String> = values.iter().map(|v| v.to_string()).collect();
+            format!("{attr} is one of {}", list.join(", "))
+        }
+        Descriptor::LessThan { attr, threshold } => {
+            format!("{attr} is below {}", amount(*threshold))
+        }
+        Descriptor::AtLeast { attr, threshold } => {
+            format!("{attr} is at least {}", amount(*threshold))
+        }
+        Descriptor::InRange { attr, lo, hi } => {
+            format!("{attr} is between {} and {}", amount(*lo), amount(*hi))
+        }
+    }
+}
+
+/// The transformation in prose.
+fn describe_transformation(t: &Transformation, target: &str) -> String {
+    match t {
+        Transformation::Identity => format!("{target} did not change"),
+        Transformation::Linear {
+            terms, intercept, ..
+        } => {
+            // Special case the paper's canonical shape: scale on the
+            // target's own previous value, optionally plus a flat amount.
+            if let [term] = terms.as_slice() {
+                if term.attr == target {
+                    let scale = term.coefficient;
+                    let pct_change = scale - 1.0;
+                    let flat = *intercept;
+                    let mut s = if pct_change.abs() < 1e-12 {
+                        format!("{target} stayed at its previous value")
+                    } else if pct_change > 0.0 {
+                        format!(
+                            "{target} increased by {} of its previous value",
+                            percent(pct_change)
+                        )
+                    } else {
+                        format!(
+                            "{target} decreased by {} of its previous value",
+                            percent(-pct_change)
+                        )
+                    };
+                    if flat > 0.0 {
+                        s.push_str(&format!(", plus a flat {}", amount(flat)));
+                    } else if flat < 0.0 {
+                        s.push_str(&format!(", minus a flat {}", amount(-flat)));
+                    }
+                    return s;
+                }
+            }
+            // General linear form.
+            let mut parts: Vec<String> = terms
+                .iter()
+                .map(|t| format!("{} × previous {}", t.coefficient, t.attr))
+                .collect();
+            if *intercept != 0.0 || parts.is_empty() {
+                parts.push(amount(*intercept));
+            }
+            format!("{target} became {}", parts.join(" + "))
+        }
+    }
+}
+
+/// One conditional transformation as a sentence.
+pub fn explain_ct(ct: &ConditionalTransformation, target: &str) -> String {
+    let coverage = format!("{:.0}% of rows", ct.coverage * 100.0);
+    let action = describe_transformation(&ct.transformation, target);
+    if ct.condition.is_universal() {
+        return format!("For all rows ({coverage}): {action}.");
+    }
+    let clauses: Vec<String> = ct
+        .condition
+        .descriptors()
+        .iter()
+        .map(describe_descriptor)
+        .collect();
+    format!("Where {} ({coverage}): {action}.", clauses.join(" and "))
+}
+
+/// The whole summary as a short plain-language paragraph, one sentence per
+/// rule, largest partitions first.
+pub fn explain_summary(summary: &ChangeSummary) -> String {
+    let mut cts: Vec<&ConditionalTransformation> = summary.cts.iter().collect();
+    cts.sort_by(|a, b| b.coverage.total_cmp(&a.coverage));
+    let mut out = format!(
+        "How {:?} changed ({} rule{}):\n",
+        summary.target_attr,
+        cts.len(),
+        if cts.len() == 1 { "" } else { "s" }
+    );
+    for ct in cts {
+        out.push_str("  - ");
+        out.push_str(&explain_ct(ct, &summary.target_attr));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::condition::Condition;
+    use crate::summary::{InterpretabilityBreakdown, Scores};
+    use crate::transform::Term;
+    use charles_relation::Value;
+
+    fn r1_ct() -> ConditionalTransformation {
+        ConditionalTransformation::new(
+            Condition::all().with(Descriptor::Equals {
+                attr: "edu".into(),
+                value: Value::str("PhD"),
+            }),
+            Transformation::linear(
+                "bonus",
+                vec![Term {
+                    attr: "bonus".into(),
+                    coefficient: 1.05,
+                }],
+                1000.0,
+            ),
+            vec![0, 1, 2],
+            9,
+            0.0,
+        )
+    }
+
+    #[test]
+    fn r1_reads_like_the_paper() {
+        let text = explain_ct(&r1_ct(), "bonus");
+        assert_eq!(
+            text,
+            "Where edu is PhD (33% of rows): bonus increased by 5% of its \
+             previous value, plus a flat 1,000."
+        );
+    }
+
+    #[test]
+    fn identity_and_decrease_phrasings() {
+        let no_change = ConditionalTransformation::new(
+            Condition::all(),
+            Transformation::Identity,
+            vec![0],
+            4,
+            0.0,
+        );
+        assert_eq!(
+            explain_ct(&no_change, "bonus"),
+            "For all rows (25% of rows): bonus did not change."
+        );
+        let cut = ConditionalTransformation::new(
+            Condition::all().with(Descriptor::Equals {
+                attr: "industry".into(),
+                value: Value::str("Energy"),
+            }),
+            Transformation::linear(
+                "net_worth",
+                vec![Term {
+                    attr: "net_worth".into(),
+                    coefficient: 0.92,
+                }],
+                0.0,
+            ),
+            vec![0],
+            10,
+            0.0,
+        );
+        let text = explain_ct(&cut, "net_worth");
+        assert!(text.contains("decreased by 8%"), "{text}");
+    }
+
+    #[test]
+    fn general_linear_form_falls_back() {
+        let ct = ConditionalTransformation::new(
+            Condition::all().with(Descriptor::AtLeast {
+                attr: "grade".into(),
+                threshold: 24.0,
+            }),
+            Transformation::linear(
+                "base_salary",
+                vec![Term {
+                    attr: "overtime_pay".into(),
+                    coefficient: 0.5,
+                }],
+                200.0,
+            ),
+            vec![0],
+            2,
+            0.0,
+        );
+        let text = explain_ct(&ct, "base_salary");
+        assert!(text.contains("grade is at least 24"), "{text}");
+        assert!(text.contains("0.5 × previous overtime_pay"), "{text}");
+    }
+
+    #[test]
+    fn summary_paragraph_orders_by_coverage() {
+        let small = ConditionalTransformation::new(
+            Condition::all().with(Descriptor::Equals {
+                attr: "edu".into(),
+                value: Value::str("BS"),
+            }),
+            Transformation::Identity,
+            vec![3],
+            9,
+            0.0,
+        );
+        let summary = ChangeSummary {
+            cts: vec![small, r1_ct()],
+            target_attr: "bonus".into(),
+            condition_attrs: vec!["edu".into()],
+            transform_attrs: vec!["bonus".into()],
+            scores: Scores::default(),
+            breakdown: InterpretabilityBreakdown::default(),
+            total_rows: 9,
+        };
+        let text = explain_summary(&summary);
+        let phd_pos = text.find("PhD").unwrap();
+        let bs_pos = text.find("BS").unwrap();
+        assert!(phd_pos < bs_pos, "larger partition should come first:\n{text}");
+        assert!(text.starts_with("How \"bonus\" changed (2 rules):"), "{text}");
+    }
+
+    #[test]
+    fn amount_formatting() {
+        assert_eq!(amount(1000.0), "1,000");
+        assert_eq!(amount(-1500.0), "-1,500");
+        assert_eq!(amount(250.0), "250");
+        assert_eq!(amount(0.5), "0.5");
+        assert_eq!(amount(1234567.0 - 0.0), "1234567"); // not a round 50-multiple…
+    }
+
+    #[test]
+    fn percent_formatting() {
+        assert_eq!(percent(0.05), "5%");
+        assert_eq!(percent(0.035), "3.5%");
+        assert_eq!(percent((-0.08_f64).abs()), "8%");
+    }
+}

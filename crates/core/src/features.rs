@@ -1,0 +1,270 @@
+//! Nonlinear feature augmentation — the extension the paper's Limitations
+//! section sketches: *"While ChARLES relies on linear models to capture
+//! change trends, this can be extended by augmenting the data with
+//! nonlinear features."*
+//!
+//! [`augment`] materializes derived numeric columns (logs, squares, square
+//! roots, pairwise products and ratios) on both snapshots of a pair, so
+//! the ordinary linear search can express relations like
+//! `new_pay = 0.5 × old_pay + 2 × old_pay/old_hours`. Derived columns are
+//! named `log(x)`, `x²`, `√x`, `x·y`, `x/y`; the interpretability cost of
+//! using them is captured automatically (they add variables, and their
+//! constants still go through normality scoring).
+
+use crate::error::Result;
+use charles_relation::{Column, Field, Schema, SnapshotPair, Table};
+
+/// Which derived features to materialize.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FeatureSet {
+    /// `log(x)` for strictly positive columns.
+    pub logs: bool,
+    /// `x²`.
+    pub squares: bool,
+    /// `√x` for non-negative columns.
+    pub roots: bool,
+    /// `x·y` for distinct column pairs.
+    pub products: bool,
+    /// `x/y` for distinct pairs with denominators bounded away from zero.
+    pub ratios: bool,
+}
+
+impl Default for FeatureSet {
+    fn default() -> Self {
+        FeatureSet {
+            logs: true,
+            squares: true,
+            roots: false,
+            products: false,
+            ratios: true,
+        }
+    }
+}
+
+impl FeatureSet {
+    /// Everything on (largest search space).
+    pub fn full() -> Self {
+        FeatureSet {
+            logs: true,
+            squares: true,
+            roots: true,
+            products: true,
+            ratios: true,
+        }
+    }
+}
+
+fn push_column(
+    fields: &mut Vec<Field>,
+    columns: &mut Vec<Column>,
+    name: String,
+    values: Vec<f64>,
+) {
+    fields.push(Field::new(name, charles_relation::DataType::Float64));
+    columns.push(Column::from_f64(values));
+}
+
+/// Augment one table with derived features of `base_attrs`, skipping any
+/// derivation that would produce non-finite values. Returns the augmented
+/// table and the derived column names (in both tables' order).
+pub fn augment_table(
+    table: &Table,
+    base_attrs: &[String],
+    features: FeatureSet,
+) -> Result<(Table, Vec<String>)> {
+    let mut fields: Vec<Field> = table.schema().fields().to_vec();
+    let mut columns: Vec<Column> = table.columns().to_vec();
+    let mut derived = Vec::new();
+
+    let mut base: Vec<(String, Vec<f64>)> = Vec::with_capacity(base_attrs.len());
+    for attr in base_attrs {
+        base.push((attr.clone(), table.numeric(attr)?));
+    }
+
+    let mut add = |name: String, values: Vec<f64>| {
+        if values.iter().all(|v| v.is_finite()) && !table.schema().contains(&name) {
+            derived.push(name.clone());
+            push_column(&mut fields, &mut columns, name, values);
+        }
+    };
+
+    for (name, vals) in &base {
+        if features.logs && vals.iter().all(|&v| v > 0.0) {
+            add(
+                format!("log({name})"),
+                vals.iter().map(|&v| v.ln()).collect(),
+            );
+        }
+        if features.squares {
+            add(format!("{name}²"), vals.iter().map(|&v| v * v).collect());
+        }
+        if features.roots && vals.iter().all(|&v| v >= 0.0) {
+            add(format!("√{name}"), vals.iter().map(|&v| v.sqrt()).collect());
+        }
+    }
+    for (i, (name_a, a)) in base.iter().enumerate() {
+        for (name_b, b) in base.iter().skip(i + 1) {
+            if features.products {
+                add(
+                    format!("{name_a}·{name_b}"),
+                    a.iter().zip(b.iter()).map(|(&x, &y)| x * y).collect(),
+                );
+            }
+            if features.ratios {
+                if b.iter().all(|&v| v.abs() > 1e-9) {
+                    add(
+                        format!("{name_a}/{name_b}"),
+                        a.iter().zip(b.iter()).map(|(&x, &y)| x / y).collect(),
+                    );
+                }
+                if a.iter().all(|&v| v.abs() > 1e-9) {
+                    add(
+                        format!("{name_b}/{name_a}"),
+                        b.iter().zip(a.iter()).map(|(&x, &y)| x / y).collect(),
+                    );
+                }
+            }
+        }
+    }
+
+    let schema = Schema::new(fields)?;
+    let mut out = Table::new(schema, columns)?.with_name(table.name().to_string());
+    if let Some(key) = table.key_name() {
+        out = out.with_key(key)?;
+    }
+    Ok((out, derived))
+}
+
+/// Augment both snapshots of a pair identically (derived columns are
+/// computed per-snapshot from that snapshot's own values, preserving the
+/// "transformations read source values" semantics). Returns the augmented
+/// pair and the derived attribute names.
+pub fn augment(
+    pair: &SnapshotPair,
+    base_attrs: &[String],
+    features: FeatureSet,
+) -> Result<(SnapshotPair, Vec<String>)> {
+    let (source, derived) = augment_table(pair.source(), base_attrs, features)?;
+    let (target, derived_t) = augment_table(pair.target(), base_attrs, features)?;
+    debug_assert_eq!(derived, derived_t);
+    let pair = match pair.key_attr() {
+        Some(key) => SnapshotPair::align_on(source, target, key)?,
+        None => SnapshotPair::align(source, target)?,
+    };
+    Ok((pair, derived))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Charles;
+    use charles_relation::TableBuilder;
+
+    fn base_table() -> Table {
+        TableBuilder::new("t")
+            .str_col("name", &["a", "b", "c", "d"])
+            .float_col("pay", &[100.0, 200.0, 400.0, 800.0])
+            .float_col("hours", &[10.0, 20.0, 25.0, 40.0])
+            .key("name")
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn derives_expected_columns() {
+        let (aug, derived) = augment_table(
+            &base_table(),
+            &["pay".into(), "hours".into()],
+            FeatureSet::full(),
+        )
+        .unwrap();
+        for name in [
+            "log(pay)",
+            "pay²",
+            "√pay",
+            "pay·hours",
+            "pay/hours",
+            "hours/pay",
+        ] {
+            assert!(derived.contains(&name.to_string()), "missing {name}");
+            assert!(aug.schema().contains(name));
+        }
+        assert_eq!(aug.value(0, "pay/hours").unwrap().as_f64(), Some(10.0));
+        assert_eq!(aug.value(1, "pay²").unwrap().as_f64(), Some(40_000.0));
+        // Key declaration survives augmentation.
+        assert_eq!(aug.key_name(), Some("name"));
+    }
+
+    #[test]
+    fn log_skipped_for_non_positive() {
+        let t = TableBuilder::new("t")
+            .float_col("x", &[1.0, -2.0])
+            .build()
+            .unwrap();
+        let (aug, derived) = augment_table(&t, &["x".into()], FeatureSet::full()).unwrap();
+        assert!(!derived.iter().any(|d| d.starts_with("log")));
+        assert!(!derived.iter().any(|d| d.starts_with('√')));
+        assert!(aug.schema().contains("x²"));
+    }
+
+    #[test]
+    fn ratio_skipped_for_near_zero_denominators() {
+        let t = TableBuilder::new("t")
+            .float_col("a", &[1.0, 2.0])
+            .float_col("b", &[0.0, 5.0])
+            .build()
+            .unwrap();
+        let (_, derived) = augment_table(
+            &t,
+            &["a".into(), "b".into()],
+            FeatureSet {
+                logs: false,
+                squares: false,
+                roots: false,
+                products: false,
+                ratios: true,
+            },
+        )
+        .unwrap();
+        assert!(derived.contains(&"b/a".to_string()));
+        assert!(!derived.contains(&"a/b".to_string()));
+    }
+
+    #[test]
+    fn engine_recovers_nonlinear_policy_via_augmentation() {
+        // Latent policy: new_pay = old_pay + 5 × old_pay/old_hours — not
+        // linear in {pay, hours}, linear after ratio augmentation.
+        let source = base_table();
+        let rate: Vec<f64> = vec![10.0, 10.0, 16.0, 20.0];
+        let new_pay: Vec<f64> = source
+            .numeric("pay")
+            .unwrap()
+            .iter()
+            .zip(rate.iter())
+            .map(|(&p, &r)| p + 5.0 * r)
+            .collect();
+        let target = TableBuilder::new("t2")
+            .str_col("name", &["a", "b", "c", "d"])
+            .float_col("pay", &new_pay)
+            .float_col("hours", &[10.0, 20.0, 25.0, 40.0])
+            .key("name")
+            .build()
+            .unwrap();
+        let pair = charles_relation::SnapshotPair::align(source, target).unwrap();
+        let (aug_pair, derived) =
+            augment(&pair, &["pay".into(), "hours".into()], FeatureSet::default()).unwrap();
+        assert!(derived.contains(&"pay/hours".to_string()));
+        let result = Charles::from_pair(aug_pair, "pay")
+            .unwrap()
+            .with_transform_attrs(["pay", "pay/hours"])
+            .run()
+            .unwrap();
+        let top = result.top().unwrap();
+        assert!(
+            top.scores.accuracy > 0.999,
+            "accuracy {} — {top}",
+            top.scores.accuracy
+        );
+        assert!(top.to_string().contains("pay/hours"), "{top}");
+    }
+}

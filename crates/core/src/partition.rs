@@ -1,0 +1,722 @@
+//! Partition discovery: from regression residuals to *expressible*
+//! partitions.
+//!
+//! The paper's engine fits one global regression for the target attribute
+//! over the transformation attributes, then clusters rows **by distance
+//! from the regression line**. The clusters are only *potential* partitions
+//! though: a cluster is useful to a human only if it can be described by
+//! conditions over the condition attributes. This module closes that gap —
+//! and with it the paper's "cyclic dependency" between clustering and
+//! pattern sharing — by inducing a shallow CART-style decision tree over
+//! the condition attributes that predicts the cluster labels, then
+//! re-partitioning rows by the induced predicates. The result is a set of
+//! disjoint, covering, *expressible* partitions: whatever the clusters
+//! suggested that conditions cannot express is washed out, and whatever
+//! they suggested that conditions can express becomes exact.
+
+use crate::condition::{Condition, Descriptor};
+use crate::config::{CharlesConfig, PartitionMethod};
+use crate::error::Result;
+use charles_cluster::{dbscan, kmeans_1d};
+use charles_numerics::normality::{roundness, snap_candidates};
+use charles_numerics::stats::{mad, median};
+use charles_relation::{Column, Table, Value};
+use std::collections::HashMap;
+
+/// A discovered partition: an expressible condition plus the rows that
+/// satisfy it.
+#[derive(Debug, Clone)]
+pub struct PartitionSpec {
+    /// The condition describing this partition.
+    pub condition: Condition,
+    /// Source row ids matching the condition (disjoint across specs).
+    pub rows: Vec<usize>,
+}
+
+/// Distance (in MADs from the median) beyond which a residual is treated
+/// as an out-of-policy outlier and excluded from clustering. Keeps a
+/// handful of hand-edited cells from hijacking k-means clusters (k-means
+/// is notoriously outlier-sensitive).
+const OUTLIER_MADS: f64 = 8.0;
+
+/// Label marking rows whose change is out-of-policy noise. Condition
+/// induction *ignores* these rows when computing impurity: noise is not
+/// structure to describe, and trying to describe it is how trees overfit.
+/// The rows still land in whichever partition their attribute values
+/// select, where the trimmed per-partition refit absorbs them.
+pub const OUTLIER_LABEL: usize = usize::MAX;
+
+/// Split rows into (inlier indices, outlier indices) by MAD distance.
+fn trim_outliers(values: &[f64]) -> (Vec<usize>, Vec<usize>) {
+    let med = median(values).unwrap_or(0.0);
+    let spread = mad(values).unwrap_or(0.0);
+    if spread <= 0.0 {
+        return ((0..values.len()).collect(), Vec::new());
+    }
+    let cutoff = OUTLIER_MADS * spread;
+    let mut inliers = Vec::with_capacity(values.len());
+    let mut outliers = Vec::new();
+    for (i, &v) in values.iter().enumerate() {
+        if (v - med).abs() > cutoff {
+            outliers.push(i);
+        } else {
+            inliers.push(i);
+        }
+    }
+    // Guard: if "outliers" are actually a substantial population (≥ 10%),
+    // they are structure, not noise — keep everything.
+    if outliers.len() * 10 >= values.len() {
+        return ((0..values.len()).collect(), Vec::new());
+    }
+    (inliers, outliers)
+}
+
+/// Cluster residuals into `k` groups using the configured method.
+/// Returns one label per row (labels are dense, 0-based). Out-of-policy
+/// outliers (beyond [`OUTLIER_MADS`]) are assigned a dedicated trailing
+/// label rather than participating in clustering.
+pub fn cluster_residuals(
+    residuals: &[f64],
+    k: usize,
+    config: &CharlesConfig,
+) -> Result<Vec<usize>> {
+    if k <= 1 || residuals.len() <= 1 {
+        return Ok(vec![0; residuals.len()]);
+    }
+    let (inliers, outliers) = match config.partition_method {
+        PartitionMethod::ResidualDbscan => ((0..residuals.len()).collect(), Vec::new()),
+        _ => trim_outliers(residuals),
+    };
+    if !outliers.is_empty() {
+        let inlier_vals: Vec<f64> = inliers.iter().map(|&i| residuals[i]).collect();
+        let sub = cluster_residuals(&inlier_vals, k, config)?;
+        let mut labels = vec![0usize; residuals.len()];
+        for (slot, &row) in inliers.iter().enumerate() {
+            labels[row] = sub[slot];
+        }
+        for &row in &outliers {
+            labels[row] = OUTLIER_LABEL;
+        }
+        return Ok(labels);
+    }
+    let k = k.min(residuals.len());
+    match config.partition_method {
+        PartitionMethod::ResidualKMeans => Ok(kmeans_1d(residuals, k)?.assignments),
+        PartitionMethod::ResidualQuantile => {
+            let mut sorted = residuals.to_vec();
+            sorted.sort_by(|a, b| a.total_cmp(b));
+            // Boundaries at the i/k quantiles.
+            let bounds: Vec<f64> = (1..k)
+                .map(|i| sorted[(i * sorted.len()) / k])
+                .collect();
+            Ok(residuals
+                .iter()
+                .map(|&r| bounds.iter().take_while(|&&b| r >= b).count())
+                .collect())
+        }
+        PartitionMethod::ResidualDbscan => {
+            let spread = mad(residuals).unwrap_or(0.0);
+            let med = median(residuals).unwrap_or(0.0);
+            let eps = (spread * 1.5).max(med.abs() * 1e-6).max(1e-9);
+            let min_points = (residuals.len() / 50).max(2);
+            let points: Vec<Vec<f64>> = residuals.iter().map(|&r| vec![r]).collect();
+            let res = dbscan(&points, eps, min_points)?;
+            // Noise points become their own trailing label so the tree can
+            // still try to describe them.
+            let noise_label = res.n_clusters;
+            Ok(res
+                .labels
+                .iter()
+                .map(|&l| if l < 0 { noise_label } else { l as usize })
+                .collect())
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Decision-tree induction over condition attributes
+// ---------------------------------------------------------------------------
+
+/// Gini impurity of the label multiset at `rows`; rows labelled
+/// [`OUTLIER_LABEL`] are invisible to the impurity.
+fn gini(labels: &[usize], rows: &[usize], n_labels: usize) -> f64 {
+    let mut counts = vec![0usize; n_labels];
+    let mut n = 0usize;
+    for &r in rows {
+        if labels[r] != OUTLIER_LABEL {
+            counts[labels[r]] += 1;
+            n += 1;
+        }
+    }
+    if n == 0 {
+        return 0.0;
+    }
+    1.0 - counts
+        .iter()
+        .map(|&c| {
+            let p = c as f64 / n as f64;
+            p * p
+        })
+        .sum::<f64>()
+}
+
+/// Whether all (non-outlier) rows share one label.
+fn is_pure(labels: &[usize], rows: &[usize]) -> bool {
+    let mut first: Option<usize> = None;
+    for &r in rows {
+        let l = labels[r];
+        if l == OUTLIER_LABEL {
+            continue;
+        }
+        match first {
+            None => first = Some(l),
+            Some(f) if f != l => return false,
+            _ => {}
+        }
+    }
+    true
+}
+
+/// A candidate binary split.
+struct Split {
+    descriptor: Descriptor,
+    yes: Vec<usize>,
+    no: Vec<usize>,
+    gain: f64,
+}
+
+/// Pick the roundest threshold `t` such that `x < t` partitions identically
+/// for every `t ∈ (below, above]`, where `below` is the largest value going
+/// left and `above` the smallest going right.
+fn nice_threshold(below: f64, above: f64) -> f64 {
+    let mid = (below + above) / 2.0;
+    let mut best = above; // `x < above` is always a valid boundary
+    let mut best_r = roundness(above);
+    for cand in snap_candidates(mid) {
+        if cand > below && cand <= above {
+            let r = roundness(cand);
+            if r > best_r || (r == best_r && (cand - mid).abs() < (best - mid).abs()) {
+                best = cand;
+                best_r = r;
+            }
+        }
+    }
+    best
+}
+
+/// Enumerate candidate splits for one attribute at a node.
+fn splits_for_attr(
+    attr: &str,
+    col: &Column,
+    labels: &[usize],
+    rows: &[usize],
+    n_labels: usize,
+    min_leaf: usize,
+) -> Vec<Split> {
+    let parent_gini = gini(labels, rows, n_labels);
+    let n = rows.len() as f64;
+    let mut out = Vec::new();
+
+    if col.dtype().is_numeric() {
+        // Sort node rows by attribute value; thresholds between adjacent
+        // distinct values.
+        let mut vals: Vec<(f64, usize)> = rows
+            .iter()
+            .filter_map(|&r| col.get_f64(r).map(|v| (v, r)))
+            .collect();
+        if vals.len() < rows.len() {
+            return out; // nulls present: skip numeric splits on this attr
+        }
+        vals.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let mut boundaries: Vec<(f64, f64)> = Vec::new();
+        for w in vals.windows(2) {
+            if w[0].0 < w[1].0 {
+                boundaries.push((w[0].0, w[1].0));
+            }
+        }
+        // Cap the number of evaluated thresholds on large nodes.
+        const MAX_THRESHOLDS: usize = 32;
+        let step = boundaries.len().div_ceil(MAX_THRESHOLDS).max(1);
+        for (below, above) in boundaries.into_iter().step_by(step) {
+            let threshold = nice_threshold(below, above);
+            let mut yes = Vec::new();
+            let mut no = Vec::new();
+            for &(v, r) in &vals {
+                if v < threshold {
+                    yes.push(r);
+                } else {
+                    no.push(r);
+                }
+            }
+            if yes.len() < min_leaf || no.len() < min_leaf {
+                continue;
+            }
+            let child =
+                (yes.len() as f64 / n) * gini(labels, &yes, n_labels)
+                    + (no.len() as f64 / n) * gini(labels, &no, n_labels);
+            out.push(Split {
+                descriptor: Descriptor::LessThan {
+                    attr: attr.to_string(),
+                    threshold,
+                },
+                yes,
+                no,
+                gain: parent_gini - child,
+            });
+        }
+    } else {
+        // Categorical: one-vs-rest equality splits per distinct value.
+        let mut by_value: HashMap<Value, Vec<usize>> = HashMap::new();
+        for &r in rows {
+            by_value.entry(col.get(r)).or_default().push(r);
+        }
+        if by_value.len() < 2 || by_value.len() > 24 {
+            return out; // unsplittable or too high-cardinality
+        }
+        let mut values: Vec<&Value> = by_value.keys().collect();
+        values.sort(); // determinism
+        for value in values {
+            if value.is_null() {
+                continue;
+            }
+            let yes = by_value[value].clone();
+            let yes_set: std::collections::HashSet<usize> = yes.iter().copied().collect();
+            let no: Vec<usize> = rows
+                .iter()
+                .copied()
+                .filter(|r| !yes_set.contains(r))
+                .collect();
+            if yes.len() < min_leaf || no.len() < min_leaf {
+                continue;
+            }
+            let child =
+                (yes.len() as f64 / n) * gini(labels, &yes, n_labels)
+                    + (no.len() as f64 / n) * gini(labels, &no, n_labels);
+            out.push(Split {
+                descriptor: Descriptor::Equals {
+                    attr: attr.to_string(),
+                    value: (*value).clone(),
+                },
+                yes,
+                no,
+                gain: parent_gini - child,
+            });
+        }
+    }
+    out
+}
+
+fn best_split(
+    table: &Table,
+    cond_attrs: &[String],
+    labels: &[usize],
+    rows: &[usize],
+    n_labels: usize,
+    min_leaf: usize,
+) -> Option<Split> {
+    let mut best: Option<Split> = None;
+    for attr in cond_attrs {
+        let col = match table.column_by_name(attr) {
+            Ok(c) => c,
+            Err(_) => continue,
+        };
+        for split in splits_for_attr(attr, col, labels, rows, n_labels, min_leaf) {
+            if split.gain > 1e-12
+                && best.as_ref().is_none_or(|b| split.gain > b.gain)
+            {
+                best = Some(split);
+            }
+        }
+    }
+    best
+}
+
+/// Remove redundant descriptors from a root-to-leaf path:
+/// - an `Equals` on an attribute supersedes any `NotEquals` on it;
+/// - multiple `LessThan` keep the tightest (smallest threshold);
+/// - multiple `AtLeast` keep the tightest (largest threshold);
+/// - an `AtLeast`+`LessThan` pair fuses into `InRange`.
+fn simplify_path(path: Vec<Descriptor>) -> Vec<Descriptor> {
+    use std::collections::BTreeMap;
+    let mut equals: BTreeMap<String, Descriptor> = BTreeMap::new();
+    let mut not_equals: Vec<Descriptor> = Vec::new();
+    let mut lt: BTreeMap<String, f64> = BTreeMap::new();
+    let mut ge: BTreeMap<String, f64> = BTreeMap::new();
+    let mut attr_order: Vec<String> = Vec::new();
+    let note_attr = |order: &mut Vec<String>, attr: &str| {
+        if !order.iter().any(|a| a == attr) {
+            order.push(attr.to_string());
+        }
+    };
+    for d in path {
+        let attr = d.attr().to_string();
+        note_attr(&mut attr_order, &attr);
+        match d {
+            Descriptor::Equals { .. } => {
+                equals.insert(attr, d);
+            }
+            Descriptor::NotEquals { .. } => not_equals.push(d),
+            Descriptor::LessThan { threshold, .. } => {
+                lt.entry(attr)
+                    .and_modify(|t| *t = t.min(threshold))
+                    .or_insert(threshold);
+            }
+            Descriptor::AtLeast { threshold, .. } => {
+                ge.entry(attr)
+                    .and_modify(|t| *t = t.max(threshold))
+                    .or_insert(threshold);
+            }
+            other => not_equals.push(other), // OneOf/InRange pass through
+        }
+    }
+    let mut out = Vec::new();
+    for attr in attr_order {
+        if let Some(eq) = equals.remove(&attr) {
+            out.push(eq);
+            // Drop NotEquals on this attribute: implied by equality.
+            not_equals.retain(|d| d.attr() != attr);
+        }
+        match (ge.remove(&attr), lt.remove(&attr)) {
+            (Some(lo), Some(hi)) => out.push(Descriptor::InRange {
+                attr: attr.clone(),
+                lo,
+                hi,
+            }),
+            (Some(lo), None) => out.push(Descriptor::AtLeast {
+                attr: attr.clone(),
+                threshold: lo,
+            }),
+            (None, Some(hi)) => out.push(Descriptor::LessThan {
+                attr: attr.clone(),
+                threshold: hi,
+            }),
+            (None, None) => {}
+        }
+        let (matching, rest): (Vec<_>, Vec<_>) =
+            not_equals.into_iter().partition(|d| d.attr() == attr);
+        out.extend(matching);
+        not_equals = rest;
+    }
+    out.extend(not_equals);
+    out
+}
+
+/// Induce expressible partitions from cluster labels.
+///
+/// Returns disjoint, covering partitions, each with a condition built from
+/// `cond_attrs`. With `cond_attrs` empty (or labels constant), a single
+/// universal partition is returned.
+pub fn induce_partitions(
+    table: &Table,
+    cond_attrs: &[String],
+    labels: &[usize],
+    config: &CharlesConfig,
+) -> Result<Vec<PartitionSpec>> {
+    let n = table.height();
+    let all_rows: Vec<usize> = (0..n).collect();
+    let n_labels = labels
+        .iter()
+        .copied()
+        .filter(|&l| l != OUTLIER_LABEL)
+        .max()
+        .map_or(1, |m| m + 1);
+    if cond_attrs.is_empty() || n_labels <= 1 || n == 0 {
+        return Ok(vec![PartitionSpec {
+            condition: Condition::all(),
+            rows: all_rows,
+        }]);
+    }
+    let min_leaf = ((n as f64 * config.min_partition_fraction).ceil() as usize).max(1);
+    let max_depth = config.max_tree_depth.max(1);
+
+    // Recursive growth with an explicit stack.
+    struct Work {
+        rows: Vec<usize>,
+        path: Vec<Descriptor>,
+        depth: usize,
+    }
+    let mut leaves: Vec<(Vec<Descriptor>, Vec<usize>)> = Vec::new();
+    let mut stack = vec![Work {
+        rows: all_rows,
+        path: Vec::new(),
+        depth: 0,
+    }];
+    while let Some(node) = stack.pop() {
+        let stop = node.depth >= max_depth
+            || node.rows.len() < 2 * min_leaf
+            || is_pure(labels, &node.rows);
+        let split = if stop {
+            None
+        } else {
+            best_split(table, cond_attrs, labels, &node.rows, n_labels, min_leaf)
+        };
+        match split {
+            Some(s) => {
+                let mut yes_path = node.path.clone();
+                yes_path.push(s.descriptor.clone());
+                let mut no_path = node.path;
+                no_path.push(s.descriptor.negate());
+                stack.push(Work {
+                    rows: s.yes,
+                    path: yes_path,
+                    depth: node.depth + 1,
+                });
+                stack.push(Work {
+                    rows: s.no,
+                    path: no_path,
+                    depth: node.depth + 1,
+                });
+            }
+            None => leaves.push((node.path, node.rows)),
+        }
+    }
+
+    // Build specs; verify conditions by re-evaluating them (the partitions
+    // must be *exactly* what the conditions say, not what the tree said).
+    let mut specs = Vec::with_capacity(leaves.len());
+    for (path, tree_rows) in leaves {
+        let condition = Condition::new(simplify_path(path));
+        // Re-evaluating keeps conditions and rows consistent even after
+        // path simplification.
+        let rows = condition.matching_rows(table)?;
+        debug_assert_eq!(
+            {
+                let mut a = rows.clone();
+                a.sort_unstable();
+                a
+            },
+            {
+                let mut b = tree_rows.clone();
+                b.sort_unstable();
+                b
+            },
+            "simplified condition must select the same rows as the tree path"
+        );
+        specs.push(PartitionSpec { condition, rows });
+    }
+    // Deterministic order: by first row id.
+    specs.sort_by_key(|s| s.rows.first().copied().unwrap_or(usize::MAX));
+    Ok(specs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use charles_relation::TableBuilder;
+
+    /// Nine employees as in paper Example 1.
+    fn emp() -> Table {
+        TableBuilder::new("emp")
+            .str_col(
+                "edu",
+                &["PhD", "PhD", "MS", "MS", "BS", "MS", "BS", "MS", "PhD"],
+            )
+            .int_col("exp", &[2, 3, 5, 1, 2, 4, 3, 4, 1])
+            .build()
+            .unwrap()
+    }
+
+    /// Labels mirroring the paper's four latent groups:
+    /// PhD → 0, MS&exp≥3 → 1, MS&exp<3 → 2, BS → 3.
+    fn truth_labels() -> Vec<usize> {
+        vec![0, 0, 1, 2, 3, 1, 3, 1, 0]
+    }
+
+    fn default_config() -> CharlesConfig {
+        CharlesConfig {
+            min_partition_fraction: 0.01,
+            ..CharlesConfig::default()
+        }
+    }
+
+    #[test]
+    fn recovers_example_1_partitions() {
+        let table = emp();
+        let labels = truth_labels();
+        let specs = induce_partitions(
+            &table,
+            &["edu".to_string(), "exp".to_string()],
+            &labels,
+            &default_config(),
+        )
+        .unwrap();
+        assert_eq!(specs.len(), 4, "{specs:?}");
+        // Every spec must be pure w.r.t. the labels.
+        for spec in &specs {
+            let first = labels[spec.rows[0]];
+            assert!(
+                spec.rows.iter().all(|&r| labels[r] == first),
+                "impure partition {spec:?}"
+            );
+        }
+        // Partitions are disjoint and covering.
+        let mut all: Vec<usize> = specs.iter().flat_map(|s| s.rows.clone()).collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..9).collect::<Vec<_>>());
+        // The induced partitions must coincide with the four latent groups
+        // (equivalent conditions may differ from the paper's phrasing, e.g.
+        // `edu ≠ PhD ∧ exp ≥ 4` describes the same rows as
+        // `edu = MS ∧ exp ≥ 3` on this data — both are exact).
+        for spec in &specs {
+            let expected: Vec<usize> = (0..9)
+                .filter(|&r| labels[r] == labels[spec.rows[0]])
+                .collect();
+            let mut got = spec.rows.clone();
+            got.sort_unstable();
+            assert_eq!(got, expected, "partition differs from latent group");
+        }
+        // Numeric splits carry round thresholds.
+        let rendered: Vec<String> = specs.iter().map(|s| s.condition.to_string()).collect();
+        assert!(
+            rendered.iter().any(|r| r.contains("exp")),
+            "expected a numeric split on exp, got {rendered:?}"
+        );
+    }
+
+    #[test]
+    fn constant_labels_single_partition() {
+        let table = emp();
+        let specs = induce_partitions(
+            &table,
+            &["edu".to_string()],
+            &[0; 9],
+            &default_config(),
+        )
+        .unwrap();
+        assert_eq!(specs.len(), 1);
+        assert!(specs[0].condition.is_universal());
+        assert_eq!(specs[0].rows.len(), 9);
+    }
+
+    #[test]
+    fn no_condition_attrs_single_partition() {
+        let table = emp();
+        let specs =
+            induce_partitions(&table, &[], &truth_labels(), &default_config()).unwrap();
+        assert_eq!(specs.len(), 1);
+    }
+
+    #[test]
+    fn inexpressible_labels_collapse() {
+        // Labels alternate independently of edu/exp: no split can help, so
+        // the tree yields few (possibly one) impure partitions rather than
+        // inventing noise.
+        let table = emp();
+        let labels = vec![0, 1, 0, 1, 0, 1, 0, 1, 0];
+        let specs = induce_partitions(
+            &table,
+            &["edu".to_string()],
+            &labels,
+            &default_config(),
+        )
+        .unwrap();
+        let total: usize = specs.iter().map(|s| s.rows.len()).sum();
+        assert_eq!(total, 9);
+        assert!(specs.len() <= 3);
+    }
+
+    #[test]
+    fn min_partition_fraction_blocks_tiny_leaves() {
+        let table = emp();
+        let config = CharlesConfig {
+            min_partition_fraction: 0.4, // leaves need ≥ 4 of 9 rows
+            ..CharlesConfig::default()
+        };
+        let specs = induce_partitions(
+            &table,
+            &["edu".to_string(), "exp".to_string()],
+            &truth_labels(),
+            &config,
+        )
+        .unwrap();
+        for s in &specs {
+            assert!(s.rows.len() >= 4 || specs.len() == 1, "{specs:?}");
+        }
+    }
+
+    #[test]
+    fn cluster_residuals_kmeans_and_quantile() {
+        let residuals = vec![0.0, 0.1, -0.1, 100.0, 100.1, 99.9];
+        let config = default_config();
+        let labels = cluster_residuals(&residuals, 2, &config).unwrap();
+        assert_eq!(labels[0], labels[1]);
+        assert_ne!(labels[0], labels[3]);
+
+        let qconfig = CharlesConfig {
+            partition_method: PartitionMethod::ResidualQuantile,
+            ..default_config()
+        };
+        let qlabels = cluster_residuals(&residuals, 2, &qconfig).unwrap();
+        assert_eq!(qlabels[0], qlabels[1]);
+        assert_ne!(qlabels[0], qlabels[3]);
+    }
+
+    #[test]
+    fn cluster_residuals_k1_trivial() {
+        let config = default_config();
+        assert_eq!(
+            cluster_residuals(&[1.0, 2.0, 3.0], 1, &config).unwrap(),
+            vec![0, 0, 0]
+        );
+        assert!(cluster_residuals(&[], 3, &config).unwrap().is_empty());
+    }
+
+    #[test]
+    fn cluster_residuals_dbscan_no_k() {
+        let mut residuals = vec![0.0; 30];
+        residuals.extend(vec![500.0; 30]);
+        let config = CharlesConfig {
+            partition_method: PartitionMethod::ResidualDbscan,
+            ..default_config()
+        };
+        let labels = cluster_residuals(&residuals, 4, &config).unwrap();
+        assert_eq!(labels[0], labels[1]);
+        assert_ne!(labels[0], labels[30]);
+    }
+
+    #[test]
+    fn nice_threshold_prefers_round() {
+        // Any t in (2, 3] splits identically: 3 is roundest.
+        assert_eq!(nice_threshold(2.0, 3.0), 3.0);
+        // (23.4, 27.9]: 25 is the roundest inside.
+        assert_eq!(nice_threshold(23.4, 27.9), 25.0);
+        // Degenerate narrow gap still yields a valid boundary.
+        let t = nice_threshold(1.0001, 1.0002);
+        assert!(t > 1.0001 && t <= 1.0002);
+    }
+
+    #[test]
+    fn simplify_fuses_ranges_and_drops_redundant() {
+        let path = vec![
+            Descriptor::NotEquals {
+                attr: "edu".into(),
+                value: Value::str("BS"),
+            },
+            Descriptor::Equals {
+                attr: "edu".into(),
+                value: Value::str("MS"),
+            },
+            Descriptor::AtLeast {
+                attr: "exp".into(),
+                threshold: 1.0,
+            },
+            Descriptor::LessThan {
+                attr: "exp".into(),
+                threshold: 5.0,
+            },
+            Descriptor::LessThan {
+                attr: "exp".into(),
+                threshold: 3.0,
+            },
+        ];
+        let simplified = simplify_path(path);
+        let rendered: Vec<String> = simplified.iter().map(|d| d.to_string()).collect();
+        assert!(rendered.contains(&"edu = MS".to_string()));
+        assert!(rendered.contains(&"1 ≤ exp < 3".to_string()));
+        assert!(
+            !rendered.iter().any(|r| r.contains("≠")),
+            "NotEquals should be dropped: {rendered:?}"
+        );
+        assert_eq!(simplified.len(), 2);
+    }
+}

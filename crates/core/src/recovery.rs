@@ -1,0 +1,250 @@
+//! Recovery metrics: how faithfully a summary reflects a *known* latent
+//! policy.
+//!
+//! The paper demonstrates recovery anecdotally; with synthetic scenarios we
+//! can measure it. A ground-truth policy is a first-match rule list
+//! (condition → expression). We compare it to a summary on three axes:
+//! partition agreement (Adjusted Rand Index), rule-level overlap (mean
+//! best-Jaccard per truth rule), and prediction agreement (normalized mean
+//! absolute difference between what the truth and the summary each predict
+//! for the target).
+
+use crate::error::Result;
+use crate::score::ScoringContext;
+use crate::summary::ChangeSummary;
+use charles_relation::{Expr, Predicate, SnapshotPair, Table};
+
+/// One ground-truth rule: rows matching `condition` were updated by
+/// `expr` (`None` = rule asserts no change).
+#[derive(Debug, Clone)]
+pub struct TruthRule {
+    /// The policy's row filter.
+    pub condition: Predicate,
+    /// The policy's update expression over source values.
+    pub expr: Option<Expr>,
+}
+
+/// Per-row labels from a first-match rule list (`-1` = no rule matched).
+pub fn truth_labels(table: &Table, rules: &[TruthRule]) -> Result<Vec<isize>> {
+    let mut labels = vec![-1isize; table.height()];
+    for row in table.row_ids() {
+        for (i, rule) in rules.iter().enumerate() {
+            if rule.condition.eval(table, row).map_err(crate::error::CharlesError::from)? {
+                labels[row] = i as isize;
+                break;
+            }
+        }
+    }
+    Ok(labels)
+}
+
+/// Per-row labels from a summary's CTs (disjoint by construction; `-1` =
+/// uncovered).
+pub fn summary_labels(summary: &ChangeSummary, n: usize) -> Vec<isize> {
+    let mut labels = vec![-1isize; n];
+    for (i, ct) in summary.cts.iter().enumerate() {
+        for &row in &ct.rows {
+            labels[row] = i as isize;
+        }
+    }
+    labels
+}
+
+/// Adjusted Rand Index between two labelings in [-1, 1] (1 = identical
+/// partitions up to renaming; ~0 = chance agreement).
+pub fn adjusted_rand_index(a: &[isize], b: &[isize]) -> f64 {
+    assert_eq!(a.len(), b.len(), "labelings must align");
+    let n = a.len();
+    if n == 0 {
+        return 1.0;
+    }
+    // Contingency table.
+    let mut a_ids: Vec<isize> = a.to_vec();
+    a_ids.sort_unstable();
+    a_ids.dedup();
+    let mut b_ids: Vec<isize> = b.to_vec();
+    b_ids.sort_unstable();
+    b_ids.dedup();
+    let a_index = |v: isize| a_ids.binary_search(&v).expect("present");
+    let b_index = |v: isize| b_ids.binary_search(&v).expect("present");
+    let mut table = vec![vec![0u64; b_ids.len()]; a_ids.len()];
+    for (&x, &y) in a.iter().zip(b.iter()) {
+        table[a_index(x)][b_index(y)] += 1;
+    }
+    let choose2 = |x: u64| -> f64 { (x as f64) * (x as f64 - 1.0) / 2.0 };
+    let sum_ij: f64 = table
+        .iter()
+        .flat_map(|row| row.iter())
+        .map(|&c| choose2(c))
+        .sum();
+    let sum_a: f64 = table
+        .iter()
+        .map(|row| choose2(row.iter().sum::<u64>()))
+        .sum();
+    let sum_b: f64 = (0..b_ids.len())
+        .map(|j| choose2(table.iter().map(|row| row[j]).sum::<u64>()))
+        .sum();
+    let total = choose2(n as u64);
+    let expected = sum_a * sum_b / total;
+    let max_index = (sum_a + sum_b) / 2.0;
+    if (max_index - expected).abs() < 1e-12 {
+        return 1.0; // both labelings degenerate (single group)
+    }
+    (sum_ij - expected) / (max_index - expected)
+}
+
+/// Jaccard similarity of two row-id sets.
+fn jaccard(a: &[usize], b: &[usize]) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    let sa: std::collections::HashSet<usize> = a.iter().copied().collect();
+    let sb: std::collections::HashSet<usize> = b.iter().copied().collect();
+    let inter = sa.intersection(&sb).count() as f64;
+    let union = sa.union(&sb).count() as f64;
+    if union == 0.0 {
+        1.0
+    } else {
+        inter / union
+    }
+}
+
+/// The recovery report for one summary against one ground-truth policy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RecoveryReport {
+    /// Partition agreement (Adjusted Rand Index).
+    pub ari: f64,
+    /// Mean, over truth rules, of the best Jaccard overlap with any CT.
+    pub mean_rule_jaccard: f64,
+    /// Mean absolute difference between truth-predicted and
+    /// summary-predicted target values, normalized by target scale.
+    pub prediction_nmae: f64,
+}
+
+/// Evaluate how well `summary` recovered the policy `rules` on `pair`.
+pub fn evaluate_recovery(
+    summary: &ChangeSummary,
+    pair: &SnapshotPair,
+    target_attr: &str,
+    rules: &[TruthRule],
+    config: &crate::config::CharlesConfig,
+) -> Result<RecoveryReport> {
+    let source = pair.source();
+    let n = source.height();
+
+    // Partition agreement.
+    let truth = truth_labels(source, rules)?;
+    let ours = summary_labels(summary, n);
+    let ari = adjusted_rand_index(&truth, &ours);
+
+    // Rule-level overlap.
+    let mut mean_rule_jaccard = 0.0;
+    if !rules.is_empty() {
+        let mut total = 0.0;
+        for (i, _) in rules.iter().enumerate() {
+            let rule_rows: Vec<usize> = truth
+                .iter()
+                .enumerate()
+                .filter_map(|(r, &l)| (l == i as isize).then_some(r))
+                .collect();
+            let best = summary
+                .cts
+                .iter()
+                .map(|ct| jaccard(&rule_rows, &ct.rows))
+                .fold(0.0, f64::max);
+            total += best;
+        }
+        mean_rule_jaccard = total / rules.len() as f64;
+    }
+
+    // Prediction agreement: truth prediction (rule expr on source values,
+    // unmatched rows unchanged) vs summary prediction.
+    let y_source = source.numeric(target_attr)?;
+    let y_target = pair.target_numeric_aligned(target_attr)?;
+    let mut truth_pred = y_source.clone();
+    for (row, &label) in truth.iter().enumerate() {
+        if label >= 0 {
+            if let Some(expr) = &rules[label as usize].expr {
+                truth_pred[row] = expr
+                    .eval(source, row)
+                    .map_err(crate::error::CharlesError::from)?;
+            }
+        }
+    }
+    let scoring = ScoringContext::new(source, target_attr, &y_target, &y_source, config);
+    let summary_pred = scoring.predict(&summary.cts)?;
+    let nmae = if n == 0 {
+        0.0
+    } else {
+        truth_pred
+            .iter()
+            .zip(summary_pred.iter())
+            .map(|(a, b)| (a - b).abs())
+            .sum::<f64>()
+            / (n as f64 * scoring.scale)
+    };
+
+    Ok(RecoveryReport {
+        ari,
+        mean_rule_jaccard,
+        prediction_nmae: nmae,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ari_identical_partitions() {
+        let a = vec![0, 0, 1, 1, 2, 2];
+        // Same partition, renamed labels.
+        let b = vec![5, 5, 3, 3, -1, -1];
+        assert!((adjusted_rand_index(&a, &b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ari_disagreement_low() {
+        let a = vec![0, 0, 0, 1, 1, 1];
+        let b = vec![0, 1, 0, 1, 0, 1];
+        assert!(adjusted_rand_index(&a, &b) < 0.2);
+    }
+
+    #[test]
+    fn ari_degenerate_single_groups() {
+        let a = vec![0, 0, 0];
+        let b = vec![1, 1, 1];
+        assert_eq!(adjusted_rand_index(&a, &b), 1.0);
+        assert_eq!(adjusted_rand_index(&[], &[]), 1.0);
+    }
+
+    #[test]
+    fn jaccard_cases() {
+        assert_eq!(jaccard(&[1, 2, 3], &[1, 2, 3]), 1.0);
+        assert_eq!(jaccard(&[1, 2], &[3, 4]), 0.0);
+        assert!((jaccard(&[1, 2, 3], &[2, 3, 4]) - 0.5).abs() < 1e-12);
+        assert_eq!(jaccard(&[], &[]), 1.0);
+    }
+
+    #[test]
+    fn truth_labels_first_match() {
+        use charles_relation::TableBuilder;
+        let t = TableBuilder::new("t")
+            .str_col("edu", &["PhD", "MS", "BS"])
+            .build()
+            .unwrap();
+        let rules = vec![
+            TruthRule {
+                condition: Predicate::eq("edu", "PhD"),
+                expr: None,
+            },
+            TruthRule {
+                condition: Predicate::True,
+                expr: None,
+            },
+        ];
+        assert_eq!(truth_labels(&t, &rules).unwrap(), vec![0, 1, 1]);
+        // Empty rules: everything unmatched.
+        assert_eq!(truth_labels(&t, &[]).unwrap(), vec![-1, -1, -1]);
+    }
+}

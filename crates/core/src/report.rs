@@ -1,0 +1,228 @@
+//! Machine-readable reports: a minimal JSON writer.
+//!
+//! The offline dependency set has no JSON crate, so this module implements
+//! the small subset needed to export summaries and run results: object /
+//! array / string / number / bool encoding with correct escaping.
+
+use crate::engine::RunResult;
+use crate::summary::ChangeSummary;
+use std::fmt::Write as _;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true`/`false`
+    Bool(bool),
+    /// A finite number (non-finite values encode as `null`).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object with insertion-ordered keys.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Convenience string constructor.
+    pub fn str(s: impl Into<String>) -> Self {
+        Json::Str(s.into())
+    }
+
+    /// Serialize to a compact JSON string.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(v) => {
+                if v.is_finite() {
+                    if v.fract() == 0.0 && v.abs() < 1e15 {
+                        let _ = write!(out, "{}", *v as i64);
+                    } else {
+                        let _ = write!(out, "{v}");
+                    }
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => {
+                out.push('"');
+                for c in s.chars() {
+                    match c {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        '\r' => out.push_str("\\r"),
+                        '\t' => out.push_str("\\t"),
+                        c if (c as u32) < 0x20 => {
+                            let _ = write!(out, "\\u{:04x}", c as u32);
+                        }
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    Json::str(key.clone()).write(out);
+                    out.push(':');
+                    value.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+/// Encode one summary.
+pub fn summary_to_json(summary: &ChangeSummary) -> Json {
+    let cts: Vec<Json> = summary
+        .cts
+        .iter()
+        .map(|ct| {
+            Json::Obj(vec![
+                ("condition".into(), Json::str(ct.condition.to_string())),
+                (
+                    "transformation".into(),
+                    Json::str(ct.transformation.to_string()),
+                ),
+                ("coverage".into(), Json::Num(ct.coverage)),
+                ("rows".into(), Json::Num(ct.size() as f64)),
+                ("mae".into(), Json::Num(ct.mae)),
+                ("no_change".into(), Json::Bool(ct.is_no_change())),
+            ])
+        })
+        .collect();
+    Json::Obj(vec![
+        ("target".into(), Json::str(summary.target_attr.clone())),
+        ("score".into(), Json::Num(summary.scores.score)),
+        ("accuracy".into(), Json::Num(summary.scores.accuracy)),
+        (
+            "interpretability".into(),
+            Json::Num(summary.scores.interpretability),
+        ),
+        (
+            "breakdown".into(),
+            Json::Obj(vec![
+                ("size".into(), Json::Num(summary.breakdown.size)),
+                ("simplicity".into(), Json::Num(summary.breakdown.simplicity)),
+                ("coverage".into(), Json::Num(summary.breakdown.coverage)),
+                ("normality".into(), Json::Num(summary.breakdown.normality)),
+            ]),
+        ),
+        ("cts".into(), Json::Arr(cts)),
+    ])
+}
+
+/// Encode a full run result.
+pub fn run_result_to_json(result: &RunResult) -> Json {
+    Json::Obj(vec![
+        (
+            "summaries".into(),
+            Json::Arr(result.summaries.iter().map(summary_to_json).collect()),
+        ),
+        (
+            "stats".into(),
+            Json::Obj(vec![
+                (
+                    "candidates".into(),
+                    Json::Num(result.stats.candidates as f64),
+                ),
+                ("evaluated".into(), Json::Num(result.stats.evaluated as f64)),
+                ("distinct".into(), Json::Num(result.stats.distinct as f64)),
+                (
+                    "elapsed_ms".into(),
+                    Json::Num(result.elapsed.as_secs_f64() * 1e3),
+                ),
+            ]),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_rendering() {
+        assert_eq!(Json::Null.render(), "null");
+        assert_eq!(Json::Bool(true).render(), "true");
+        assert_eq!(Json::Num(3.0).render(), "3");
+        assert_eq!(Json::Num(3.25).render(), "3.25");
+        assert_eq!(Json::Num(f64::NAN).render(), "null");
+        assert_eq!(Json::str("hi").render(), "\"hi\"");
+    }
+
+    #[test]
+    fn string_escaping() {
+        assert_eq!(
+            Json::str("a\"b\\c\nd\te").render(),
+            "\"a\\\"b\\\\c\\nd\\te\""
+        );
+        assert_eq!(Json::str("\u{1}").render(), "\"\\u0001\"");
+        // Unicode passes through unescaped (valid JSON).
+        assert_eq!(Json::str("≥ ∧").render(), "\"≥ ∧\"");
+    }
+
+    #[test]
+    fn composite_rendering() {
+        let j = Json::Obj(vec![
+            ("xs".into(), Json::Arr(vec![Json::Num(1.0), Json::Num(2.0)])),
+            ("ok".into(), Json::Bool(false)),
+        ]);
+        assert_eq!(j.render(), "{\"xs\":[1,2],\"ok\":false}");
+    }
+
+    #[test]
+    fn summary_encodes() {
+        use crate::condition::Condition;
+        use crate::ct::ConditionalTransformation;
+        use crate::summary::{InterpretabilityBreakdown, Scores};
+        use crate::transform::Transformation;
+        let s = ChangeSummary {
+            cts: vec![ConditionalTransformation::new(
+                Condition::all(),
+                Transformation::Identity,
+                vec![0],
+                1,
+                0.0,
+            )],
+            target_attr: "bonus".into(),
+            condition_attrs: vec![],
+            transform_attrs: vec![],
+            scores: Scores {
+                accuracy: 1.0,
+                interpretability: 0.9,
+                score: 0.95,
+            },
+            breakdown: InterpretabilityBreakdown::default(),
+            total_rows: 1,
+        };
+        let rendered = summary_to_json(&s).render();
+        assert!(rendered.contains("\"target\":\"bonus\""));
+        assert!(rendered.contains("\"no_change\":true"));
+        assert!(rendered.contains("\"score\":0.95"));
+    }
+}

@@ -1,0 +1,335 @@
+//! Scoring: `Score(S) = α·Accuracy(S) + (1−α)·Interpretability(S)`.
+//!
+//! Accuracy follows the paper exactly: the inverse (normalized) L1 distance
+//! between the transformed source `Ŝ(D_s)(a_i)` and the target `D_t(a_i)`.
+//! Interpretability is the weighted mean of four sub-scores implementing
+//! the paper's four desiderata: smaller summaries, simpler conditions and
+//! transformations, higher coverage, and higher normality of constants.
+
+use crate::config::CharlesConfig;
+use crate::ct::ConditionalTransformation;
+use crate::error::Result;
+use crate::summary::{InterpretabilityBreakdown, Scores};
+use charles_relation::Table;
+
+/// Everything needed to score candidate summaries against one snapshot
+/// pair. Build once per engine run, reuse across all candidates.
+#[derive(Debug)]
+pub struct ScoringContext<'a> {
+    /// Source snapshot.
+    pub source: &'a Table,
+    /// Target attribute name.
+    pub target_attr: &'a str,
+    /// Target-snapshot values of the target attribute, aligned to source
+    /// row order.
+    pub y_target: &'a [f64],
+    /// Source-snapshot values of the target attribute.
+    pub y_source: &'a [f64],
+    /// Normalization scale for the L1 distance (mean |target|).
+    pub scale: f64,
+    /// Engine configuration (α and interpretability weights).
+    pub config: &'a CharlesConfig,
+}
+
+impl<'a> ScoringContext<'a> {
+    /// Create a context, deriving the normalization scale from the mean
+    /// absolute *change* of the target attribute (we are explaining the
+    /// change, so residual error is judged relative to how much change
+    /// there was to explain). Falls back to the mean absolute target value
+    /// when nothing changed, then to 1.0 when that is degenerate too.
+    pub fn new(
+        source: &'a Table,
+        target_attr: &'a str,
+        y_target: &'a [f64],
+        y_source: &'a [f64],
+        config: &'a CharlesConfig,
+    ) -> Self {
+        let n = y_target.len();
+        let scale = if n == 0 {
+            1.0
+        } else {
+            let mean_change = y_target
+                .iter()
+                .zip(y_source.iter())
+                .map(|(t, s)| (t - s).abs())
+                .sum::<f64>()
+                / n as f64;
+            if mean_change > 0.0 {
+                mean_change
+            } else {
+                let m = y_target.iter().map(|v| v.abs()).sum::<f64>() / n as f64;
+                if m > 0.0 {
+                    m
+                } else {
+                    1.0
+                }
+            }
+        };
+        ScoringContext {
+            source,
+            target_attr,
+            y_target,
+            y_source,
+            scale,
+            config,
+        }
+    }
+
+    /// Predicted target values after applying `cts` to the source: rows not
+    /// covered by any CT keep their source value.
+    pub fn predict(&self, cts: &[ConditionalTransformation]) -> Result<Vec<f64>> {
+        let mut pred = self.y_source.to_vec();
+        for ct in cts {
+            let vals = ct
+                .transformation
+                .apply(self.source, self.target_attr, &ct.rows)?;
+            for (&row, v) in ct.rows.iter().zip(vals) {
+                pred[row] = v;
+            }
+        }
+        Ok(pred)
+    }
+
+    /// Accuracy of a full prediction vector:
+    /// `1 / (1 + sharpness · L1/(n·scale))`.
+    pub fn accuracy_of(&self, pred: &[f64]) -> f64 {
+        let n = self.y_target.len();
+        if n == 0 {
+            return 1.0;
+        }
+        let l1: f64 = pred
+            .iter()
+            .zip(self.y_target.iter())
+            .map(|(a, b)| (a - b).abs())
+            .sum();
+        1.0 / (1.0 + self.config.accuracy_sharpness * l1 / (n as f64 * self.scale))
+    }
+
+    /// Accuracy of a candidate CT set.
+    pub fn accuracy(&self, cts: &[ConditionalTransformation]) -> Result<f64> {
+        Ok(self.accuracy_of(&self.predict(cts)?))
+    }
+
+    /// Interpretability sub-scores for a candidate CT set.
+    pub fn interpretability(&self, cts: &[ConditionalTransformation]) -> InterpretabilityBreakdown {
+        if cts.is_empty() {
+            return InterpretabilityBreakdown {
+                size: 1.0,
+                simplicity: 1.0,
+                coverage: 0.0,
+                normality: 1.0,
+            };
+        }
+        // (1) Smaller summaries: 1 CT scores 1.0, decaying smoothly.
+        let size = 1.0 / (1.0 + (cts.len() as f64 - 1.0) / 4.0);
+
+        // (2) Simpler conditions & transformations: coverage-weighted mean
+        // of a per-CT simplicity decaying with descriptor + variable count.
+        let total_cov: f64 = cts.iter().map(|ct| ct.coverage).sum();
+        let simplicity = if total_cov > 0.0 {
+            cts.iter()
+                .map(|ct| {
+                    let units =
+                        ct.condition.complexity() as f64 + ct.transformation.complexity() as f64;
+                    ct.coverage * (1.0 / (1.0 + units / 4.0))
+                })
+                .sum::<f64>()
+                / total_cov
+        } else {
+            1.0
+        };
+
+        // (3) Higher coverage: concentration of coverage mass (Herfindahl).
+        // One partition covering everything = 1.0; k even partitions = 1/k;
+        // uncovered rows contribute nothing.
+        let coverage = cts.iter().map(|ct| ct.coverage * ct.coverage).sum::<f64>();
+
+        // (4) Normality of constants, coverage-weighted over CTs.
+        let normality = if total_cov > 0.0 {
+            cts.iter()
+                .map(|ct| {
+                    ct.coverage * 0.5 * (ct.condition.normality() + ct.transformation.normality())
+                })
+                .sum::<f64>()
+                / total_cov
+        } else {
+            1.0
+        };
+
+        InterpretabilityBreakdown {
+            size,
+            simplicity,
+            coverage,
+            normality,
+        }
+    }
+
+    /// Score a candidate CT set, returning full scores and the breakdown.
+    pub fn score(
+        &self,
+        cts: &[ConditionalTransformation],
+    ) -> Result<(Scores, InterpretabilityBreakdown)> {
+        let accuracy = self.accuracy(cts)?;
+        let b = self.interpretability(cts);
+        let [w_size, w_simp, w_cov, w_norm] = self.config.interpretability_weights;
+        let interpretability =
+            w_size * b.size + w_simp * b.simplicity + w_cov * b.coverage + w_norm * b.normality;
+        let alpha = self.config.alpha;
+        Ok((
+            Scores {
+                accuracy,
+                interpretability,
+                score: alpha * accuracy + (1.0 - alpha) * interpretability,
+            },
+            b,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::condition::{Condition, Descriptor};
+    use crate::transform::{Term, Transformation};
+    use charles_relation::{TableBuilder, Value};
+
+    fn setup() -> (Table, Vec<f64>, Vec<f64>) {
+        let source = TableBuilder::new("s")
+            .str_col("edu", &["PhD", "PhD", "BS", "BS"])
+            .float_col("bonus", &[20_000.0, 10_000.0, 5_000.0, 6_000.0])
+            .build()
+            .unwrap();
+        let y_source = vec![20_000.0, 10_000.0, 5_000.0, 6_000.0];
+        // PhDs got 1.1x; BS unchanged.
+        let y_target = vec![22_000.0, 11_000.0, 5_000.0, 6_000.0];
+        (source, y_source, y_target)
+    }
+
+    fn phd_ct(coef: f64) -> ConditionalTransformation {
+        ConditionalTransformation::new(
+            Condition::all().with(Descriptor::Equals {
+                attr: "edu".into(),
+                value: Value::str("PhD"),
+            }),
+            Transformation::linear(
+                "bonus",
+                vec![Term {
+                    attr: "bonus".into(),
+                    coefficient: coef,
+                }],
+                0.0,
+            ),
+            vec![0, 1],
+            4,
+            0.0,
+        )
+    }
+
+    #[test]
+    fn perfect_summary_has_accuracy_one() {
+        let (source, y_source, y_target) = setup();
+        let config = CharlesConfig::default();
+        let ctx = ScoringContext::new(&source, "bonus", &y_target, &y_source, &config);
+        let cts = vec![phd_ct(1.1)];
+        assert!((ctx.accuracy(&cts).unwrap() - 1.0).abs() < 1e-12);
+        let (scores, _) = ctx.score(&cts).unwrap();
+        assert!(scores.score > 0.75);
+    }
+
+    #[test]
+    fn wrong_summary_scores_lower() {
+        let (source, y_source, y_target) = setup();
+        let config = CharlesConfig::default();
+        let ctx = ScoringContext::new(&source, "bonus", &y_target, &y_source, &config);
+        let good = ctx.accuracy(&[phd_ct(1.1)]).unwrap();
+        let bad = ctx.accuracy(&[phd_ct(2.0)]).unwrap();
+        assert!(good > bad);
+        // Empty summary = "nothing changed": wrong for PhD rows.
+        let nothing = ctx.accuracy(&[]).unwrap();
+        assert!(good > nothing);
+        assert!(nothing > bad, "mild error beats wild overshoot");
+    }
+
+    #[test]
+    fn uncovered_rows_keep_source_values() {
+        let (source, y_source, y_target) = setup();
+        let config = CharlesConfig::default();
+        let ctx = ScoringContext::new(&source, "bonus", &y_target, &y_source, &config);
+        let pred = ctx.predict(&[phd_ct(1.1)]).unwrap();
+        assert_eq!(pred[2], 5_000.0);
+        assert_eq!(pred[3], 6_000.0);
+        assert_eq!(pred[0], 22_000.0);
+    }
+
+    #[test]
+    fn alpha_extremes() {
+        let (source, y_source, y_target) = setup();
+        let acc_only = CharlesConfig::default().with_alpha(1.0);
+        let int_only = CharlesConfig::default().with_alpha(0.0);
+        let cts = vec![phd_ct(1.1)];
+
+        let ctx = ScoringContext::new(&source, "bonus", &y_target, &y_source, &acc_only);
+        let (s, _) = ctx.score(&cts).unwrap();
+        assert!((s.score - s.accuracy).abs() < 1e-12);
+
+        let ctx = ScoringContext::new(&source, "bonus", &y_target, &y_source, &int_only);
+        let (s, _) = ctx.score(&cts).unwrap();
+        assert!((s.score - s.interpretability).abs() < 1e-12);
+    }
+
+    #[test]
+    fn interpretability_prefers_fewer_cts() {
+        let (source, y_source, y_target) = setup();
+        let config = CharlesConfig::default();
+        let ctx = ScoringContext::new(&source, "bonus", &y_target, &y_source, &config);
+        let one = ctx.interpretability(&[phd_ct(1.1)]);
+        let two = ctx.interpretability(&[phd_ct(1.1), phd_ct(1.2)]);
+        assert!(one.size > two.size);
+    }
+
+    #[test]
+    fn coverage_concentration() {
+        let (source, y_source, y_target) = setup();
+        let config = CharlesConfig::default();
+        let ctx = ScoringContext::new(&source, "bonus", &y_target, &y_source, &config);
+        // One CT covering everything.
+        let full = ConditionalTransformation::new(
+            Condition::all(),
+            Transformation::Identity,
+            vec![0, 1, 2, 3],
+            4,
+            0.0,
+        );
+        let b = ctx.interpretability(&[full]);
+        assert!((b.coverage - 1.0).abs() < 1e-12);
+        // Half coverage scores 0.25 (0.5²).
+        let half = phd_ct(1.1);
+        let b = ctx.interpretability(&[half]);
+        assert!((b.coverage - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_cts_defined() {
+        let (source, y_source, y_target) = setup();
+        let config = CharlesConfig::default();
+        let ctx = ScoringContext::new(&source, "bonus", &y_target, &y_source, &config);
+        let b = ctx.interpretability(&[]);
+        assert_eq!(b.size, 1.0);
+        assert_eq!(b.coverage, 0.0);
+        let (scores, _) = ctx.score(&[]).unwrap();
+        assert!(scores.score > 0.0);
+    }
+
+    #[test]
+    fn scale_degenerate_target() {
+        let source = TableBuilder::new("s")
+            .float_col("x", &[0.0, 0.0])
+            .build()
+            .unwrap();
+        let y = vec![0.0, 0.0];
+        let config = CharlesConfig::default();
+        let ctx = ScoringContext::new(&source, "x", &y, &y, &config);
+        assert_eq!(ctx.scale, 1.0);
+        assert_eq!(ctx.accuracy(&[]).unwrap(), 1.0);
+    }
+}

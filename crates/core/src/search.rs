@@ -1,0 +1,836 @@
+//! Candidate enumeration and (parallel) evaluation.
+//!
+//! A *candidate* is one `(C, T, k)` triple: condition-attribute subset,
+//! transformation-attribute subset, and partition count. Evaluating a
+//! candidate runs the paper's diff-discovery pipeline — global fit →
+//! residual clustering → condition induction → per-partition fits →
+//! scoring — and yields one scored [`ChangeSummary`]. The search evaluates
+//! every candidate, deduplicates structurally identical summaries (keeping
+//! the best score), and ranks.
+
+use crate::combi::bounded_subsets;
+use crate::config::CharlesConfig;
+use crate::ct::ConditionalTransformation;
+use crate::error::{CharlesError, Result};
+use crate::partition::{cluster_residuals, induce_partitions};
+use crate::score::ScoringContext;
+use crate::snap::snap_fit;
+use crate::summary::ChangeSummary;
+use crate::transform::{Term, Transformation};
+use charles_numerics::ols::{fit_constant, fit_ols, LinearFit};
+use charles_relation::{SnapshotPair, Table};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// One point of the search space.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Candidate {
+    /// Condition attributes `C` (may be empty: single universal partition).
+    pub cond_attrs: Vec<String>,
+    /// Transformation attributes `T` (never empty).
+    pub tran_attrs: Vec<String>,
+    /// Number of residual clusters to request.
+    pub k: usize,
+}
+
+/// Search bookkeeping for reporting and experiments.
+#[derive(Debug, Clone, Default)]
+pub struct SearchStats {
+    /// Candidates enumerated.
+    pub candidates: usize,
+    /// Candidates that produced a summary (some fail, e.g. tiny data).
+    pub evaluated: usize,
+    /// Distinct summaries after deduplication.
+    pub distinct: usize,
+}
+
+/// Everything shared by candidate evaluations for one engine run.
+pub struct SearchContext<'a> {
+    /// The aligned snapshot pair.
+    pub pair: &'a SnapshotPair,
+    /// Target attribute name.
+    pub target_attr: &'a str,
+    /// Target values aligned to source rows.
+    pub y_target: Vec<f64>,
+    /// Source values of the target attribute.
+    pub y_source: Vec<f64>,
+    /// Source columns for every numeric attribute usable in models,
+    /// extracted once.
+    pub numeric_columns: HashMap<String, Vec<f64>>,
+    /// Engine configuration.
+    pub config: &'a CharlesConfig,
+}
+
+impl<'a> SearchContext<'a> {
+    /// Build the shared context (extracts numeric columns once).
+    pub fn new(
+        pair: &'a SnapshotPair,
+        target_attr: &'a str,
+        tran_attrs: &[String],
+        config: &'a CharlesConfig,
+    ) -> Result<Self> {
+        let source = pair.source();
+        let y_target = pair.target_numeric_aligned(target_attr)?;
+        let y_source = source.numeric(target_attr)?;
+        let mut numeric_columns = HashMap::new();
+        for attr in tran_attrs {
+            numeric_columns.insert(attr.clone(), source.numeric(attr)?);
+        }
+        Ok(SearchContext {
+            pair,
+            target_attr,
+            y_target,
+            y_source,
+            numeric_columns,
+            config,
+        })
+    }
+
+    fn source(&self) -> &Table {
+        self.pair.source()
+    }
+
+    fn scoring(&self) -> ScoringContext<'_> {
+        ScoringContext::new(
+            self.source(),
+            self.target_attr,
+            &self.y_target,
+            &self.y_source,
+            self.config,
+        )
+    }
+
+    /// Columns for a transformation-attribute subset, in subset order.
+    fn columns_for(&self, tran_attrs: &[String]) -> Vec<&Vec<f64>> {
+        tran_attrs
+            .iter()
+            .map(|a| &self.numeric_columns[a])
+            .collect()
+    }
+}
+
+/// Enumerate the `(C, T, k)` search space.
+///
+/// For every transformation subset `T` there is one *global* candidate
+/// (`C = ∅`, `k = 1`, a single universal partition — the "R4"-style
+/// summary), plus one candidate per non-empty condition subset and each
+/// `k ≥ 2` in the configured range.
+pub fn generate_candidates(
+    cond_attrs: &[String],
+    tran_attrs: &[String],
+    config: &CharlesConfig,
+) -> Vec<Candidate> {
+    let mut out = Vec::new();
+    let t_subsets = bounded_subsets(tran_attrs, config.max_transform_attrs);
+    let c_subsets = bounded_subsets(cond_attrs, config.max_condition_attrs);
+    for t in &t_subsets {
+        if config.k_min <= 1 {
+            out.push(Candidate {
+                cond_attrs: Vec::new(),
+                tran_attrs: t.clone(),
+                k: 1,
+            });
+        }
+        for c in &c_subsets {
+            for k in config.k_min.max(2)..=config.k_max {
+                out.push(Candidate {
+                    cond_attrs: c.clone(),
+                    tran_attrs: t.clone(),
+                    k,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Mean absolute error of an affine model over a partition.
+fn partition_mae(cols: &[Vec<f64>], y: &[f64], coefs: &[f64], intercept: f64) -> f64 {
+    if y.is_empty() {
+        return 0.0;
+    }
+    let mut total = 0.0;
+    for i in 0..y.len() {
+        let mut pred = intercept;
+        for (c, col) in coefs.iter().zip(cols.iter()) {
+            pred += c * col[i];
+        }
+        total += (pred - y[i]).abs();
+    }
+    total / y.len() as f64
+}
+
+/// Fit a (possibly snapped) linear model on a partition, returning the
+/// transformation and its mean absolute error over *all* partition rows.
+///
+/// Robustness: after a first OLS pass, rows whose residuals exceed 6 MADs
+/// are treated as out-of-policy edits; when they are few (≤ 20%) the model
+/// — and all subsequent constant snapping — is fitted on the inliers only,
+/// so a handful of hand-edited cells cannot drag the recovered policy.
+fn fit_partition(
+    ctx: &SearchContext<'_>,
+    tran_attrs: &[String],
+    rows: &[usize],
+) -> Option<(Transformation, f64)> {
+    let y: Vec<f64> = rows.iter().map(|&r| ctx.y_target[r]).collect();
+    let full_cols = ctx.columns_for(tran_attrs);
+    let cols: Vec<Vec<f64>> = full_cols
+        .iter()
+        .map(|c| rows.iter().map(|&r| c[r]).collect())
+        .collect();
+
+    // Enough rows for a full fit (n = p+1 is exact interpolation, which is
+    // legitimate here: two points determine the affine rule that produced
+    // them)? Otherwise fall back to a constant model.
+    let mut fit: LinearFit = if rows.len() > cols.len() {
+        match fit_ols(&cols, &y) {
+            Ok(f) => f,
+            Err(_) => fit_constant(&y).ok()?,
+        }
+    } else {
+        fit_constant(&y).ok()?
+    };
+
+    // One-step trimmed refit (see doc comment). Track the inlier set: the
+    // snapping pass below must see the same robust view of the data.
+    let mut in_cols: Vec<Vec<f64>> = cols.clone();
+    let mut in_y: Vec<f64> = y.clone();
+    if !fit.residuals.is_empty() {
+        let spread = charles_numerics::stats::mad(&fit.residuals).unwrap_or(0.0);
+        if spread > 0.0 {
+            let cutoff = 6.0 * spread;
+            let inliers: Vec<usize> = (0..y.len())
+                .filter(|&i| fit.residuals[i].abs() <= cutoff)
+                .collect();
+            let n_out = y.len() - inliers.len();
+            if n_out > 0 && n_out * 5 <= y.len() && inliers.len() > cols.len() {
+                let trimmed_cols: Vec<Vec<f64>> = cols
+                    .iter()
+                    .map(|c| inliers.iter().map(|&i| c[i]).collect())
+                    .collect();
+                let trimmed_y: Vec<f64> = inliers.iter().map(|&i| y[i]).collect();
+                if let Ok(refit) = fit_ols(&trimmed_cols, &trimmed_y) {
+                    fit = refit;
+                    in_cols = trimmed_cols;
+                    in_y = trimmed_y;
+                }
+            }
+        }
+    }
+
+    let (coefficients, intercept) = if ctx.config.snap_constants {
+        let used_cols: &[Vec<f64>] = if fit.coefficients.is_empty() {
+            &[]
+        } else {
+            &in_cols
+        };
+        let snapped = snap_fit(used_cols, &in_y, &fit, ctx.config.snap_tolerance);
+        (snapped.coefficients, snapped.intercept)
+    } else {
+        (fit.coefficients.clone(), fit.intercept)
+    };
+
+    // Kill numerically-dust terms: a coefficient whose whole contribution
+    // across the partition is below 1e-9 of the target magnitude carries
+    // no information (ridge fallbacks and collinear predictors produce
+    // ±1e-16-style coefficients that would otherwise pollute rendering).
+    let y_scale = y.iter().map(|v| v.abs()).sum::<f64>() / y.len().max(1) as f64 + 1.0;
+    let coefficients: Vec<f64> = coefficients
+        .iter()
+        .zip(cols.iter())
+        .map(|(&coefficient, col)| {
+            let col_max = col.iter().fold(0.0f64, |m, v| m.max(v.abs()));
+            if coefficient.abs() * col_max < 1e-9 * y_scale {
+                0.0
+            } else {
+                coefficient
+            }
+        })
+        .collect();
+    let mae = partition_mae(&cols, &y, &coefficients, intercept);
+
+    // A model that snapped all the way to `new = 1·old + 0` *is* the
+    // identity: render it as "no change".
+    let is_identity = intercept == 0.0
+        && tran_attrs
+            .iter()
+            .zip(coefficients.iter())
+            .all(|(attr, &c)| {
+                (attr == ctx.target_attr && c == 1.0) || c == 0.0
+            })
+        && tran_attrs
+            .iter()
+            .zip(coefficients.iter())
+            .any(|(attr, &c)| attr == ctx.target_attr && c == 1.0);
+    if is_identity {
+        return Some((Transformation::Identity, mae));
+    }
+
+    let terms: Vec<Term> = tran_attrs
+        .iter()
+        .zip(coefficients.iter())
+        .map(|(attr, &coefficient)| Term {
+            attr: attr.clone(),
+            coefficient,
+        })
+        .collect();
+    Some((
+        Transformation::linear(ctx.target_attr, terms, intercept),
+        mae,
+    ))
+}
+
+/// The change signals candidate partitions are mined from.
+///
+/// The paper clusters rows by distance from the global regression line.
+/// When the latent groups differ in *slope*, those residuals interleave
+/// groups (the paper's acknowledged "cyclic dependency" between clustering
+/// and pattern sharing), so we additionally mine two direct change signals:
+/// the absolute delta and the relative delta of the target attribute. Each
+/// signal yields one candidate labeling; the best-scoring resulting summary
+/// wins for the candidate.
+fn change_signals(ctx: &SearchContext<'_>, global_residuals: &[f64]) -> Vec<Vec<f64>> {
+    let delta: Vec<f64> = ctx
+        .y_target
+        .iter()
+        .zip(ctx.y_source.iter())
+        .map(|(t, s)| t - s)
+        .collect();
+    let rel_delta: Vec<f64> = ctx
+        .y_target
+        .iter()
+        .zip(ctx.y_source.iter())
+        .map(|(t, s)| (t - s) / s.abs().max(1.0))
+        .collect();
+    vec![global_residuals.to_vec(), delta, rel_delta]
+}
+
+/// Fuse two descriptors over the union of their row sets: complementary
+/// pairs vanish; adjacent numeric intervals concatenate. Returns `None`
+/// when not fusable, `Some(None)` when the pair covers everything (drop
+/// both), `Some(Some(d))` for a fused replacement.
+fn fuse_descriptors(
+    a: &crate::condition::Descriptor,
+    b: &crate::condition::Descriptor,
+) -> Option<Option<crate::condition::Descriptor>> {
+    use crate::condition::Descriptor as D;
+    if *b == a.negate() {
+        return Some(None);
+    }
+    if a.attr() != b.attr() {
+        return None;
+    }
+    let attr = a.attr().to_string();
+    // Normalize ordering: try both (a, b) and (b, a).
+    let fused = |x: &D, y: &D| -> Option<Option<D>> {
+        match (x, y) {
+            // `v < m` ∪ `m ≤ v < hi` = `v < hi`
+            (D::LessThan { threshold, .. }, D::InRange { lo, hi, .. }) if threshold == lo => {
+                Some(Some(D::LessThan {
+                    attr: attr.clone(),
+                    threshold: *hi,
+                }))
+            }
+            // `lo ≤ v < m` ∪ `m ≤ v < hi` = `lo ≤ v < hi`
+            (D::InRange { lo, hi, .. }, D::InRange { lo: lo2, hi: hi2, .. }) if hi == lo2 => {
+                Some(Some(D::InRange {
+                    attr: attr.clone(),
+                    lo: *lo,
+                    hi: *hi2,
+                }))
+            }
+            // `lo ≤ v < m` ∪ `v ≥ m` = `v ≥ lo`
+            (D::InRange { lo, hi, .. }, D::AtLeast { threshold, .. }) if hi == threshold => {
+                Some(Some(D::AtLeast {
+                    attr: attr.clone(),
+                    threshold: *lo,
+                }))
+            }
+            _ => None,
+        }
+    };
+    fused(a, b).or_else(|| fused(b, a))
+}
+
+/// If two conditions are identical except for exactly one fusable pair of
+/// descriptors (complementary, like `grade < 24` vs `grade ≥ 24`, or
+/// adjacent intervals), return the condition describing the union of the
+/// two partitions.
+fn merge_conditions(
+    a: &crate::condition::Condition,
+    b: &crate::condition::Condition,
+) -> Option<crate::condition::Condition> {
+    let da = a.descriptors();
+    let db = b.descriptors();
+    if da.len() != db.len() || da.is_empty() {
+        return None;
+    }
+    let mut used = vec![false; db.len()];
+    let mut mismatch: Option<(usize, usize)> = None; // (index in da, index in db)
+    for (i, d) in da.iter().enumerate() {
+        if let Some(pos) = db
+            .iter()
+            .enumerate()
+            .position(|(j, other)| !used[j] && other == d)
+        {
+            used[pos] = true;
+            continue;
+        }
+        if mismatch.is_some() {
+            return None; // more than one mismatching descriptor
+        }
+        mismatch = Some((i, usize::MAX));
+    }
+    let (ai, _) = mismatch?;
+    let bj = used.iter().position(|&u| !u)?;
+    let fused = fuse_descriptors(&da[ai], &db[bj])?;
+    let mut kept: Vec<crate::condition::Descriptor> = db
+        .iter()
+        .enumerate()
+        .filter(|&(j, _)| j != bj)
+        .map(|(_, d)| d.clone())
+        .collect();
+    if let Some(replacement) = fused {
+        kept.push(replacement);
+    }
+    Some(crate::condition::Condition::new(kept))
+}
+
+/// Merge CTs carrying the *same* transformation whose conditions differ by
+/// one complementary descriptor. Tree induction splits every path by the
+/// chosen attribute, so semantically-identical siblings are common
+/// (`POL ∧ grade < 24` and `POL ∧ grade ≥ 24`, both "4% + $1500"); merging
+/// restores the minimal rule list.
+fn merge_equivalent_cts(
+    mut cts: Vec<ConditionalTransformation>,
+    total_rows: usize,
+) -> Vec<ConditionalTransformation> {
+    loop {
+        let mut merged: Option<(usize, usize, crate::condition::Condition)> = None;
+        'outer: for i in 0..cts.len() {
+            for j in (i + 1)..cts.len() {
+                if cts[i].transformation.signature() != cts[j].transformation.signature() {
+                    continue;
+                }
+                if let Some(cond) = merge_conditions(&cts[i].condition, &cts[j].condition) {
+                    merged = Some((i, j, cond));
+                    break 'outer;
+                }
+            }
+        }
+        let Some((i, j, condition)) = merged else {
+            return cts;
+        };
+        let b = cts.remove(j);
+        let a = &mut cts[i];
+        let (na, nb) = (a.rows.len() as f64, b.rows.len() as f64);
+        // Same model on both sides: the union MAE is the weighted mean.
+        let mae = if na + nb > 0.0 {
+            (a.mae * na + b.mae * nb) / (na + nb)
+        } else {
+            0.0
+        };
+        let mut rows = std::mem::take(&mut a.rows);
+        rows.extend(b.rows);
+        rows.sort_unstable();
+        *a = ConditionalTransformation::new(
+            condition,
+            a.transformation.clone(),
+            rows,
+            total_rows,
+            mae,
+        );
+    }
+}
+
+/// Dense labels from a categorical column's values (`None` for numeric,
+/// null-containing, or high-cardinality columns).
+fn categorical_labels(table: &Table, attr: &str) -> Option<Vec<usize>> {
+    let col = table.column_by_name(attr).ok()?;
+    if col.dtype().is_numeric() || col.null_count() > 0 {
+        return None;
+    }
+    let mut ids: HashMap<charles_relation::Value, usize> = HashMap::new();
+    let mut labels = Vec::with_capacity(col.len());
+    for i in 0..col.len() {
+        let next = ids.len();
+        let id = *ids.entry(col.get(i)).or_insert(next);
+        labels.push(id);
+    }
+    if ids.len() < 2 || ids.len() > 24 {
+        return None;
+    }
+    Some(labels)
+}
+
+/// Build conditional transformations from one labeling.
+fn cts_from_labels(
+    ctx: &SearchContext<'_>,
+    candidate: &Candidate,
+    labels: &[usize],
+) -> Result<Vec<ConditionalTransformation>> {
+    let n = ctx.y_target.len();
+    let specs = induce_partitions(ctx.source(), &candidate.cond_attrs, labels, ctx.config)?;
+    let tolerance = ctx.config.change_tolerance;
+    let mut cts = Vec::with_capacity(specs.len());
+    for spec in specs {
+        if spec.rows.is_empty() {
+            continue;
+        }
+        // "No change" partitions get the identity transformation (the
+        // hatched rectangle in the paper's step 10).
+        let unchanged = spec
+            .rows
+            .iter()
+            .all(|&r| (ctx.y_target[r] - ctx.y_source[r]).abs() <= tolerance);
+        let (transformation, mae) = if unchanged {
+            (Transformation::Identity, 0.0)
+        } else {
+            match fit_partition(ctx, &candidate.tran_attrs, &spec.rows) {
+                Some(ft) => ft,
+                None => continue,
+            }
+        };
+        cts.push(ConditionalTransformation::new(
+            spec.condition,
+            transformation,
+            spec.rows,
+            n,
+            mae,
+        ));
+    }
+    Ok(merge_equivalent_cts(cts, n))
+}
+
+/// Evaluate one candidate into a scored summary. Returns `Ok(None)` when
+/// the candidate is infeasible (e.g. not enough rows for the global fit).
+pub fn evaluate_candidate(
+    ctx: &SearchContext<'_>,
+    candidate: &Candidate,
+) -> Result<Option<ChangeSummary>> {
+    let n = ctx.y_target.len();
+    if n == 0 {
+        return Ok(None);
+    }
+    let cols: Vec<Vec<f64>> = ctx
+        .columns_for(&candidate.tran_attrs)
+        .into_iter()
+        .cloned()
+        .collect();
+
+    // Global fit over all rows; its residuals drive partition discovery.
+    let global = match fit_ols(&cols, &ctx.y_target) {
+        Ok(f) => f,
+        Err(_) => return Ok(None),
+    };
+
+    let scoring = ctx.scoring();
+    let mut best: Option<(ChangeSummary, f64)> = None;
+    let mut seen_labelings: Vec<Vec<usize>> = Vec::new();
+    let mut labelings: Vec<Vec<usize>> = Vec::new();
+    for signal in change_signals(ctx, &global.residuals) {
+        labelings.push(cluster_residuals(&signal, candidate.k, ctx.config)?);
+    }
+    // For a single categorical condition attribute, the GROUP-BY-value
+    // partitioning is an obvious candidate in its own right: when the
+    // latent groups' change behaviours overlap in signal space (similar
+    // slopes, wide value ranges), clustering cannot seed them, but a direct
+    // per-value split still recovers them exactly.
+    if let [attr] = candidate.cond_attrs.as_slice() {
+        if let Some(labels) = categorical_labels(ctx.source(), attr) {
+            labelings.push(labels);
+        }
+    }
+    for labels in labelings {
+        if seen_labelings.contains(&labels) {
+            continue; // identical labeling ⇒ identical summary
+        }
+        let cts = cts_from_labels(ctx, candidate, &labels)?;
+        seen_labelings.push(labels);
+        if cts.is_empty() {
+            continue;
+        }
+        let (scores, breakdown) = scoring.score(&cts)?;
+        if best.as_ref().is_none_or(|(_, s)| scores.score > *s) {
+            let score = scores.score;
+            best = Some((
+                ChangeSummary {
+                    cts,
+                    target_attr: ctx.target_attr.to_string(),
+                    condition_attrs: candidate.cond_attrs.clone(),
+                    transform_attrs: candidate.tran_attrs.clone(),
+                    scores,
+                    breakdown,
+                    total_rows: n,
+                },
+                score,
+            ));
+        }
+    }
+    Ok(best.map(|(summary, _)| summary))
+}
+
+/// Evaluate all candidates (in parallel when configured), deduplicate, and
+/// rank by descending score.
+pub fn run_search(
+    ctx: &SearchContext<'_>,
+    candidates: &[Candidate],
+) -> Result<(Vec<ChangeSummary>, SearchStats)> {
+    let threads = ctx.config.effective_threads().min(candidates.len().max(1));
+    let results: Mutex<Vec<ChangeSummary>> = Mutex::new(Vec::new());
+    let next = AtomicUsize::new(0);
+    let first_error: Mutex<Option<CharlesError>> = Mutex::new(None);
+
+    if threads <= 1 {
+        let mut local = Vec::new();
+        for candidate in candidates {
+            if let Some(summary) = evaluate_candidate(ctx, candidate)? {
+                local.push(summary);
+            }
+        }
+        *results.lock() = local;
+    } else {
+        crossbeam::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|_| {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= candidates.len() {
+                            break;
+                        }
+                        match evaluate_candidate(ctx, &candidates[i]) {
+                            Ok(Some(summary)) => local.push(summary),
+                            Ok(None) => {}
+                            Err(e) => {
+                                let mut slot = first_error.lock();
+                                if slot.is_none() {
+                                    *slot = Some(e);
+                                }
+                                break;
+                            }
+                        }
+                    }
+                    results.lock().extend(local);
+                });
+            }
+        })
+        .expect("search worker panicked");
+        if let Some(e) = first_error.into_inner() {
+            return Err(e);
+        }
+    }
+
+    let mut all = results.into_inner();
+    let evaluated = all.len();
+
+    // Deduplicate by structural signature, keeping the best-scoring copy.
+    let mut best: HashMap<String, ChangeSummary> = HashMap::with_capacity(all.len());
+    for summary in all.drain(..) {
+        let sig = summary.signature();
+        match best.get(&sig) {
+            Some(existing) if existing.scores.score >= summary.scores.score => {}
+            _ => {
+                best.insert(sig, summary);
+            }
+        }
+    }
+    let mut ranked: Vec<ChangeSummary> = best.into_values().collect();
+    let distinct = ranked.len();
+    // Tie-breaks below the score: fewer CTs; then autoregressive
+    // transformations (explaining the new value in terms of the target's
+    // *own* previous value reads most naturally: "5% increase on last
+    // year's bonus"); then a stable structural key.
+    let self_referential = |s: &ChangeSummary| -> bool {
+        s.cts
+            .iter()
+            .any(|ct| ct.transformation.attributes().iter().any(|a| a == ctx.target_attr))
+    };
+    ranked.sort_by(|a, b| {
+        b.scores
+            .score
+            .total_cmp(&a.scores.score)
+            .then(a.cts.len().cmp(&b.cts.len()))
+            .then(self_referential(b).cmp(&self_referential(a)))
+            .then_with(|| a.signature().cmp(&b.signature()))
+    });
+    ranked.truncate(ctx.config.max_summaries);
+
+    Ok((
+        ranked,
+        SearchStats {
+            candidates: candidates.len(),
+            evaluated,
+            distinct,
+        },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use charles_relation::{
+        apply_updates, ApplyMode, Expr, Predicate, TableBuilder, UpdateStatement,
+    };
+
+    fn example_pair() -> SnapshotPair {
+        let source = TableBuilder::new("2016")
+            .str_col(
+                "name",
+                &["Anne", "Bob", "Amber", "Allen", "Cathy", "Tom", "James", "Lucy", "Frank"],
+            )
+            .str_col(
+                "edu",
+                &["PhD", "PhD", "MS", "MS", "BS", "MS", "BS", "MS", "PhD"],
+            )
+            .int_col("exp", &[2, 3, 5, 1, 2, 4, 3, 4, 1])
+            .float_col(
+                "bonus",
+                &[
+                    23_000.0, 25_000.0, 16_000.0, 13_000.0, 11_000.0, 15_000.0, 12_000.0,
+                    15_000.0, 21_000.0,
+                ],
+            )
+            .key("name")
+            .build()
+            .unwrap();
+        let policy = [
+            UpdateStatement::new(
+                "bonus",
+                Expr::affine("bonus", 1.05, 1000.0),
+                Predicate::eq("edu", "PhD"),
+            ),
+            UpdateStatement::new(
+                "bonus",
+                Expr::affine("bonus", 1.04, 800.0),
+                Predicate::eq("edu", "MS").and(Predicate::cmp(
+                    "exp",
+                    charles_relation::CmpOp::Ge,
+                    3,
+                )),
+            ),
+            UpdateStatement::new(
+                "bonus",
+                Expr::affine("bonus", 1.03, 400.0),
+                Predicate::eq("edu", "MS").and(Predicate::cmp(
+                    "exp",
+                    charles_relation::CmpOp::Lt,
+                    3,
+                )),
+            ),
+        ];
+        let target = apply_updates(&source, &policy, ApplyMode::FirstMatch)
+            .unwrap()
+            .table;
+        SnapshotPair::align(source, target).unwrap()
+    }
+
+    #[test]
+    fn candidate_generation_shape() {
+        let config = CharlesConfig::default()
+            .with_max_condition_attrs(2)
+            .with_max_transform_attrs(1)
+            .with_k_range(1, 3);
+        let cands = generate_candidates(
+            &["edu".to_string(), "exp".to_string()],
+            &["bonus".to_string()],
+            &config,
+        );
+        // T subsets: {bonus}. Global candidate (C=∅, k=1) + 3 C-subsets × 2
+        // k values (2, 3) = 1 + 6.
+        assert_eq!(cands.len(), 7);
+        assert!(cands.iter().any(|c| c.cond_attrs.is_empty() && c.k == 1));
+        assert!(cands.iter().all(|c| !c.tran_attrs.is_empty()));
+    }
+
+    #[test]
+    fn evaluate_recovers_example_1_with_right_candidate() {
+        let pair = example_pair();
+        let config = CharlesConfig::default();
+        let tran = vec!["bonus".to_string()];
+        let ctx = SearchContext::new(&pair, "bonus", &tran, &config).unwrap();
+        let candidate = Candidate {
+            cond_attrs: vec!["edu".to_string(), "exp".to_string()],
+            tran_attrs: tran.clone(),
+            k: 4,
+        };
+        let summary = evaluate_candidate(&ctx, &candidate).unwrap().unwrap();
+        // Perfect accuracy: the latent rules are exactly linear in bonus.
+        assert!(
+            summary.scores.accuracy > 0.999,
+            "accuracy = {}\n{summary}",
+            summary.scores.accuracy
+        );
+        assert_eq!(summary.cts.len(), 4, "{summary}");
+        // One CT must be the identity over the BS partition.
+        assert!(summary.cts.iter().any(|ct| ct.is_no_change()));
+        // The PhD rule is recovered with round constants.
+        let rendered = summary.to_string();
+        assert!(rendered.contains("1.05"), "{rendered}");
+        assert!(rendered.contains("1000"), "{rendered}");
+    }
+
+    #[test]
+    fn search_ranks_true_summary_first() {
+        let pair = example_pair();
+        let config = CharlesConfig::default();
+        let cond = vec!["edu".to_string(), "exp".to_string()];
+        let tran = vec!["bonus".to_string()];
+        let ctx = SearchContext::new(&pair, "bonus", &tran, &config).unwrap();
+        let candidates = generate_candidates(&cond, &tran, &config);
+        let (ranked, stats) = run_search(&ctx, &candidates).unwrap();
+        assert!(!ranked.is_empty());
+        assert!(stats.evaluated > 0);
+        assert!(stats.distinct <= stats.evaluated);
+        let top = &ranked[0];
+        assert!(
+            top.scores.accuracy > 0.999,
+            "top accuracy = {}",
+            top.scores.accuracy
+        );
+        // Scores descend.
+        for w in ranked.windows(2) {
+            assert!(w[0].scores.score >= w[1].scores.score);
+        }
+    }
+
+    #[test]
+    fn sequential_and_parallel_agree() {
+        let pair = example_pair();
+        let cond = vec!["edu".to_string(), "exp".to_string()];
+        let tran = vec!["bonus".to_string()];
+        let seq_config = CharlesConfig::default().with_threads(1);
+        let par_config = CharlesConfig::default().with_threads(4);
+
+        let ctx_seq = SearchContext::new(&pair, "bonus", &tran, &seq_config).unwrap();
+        let cands = generate_candidates(&cond, &tran, &seq_config);
+        let (seq, _) = run_search(&ctx_seq, &cands).unwrap();
+
+        let ctx_par = SearchContext::new(&pair, "bonus", &tran, &par_config).unwrap();
+        let (par, _) = run_search(&ctx_par, &cands).unwrap();
+
+        let seq_sigs: Vec<String> = seq.iter().map(|s| s.signature()).collect();
+        let par_sigs: Vec<String> = par.iter().map(|s| s.signature()).collect();
+        assert_eq!(seq_sigs, par_sigs);
+    }
+
+    #[test]
+    fn no_change_pair_yields_identity_summary() {
+        let source = TableBuilder::new("s")
+            .str_col("k", &["a", "b", "c", "d"])
+            .float_col("x", &[1.0, 2.0, 3.0, 4.0])
+            .key("k")
+            .build()
+            .unwrap();
+        let pair = SnapshotPair::align(source.clone(), source).unwrap();
+        let config = CharlesConfig::default();
+        let tran = vec!["x".to_string()];
+        let ctx = SearchContext::new(&pair, "x", &tran, &config).unwrap();
+        let cands = generate_candidates(&[], &tran, &config);
+        let (ranked, _) = run_search(&ctx, &cands).unwrap();
+        let top = &ranked[0];
+        assert!((top.scores.accuracy - 1.0).abs() < 1e-12);
+        assert!(top.cts.iter().all(|ct| ct.is_no_change()));
+    }
+}

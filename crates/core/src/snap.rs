@@ -1,0 +1,311 @@
+//! Constant snapping: trading a sliver of accuracy for *normality*.
+//!
+//! Raw OLS coefficients are rarely round ("2.479%"). The paper's normality
+//! desideratum prefers constants a human policy would contain ("5%",
+//! "$1000"). This module greedily replaces each fitted constant with the
+//! roundest nearby candidate whose acceptance keeps the partition's mean
+//! absolute error within a configured budget, re-fitting the remaining free
+//! constants after each acceptance (so a snapped slope can be absorbed by
+//! the intercept, exactly like a human rounding a policy).
+
+use charles_numerics::normality::{roundness, snap_candidates};
+use charles_numerics::ols::{fit_constant, fit_ols, LinearFit};
+
+/// Result of snapping: the (possibly) rounded fit plus bookkeeping.
+#[derive(Debug, Clone)]
+pub struct SnappedFit {
+    /// Final coefficients (same order as the input columns).
+    pub coefficients: Vec<f64>,
+    /// Final intercept.
+    pub intercept: f64,
+    /// Mean absolute error of the snapped model on the partition.
+    pub mae: f64,
+    /// How many constants were changed from their OLS values.
+    pub snapped_count: usize,
+}
+
+fn mae_of(columns: &[Vec<f64>], y: &[f64], coefs: &[f64], intercept: f64) -> f64 {
+    let n = y.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let mut total = 0.0;
+    for i in 0..n {
+        let mut pred = intercept;
+        for (c, col) in coefs.iter().zip(columns.iter()) {
+            pred += c * col[i];
+        }
+        total += (pred - y[i]).abs();
+    }
+    total / n as f64
+}
+
+/// Fit the free (unsnapped) columns against the residual target after
+/// subtracting fixed contributions. Returns (coefficients in full order,
+/// intercept) or `None` if the refit fails.
+fn refit_free(
+    columns: &[Vec<f64>],
+    y: &[f64],
+    fixed: &[Option<f64>],
+) -> Option<(Vec<f64>, f64)> {
+    let n = y.len();
+    let mut residual = y.to_vec();
+    let mut free_idx = Vec::new();
+    for (j, fix) in fixed.iter().enumerate() {
+        match fix {
+            Some(c) => {
+                for i in 0..n {
+                    residual[i] -= c * columns[j][i];
+                }
+            }
+            None => free_idx.push(j),
+        }
+    }
+    if free_idx.is_empty() {
+        let fit = fit_constant(&residual).ok()?;
+        let coefs: Vec<f64> = fixed.iter().map(|f| f.unwrap_or(0.0)).collect();
+        return Some((coefs, fit.intercept));
+    }
+    let free_cols: Vec<Vec<f64>> = free_idx.iter().map(|&j| columns[j].clone()).collect();
+    let fit = fit_ols(&free_cols, &residual).ok()?;
+    let mut coefs: Vec<f64> = fixed.iter().map(|f| f.unwrap_or(0.0)).collect();
+    for (slot, &j) in free_idx.iter().enumerate() {
+        coefs[j] = fit.coefficients[slot];
+    }
+    Some((coefs, fit.intercept))
+}
+
+/// Candidates for a constant, roundest first, distance as tie-break, raw
+/// value guaranteed present. Distances below 1e-9 relative are treated as
+/// zero, and ties prefer the shorter decimal rendering — this is what
+/// canonicalizes a floating-point-dusted `1.0499999999999696` to `1.05`.
+fn ordered_candidates(x: f64) -> Vec<f64> {
+    let mut cands = snap_candidates(x);
+    let quantize = |c: f64| -> f64 {
+        let d = (c - x).abs();
+        if d <= 1e-9 * x.abs().max(1e-300) {
+            0.0
+        } else {
+            d
+        }
+    };
+    cands.sort_by(|a, b| {
+        roundness(*b)
+            .total_cmp(&roundness(*a))
+            .then(quantize(*a).total_cmp(&quantize(*b)))
+            .then(format!("{a}").len().cmp(&format!("{b}").len()))
+    });
+    cands
+}
+
+/// Snap a fitted model's constants.
+///
+/// `tolerance` is relative slack on the base fit's error: the snapped model
+/// may have mean absolute error up to `base_mae × (1 + tolerance)` plus a
+/// small absolute floor (`tolerance × std(y) / 1000`) that lets exact fits
+/// absorb floating-point dust. Anchoring the budget to the *base error*
+/// rather than the data scale is what keeps snapping honest: on exactly
+/// generated data (base error ≈ 0) a genuinely different constant (1.04 →
+/// 1.05) is rejected, while on noisy data the snap may move constants
+/// freely within the noise floor.
+pub fn snap_fit(
+    columns: &[Vec<f64>],
+    y: &[f64],
+    fit: &LinearFit,
+    tolerance: f64,
+) -> SnappedFit {
+    let p = fit.coefficients.len();
+    debug_assert_eq!(columns.len(), p);
+    let scale = charles_numerics::stats::std_dev(y).unwrap_or(1.0);
+    let base_mae = mae_of(columns, y, &fit.coefficients, fit.intercept);
+    let budget = base_mae * (1.0 + tolerance) + tolerance * scale / 1000.0 + 1e-12;
+
+    let mut fixed: Vec<Option<f64>> = vec![None; p];
+    let mut current_coefs = fit.coefficients.clone();
+    let mut current_intercept = fit.intercept;
+    let mut snapped_count = 0;
+
+    // Snap slopes one at a time, largest-magnitude first (they dominate the
+    // rendered transformation).
+    let mut order: Vec<usize> = (0..p).collect();
+    order.sort_by(|&a, &b| {
+        fit.coefficients[b]
+            .abs()
+            .total_cmp(&fit.coefficients[a].abs())
+    });
+    for &j in &order {
+        let raw = current_coefs[j];
+        let mut accepted = false;
+        for cand in ordered_candidates(raw) {
+            if roundness(cand) < roundness(raw) {
+                continue; // never snap to something less round
+            }
+            let mut trial_fixed = fixed.clone();
+            trial_fixed[j] = Some(cand);
+            if let Some((coefs, intercept)) = refit_free(columns, y, &trial_fixed) {
+                let err = mae_of(columns, y, &coefs, intercept);
+                if err <= budget {
+                    if cand != raw {
+                        snapped_count += 1;
+                    }
+                    fixed = trial_fixed;
+                    current_coefs = coefs;
+                    current_intercept = intercept;
+                    accepted = true;
+                    break;
+                }
+            }
+        }
+        if !accepted {
+            fixed[j] = Some(raw);
+        }
+    }
+
+    // Snap the intercept last: all slopes are fixed now, so the candidate
+    // intercept is evaluated directly.
+    let raw_intercept = current_intercept;
+    for cand in ordered_candidates(raw_intercept) {
+        if roundness(cand) < roundness(raw_intercept) {
+            continue;
+        }
+        let err = mae_of(columns, y, &current_coefs, cand);
+        if err <= budget {
+            if cand != raw_intercept {
+                snapped_count += 1;
+            }
+            current_intercept = cand;
+            break;
+        }
+    }
+
+    let mae = mae_of(columns, y, &current_coefs, current_intercept);
+    SnappedFit {
+        coefficients: current_coefs,
+        intercept: current_intercept,
+        mae,
+        snapped_count,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Helper: OLS then snap.
+    fn fit_and_snap(columns: &[Vec<f64>], y: &[f64], tol: f64) -> SnappedFit {
+        let fit = fit_ols(columns, y).unwrap();
+        snap_fit(columns, y, &fit, tol)
+    }
+
+    #[test]
+    fn exact_constants_stay_exact() {
+        // y = 1.05 x + 1000 exactly: snapping must not disturb it.
+        let x: Vec<f64> = vec![23_000.0, 25_000.0, 21_000.0, 16_000.0];
+        let y: Vec<f64> = x.iter().map(|v| 1.05 * v + 1000.0).collect();
+        let s = fit_and_snap(&[x.clone()], &y, 0.02);
+        assert!((s.coefficients[0] - 1.05).abs() < 1e-9, "{:?}", s);
+        assert!((s.intercept - 1000.0).abs() < 1e-6);
+        assert!(s.mae < 1e-6);
+    }
+
+    #[test]
+    fn noisy_constants_snap_to_round_values() {
+        // Data generated by y = 1.05 x + 1000 with small noise: raw OLS
+        // gives ragged constants, snapping should restore the round ones.
+        let x: Vec<f64> = (0..40).map(|i| 10_000.0 + 500.0 * i as f64).collect();
+        let noise = [13.0, -11.0, 7.0, -5.0, 9.0, -13.0, 3.0, -7.0];
+        let y: Vec<f64> = x
+            .iter()
+            .enumerate()
+            .map(|(i, v)| 1.05 * v + 1000.0 + noise[i % noise.len()])
+            .collect();
+        let s = fit_and_snap(&[x], &y, 0.02);
+        assert!(
+            (s.coefficients[0] - 1.05).abs() < 1e-9,
+            "coef = {}",
+            s.coefficients[0]
+        );
+        assert_eq!(s.intercept, 1000.0);
+        assert!(s.snapped_count >= 1);
+    }
+
+    #[test]
+    fn zero_tolerance_only_free_snaps() {
+        let x: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        // y = 1.2340567 x: no round value reproduces it.
+        let y: Vec<f64> = x.iter().map(|v| 1.234_056_7 * v).collect();
+        let s = fit_and_snap(&[x], &y, 0.0);
+        assert!(
+            (s.coefficients[0] - 1.234_056_7).abs() < 1e-7,
+            "coef = {}",
+            s.coefficients[0]
+        );
+    }
+
+    #[test]
+    fn exact_but_different_constants_not_rewritten() {
+        // y = 1.98x + 3 exactly: 2.0 is rounder than 1.98, but the data
+        // says 1.98 — snapping must not rewrite real structure even with a
+        // generous tolerance (the budget anchors on the base error, ≈ 0).
+        let x: Vec<f64> = (0..30).map(|i| 100.0 + i as f64).collect();
+        let y: Vec<f64> = x.iter().map(|v| 1.98 * v + 3.0).collect();
+        let generous = fit_and_snap(&[x.clone()], &y, 0.05);
+        assert!(
+            (generous.coefficients[0] - 1.98).abs() < 1e-9,
+            "{generous:?}"
+        );
+        assert!((generous.intercept - 3.0).abs() < 1e-6);
+        let strict = fit_and_snap(&[x], &y, 1e-6);
+        assert!((strict.coefficients[0] - 1.98).abs() < 1e-9);
+    }
+
+    #[test]
+    fn numerical_dust_canonicalized() {
+        // Coefficients that are 1.05 up to floating-point dust must render
+        // as exactly 1.05 after snapping.
+        let x = vec![23_000.0, 25_000.0, 21_000.0];
+        let y: Vec<f64> = x.iter().map(|v| 1.05 * v + 1000.0).collect();
+        let s = fit_and_snap(&[x], &y, 0.02);
+        assert_eq!(s.coefficients[0], 1.05);
+        assert_eq!(s.intercept, 1000.0);
+    }
+
+    #[test]
+    fn constant_only_model_snaps_intercept() {
+        let y = vec![996.8, 1003.1, 1001.4, 998.7];
+        let fit = fit_constant(&y).unwrap();
+        let s = snap_fit(&[], &y, &fit, 0.02);
+        assert_eq!(s.intercept, 1000.0);
+        assert!(s.coefficients.is_empty());
+    }
+
+    #[test]
+    fn two_predictor_snapping() {
+        // y = 0.1 a + 2 b + 500 exactly.
+        let a: Vec<f64> = (0..25).map(|i| 50_000.0 + 1_000.0 * i as f64).collect();
+        let b: Vec<f64> = (0..25).map(|i| (i % 7) as f64 * 3.0).collect();
+        let y: Vec<f64> = a
+            .iter()
+            .zip(b.iter())
+            .map(|(&x1, &x2)| 0.1 * x1 + 2.0 * x2 + 500.0)
+            .collect();
+        let s = fit_and_snap(&[a, b], &y, 0.01);
+        assert!((s.coefficients[0] - 0.1).abs() < 1e-9);
+        assert!((s.coefficients[1] - 2.0).abs() < 1e-9);
+        assert!((s.intercept - 500.0).abs() < 1e-9);
+        assert!(s.mae < 1e-6);
+    }
+
+    #[test]
+    fn empty_target_is_safe() {
+        let fit = LinearFit {
+            intercept: 1.0,
+            coefficients: vec![],
+            r_squared: 1.0,
+            residuals: vec![],
+            ridge_lambda: 0.0,
+        };
+        let s = snap_fit(&[], &[], &fit, 0.1);
+        assert_eq!(s.mae, 0.0);
+    }
+}

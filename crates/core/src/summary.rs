@@ -1,0 +1,178 @@
+//! Change summaries: sets of conditional transformations with scores.
+
+use crate::ct::ConditionalTransformation;
+use std::fmt;
+
+/// The three scores the paper reports per summary.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Scores {
+    /// Accuracy ∈ [0, 1]: inverse normalized L1 distance between the
+    /// transformed source and the target.
+    pub accuracy: f64,
+    /// Interpretability ∈ [0, 1]: weighted mean of size, simplicity,
+    /// coverage, and normality sub-scores.
+    pub interpretability: f64,
+    /// `α·accuracy + (1−α)·interpretability`.
+    pub score: f64,
+}
+
+/// Breakdown of the interpretability score (reported by the demo UI and
+/// useful for the α-tradeoff experiment).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct InterpretabilityBreakdown {
+    /// Fewer CTs → higher.
+    pub size: f64,
+    /// Fewer descriptors/variables → higher.
+    pub simplicity: f64,
+    /// Fewer, larger partitions → higher.
+    pub coverage: f64,
+    /// Rounder constants → higher.
+    pub normality: f64,
+}
+
+/// A ranked change summary: a set of CTs explaining how the target
+/// attribute evolved, with scores.
+#[derive(Debug, Clone)]
+pub struct ChangeSummary {
+    /// The conditional transformations, in partition order.
+    pub cts: Vec<ConditionalTransformation>,
+    /// Target attribute the summary explains.
+    pub target_attr: String,
+    /// Condition attributes this summary's search used.
+    pub condition_attrs: Vec<String>,
+    /// Transformation attributes this summary's search used.
+    pub transform_attrs: Vec<String>,
+    /// Scores (accuracy / interpretability / combined).
+    pub scores: Scores,
+    /// Interpretability sub-scores.
+    pub breakdown: InterpretabilityBreakdown,
+    /// Number of source rows the engine ran over.
+    pub total_rows: usize,
+}
+
+impl ChangeSummary {
+    /// Number of CTs.
+    pub fn len(&self) -> usize {
+        self.cts.len()
+    }
+
+    /// Whether the summary has no CTs.
+    pub fn is_empty(&self) -> bool {
+        self.cts.is_empty()
+    }
+
+    /// Fraction of rows covered by any CT.
+    pub fn total_coverage(&self) -> f64 {
+        self.cts.iter().map(|ct| ct.coverage).sum()
+    }
+
+    /// Fraction of rows covered by non-identity CTs (changed coverage).
+    pub fn changed_coverage(&self) -> f64 {
+        self.cts
+            .iter()
+            .filter(|ct| !ct.is_no_change())
+            .map(|ct| ct.coverage)
+            .sum()
+    }
+
+    /// Canonical key for deduplication: CT signatures, order-invariant.
+    pub fn signature(&self) -> String {
+        let mut sigs: Vec<String> = self.cts.iter().map(|ct| ct.signature()).collect();
+        sigs.sort();
+        sigs.join(" | ")
+    }
+}
+
+impl fmt::Display for ChangeSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "summary for {:?} — score {:.3} (accuracy {:.3}, interpretability {:.3})",
+            self.target_attr,
+            self.scores.score,
+            self.scores.accuracy,
+            self.scores.interpretability
+        )?;
+        for ct in &self.cts {
+            writeln!(f, "  • {ct}   [{:.1}% of rows]", ct.coverage * 100.0)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::condition::{Condition, Descriptor};
+    use crate::transform::{Term, Transformation};
+    use charles_relation::Value;
+
+    fn summary() -> ChangeSummary {
+        let ct1 = ConditionalTransformation::new(
+            Condition::all().with(Descriptor::Equals {
+                attr: "edu".into(),
+                value: Value::str("PhD"),
+            }),
+            Transformation::linear(
+                "bonus",
+                vec![Term {
+                    attr: "bonus".into(),
+                    coefficient: 1.05,
+                }],
+                1000.0,
+            ),
+            vec![0, 1, 8],
+            9,
+            0.0,
+        );
+        let ct2 = ConditionalTransformation::new(
+            Condition::all().with(Descriptor::Equals {
+                attr: "edu".into(),
+                value: Value::str("BS"),
+            }),
+            Transformation::Identity,
+            vec![4, 6],
+            9,
+            0.0,
+        );
+        ChangeSummary {
+            cts: vec![ct1, ct2],
+            target_attr: "bonus".into(),
+            condition_attrs: vec!["edu".into()],
+            transform_attrs: vec!["bonus".into()],
+            scores: Scores {
+                accuracy: 1.0,
+                interpretability: 0.8,
+                score: 0.9,
+            },
+            breakdown: InterpretabilityBreakdown::default(),
+            total_rows: 9,
+        }
+    }
+
+    #[test]
+    fn coverage_accounting() {
+        let s = summary();
+        assert_eq!(s.len(), 2);
+        assert!(!s.is_empty());
+        assert!((s.total_coverage() - 5.0 / 9.0).abs() < 1e-12);
+        assert!((s.changed_coverage() - 3.0 / 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn signature_order_invariant() {
+        let s = summary();
+        let mut rev = s.clone();
+        rev.cts.reverse();
+        assert_eq!(s.signature(), rev.signature());
+    }
+
+    #[test]
+    fn display_lists_cts_with_coverage() {
+        let text = summary().to_string();
+        assert!(text.contains("score 0.900"));
+        assert!(text.contains("edu = PhD"));
+        assert!(text.contains("no change"));
+        assert!(text.contains("33.3% of rows"));
+    }
+}

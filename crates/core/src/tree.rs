@@ -1,0 +1,307 @@
+//! Linear model trees (paper Figure 2).
+//!
+//! A change summary is naturally displayed as a tree: internal nodes test
+//! descriptors, and each leaf holds the linear model of the partition the
+//! root-to-leaf path defines. This module rebuilds that tree from a flat
+//! summary's conditional transformations and renders it as ASCII art.
+
+use crate::condition::Descriptor;
+use crate::summary::ChangeSummary;
+use crate::transform::Transformation;
+use std::fmt;
+
+/// A node of a linear model tree.
+#[derive(Debug, Clone)]
+pub enum TreeNode {
+    /// Internal split on one descriptor.
+    Split {
+        /// The descriptor tested at this node.
+        descriptor: Descriptor,
+        /// Subtree when the descriptor holds.
+        yes: Box<TreeNode>,
+        /// Subtree when it does not.
+        no: Box<TreeNode>,
+    },
+    /// A partition with its transformation.
+    Leaf {
+        /// The transformation for this partition.
+        transformation: Transformation,
+        /// Fraction of all rows in this partition.
+        coverage: f64,
+    },
+    /// No conditional transformation covers this region (the paper's
+    /// "None" leaf in Figure 2).
+    None,
+}
+
+/// A linear model tree built from a summary.
+#[derive(Debug, Clone)]
+pub struct LinearModelTree {
+    /// Root node.
+    pub root: TreeNode,
+}
+
+/// Work item: remaining descriptors of a CT plus its leaf payload.
+#[derive(Clone)]
+struct Item {
+    path: Vec<Descriptor>,
+    transformation: Transformation,
+    coverage: f64,
+}
+
+fn build(mut items: Vec<Item>) -> TreeNode {
+    if items.is_empty() {
+        return TreeNode::None;
+    }
+    // Items that ran out of descriptors are leaves at this position; any
+    // remaining items are unreachable under disjoint conditions, so the
+    // exhausted one (largest coverage) wins.
+    if let Some(pos) = items.iter().position(|it| it.path.is_empty()) {
+        let exhausted = items.remove(pos);
+        return TreeNode::Leaf {
+            transformation: exhausted.transformation,
+            coverage: exhausted.coverage,
+        };
+    }
+    // Split on the first descriptor of the first item. Items arrive sorted
+    // by descending coverage, so this tests the biggest partition's
+    // condition first (matching the paper's figure) and breaks coverage
+    // ties in favour of the earlier (higher-ranked) CT.
+    let descriptor = items[0].path[0].clone();
+
+    let complement = descriptor.negate();
+    let mut yes_items = Vec::new();
+    let mut no_items = Vec::new();
+    for mut item in items {
+        if let Some(pos) = item.path.iter().position(|d| *d == descriptor) {
+            item.path.remove(pos);
+            yes_items.push(item);
+        } else if let Some(pos) = item.path.iter().position(|d| *d == complement) {
+            // The item's condition contains the split's logical complement
+            // (e.g. `exp < 3` under a split on `exp ≥ 3`): it belongs on
+            // the NO side with that descriptor consumed.
+            item.path.remove(pos);
+            no_items.push(item);
+        } else {
+            no_items.push(item);
+        }
+    }
+    TreeNode::Split {
+        descriptor,
+        yes: Box::new(build(yes_items)),
+        no: Box::new(build(no_items)),
+    }
+}
+
+impl LinearModelTree {
+    /// Build the tree view of a summary.
+    pub fn from_summary(summary: &ChangeSummary) -> Self {
+        let mut items: Vec<Item> = summary
+            .cts
+            .iter()
+            .map(|ct| Item {
+                path: ct.condition.descriptors().to_vec(),
+                transformation: ct.transformation.clone(),
+                coverage: ct.coverage,
+            })
+            .collect();
+        // Stable: larger partitions first so they become shallow leaves.
+        items.sort_by(|a, b| b.coverage.total_cmp(&a.coverage));
+        LinearModelTree { root: build(items) }
+    }
+
+    /// Number of leaves (including `None` leaves).
+    pub fn leaf_count(&self) -> usize {
+        fn count(node: &TreeNode) -> usize {
+            match node {
+                TreeNode::Split { yes, no, .. } => count(yes) + count(no),
+                _ => 1,
+            }
+        }
+        count(&self.root)
+    }
+
+    /// Maximum depth (splits along the deepest path).
+    pub fn depth(&self) -> usize {
+        fn depth(node: &TreeNode) -> usize {
+            match node {
+                TreeNode::Split { yes, no, .. } => 1 + depth(yes).max(depth(no)),
+                _ => 0,
+            }
+        }
+        depth(&self.root)
+    }
+}
+
+fn render(node: &TreeNode, indent: &str, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    match node {
+        TreeNode::Leaf {
+            transformation,
+            coverage,
+        } => {
+            writeln!(f, "{transformation}   [{:.1}% of rows]", coverage * 100.0)
+        }
+        TreeNode::None => writeln!(f, "(none)"),
+        TreeNode::Split {
+            descriptor,
+            yes,
+            no,
+        } => {
+            writeln!(f, "{descriptor}?")?;
+            write!(f, "{indent}├─ yes → ")?;
+            render(yes, &format!("{indent}│        "), f)?;
+            write!(f, "{indent}└─ no  → ")?;
+            render(no, &format!("{indent}         "), f)
+        }
+    }
+}
+
+impl fmt::Display for LinearModelTree {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        render(&self.root, "", f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::condition::Condition;
+    use crate::ct::ConditionalTransformation;
+    use crate::summary::{InterpretabilityBreakdown, Scores};
+    use crate::transform::Term;
+    use charles_relation::Value;
+
+    fn eq(attr: &str, v: &str) -> Descriptor {
+        Descriptor::Equals {
+            attr: attr.into(),
+            value: Value::str(v),
+        }
+    }
+
+    fn lt(attr: &str, t: f64) -> Descriptor {
+        Descriptor::LessThan {
+            attr: attr.into(),
+            threshold: t,
+        }
+    }
+
+    fn linear(coef: f64, add: f64) -> Transformation {
+        Transformation::linear(
+            "bonus",
+            vec![Term {
+                attr: "bonus".into(),
+                coefficient: coef,
+            }],
+            add,
+        )
+    }
+
+    /// The paper's Figure-2 summary: R1 (PhD), R3 (MS, exp<3), R2 (MS,
+    /// exp≥3), and an uncovered BS region.
+    fn figure2_summary() -> ChangeSummary {
+        let cts = vec![
+            ConditionalTransformation::new(
+                Condition::new(vec![eq("edu", "PhD")]),
+                linear(1.05, 1000.0),
+                vec![0, 1, 8],
+                9,
+                0.0,
+            ),
+            ConditionalTransformation::new(
+                Condition::new(vec![eq("edu", "MS"), lt("exp", 3.0)]),
+                linear(1.03, 400.0),
+                vec![3],
+                9,
+                0.0,
+            ),
+            ConditionalTransformation::new(
+                Condition::new(vec![
+                    eq("edu", "MS"),
+                    Descriptor::AtLeast {
+                        attr: "exp".into(),
+                        threshold: 3.0,
+                    },
+                ]),
+                linear(1.04, 800.0),
+                vec![2, 5, 7],
+                9,
+                0.0,
+            ),
+        ];
+        ChangeSummary {
+            cts,
+            target_attr: "bonus".into(),
+            condition_attrs: vec!["edu".into(), "exp".into()],
+            transform_attrs: vec!["bonus".into()],
+            scores: Scores::default(),
+            breakdown: InterpretabilityBreakdown::default(),
+            total_rows: 9,
+        }
+    }
+
+    #[test]
+    fn builds_figure_2_shape() {
+        let tree = LinearModelTree::from_summary(&figure2_summary());
+        // Root splits on edu = PhD (the largest partition's first test).
+        match &tree.root {
+            TreeNode::Split { descriptor, yes, .. } => {
+                assert_eq!(descriptor.to_string(), "edu = PhD");
+                assert!(matches!(**yes, TreeNode::Leaf { .. }));
+            }
+            other => panic!("expected root split, got {other:?}"),
+        }
+        // 3 CT leaves + 1 None region.
+        assert_eq!(tree.leaf_count(), 4);
+        assert!(tree.depth() >= 2);
+    }
+
+    #[test]
+    fn renders_ascii() {
+        let tree = LinearModelTree::from_summary(&figure2_summary());
+        let text = tree.to_string();
+        assert!(text.contains("edu = PhD?"), "{text}");
+        assert!(text.contains("new_bonus = 1.05 × old_bonus + 1000"), "{text}");
+        assert!(text.contains("(none)"), "{text}");
+        assert!(text.contains("yes →"), "{text}");
+        assert!(text.contains("no  →"), "{text}");
+    }
+
+    #[test]
+    fn single_universal_ct_is_single_leaf() {
+        let summary = ChangeSummary {
+            cts: vec![ConditionalTransformation::new(
+                Condition::all(),
+                Transformation::Identity,
+                vec![0, 1],
+                2,
+                0.0,
+            )],
+            target_attr: "x".into(),
+            condition_attrs: vec![],
+            transform_attrs: vec![],
+            scores: Scores::default(),
+            breakdown: InterpretabilityBreakdown::default(),
+            total_rows: 2,
+        };
+        let tree = LinearModelTree::from_summary(&summary);
+        assert!(matches!(tree.root, TreeNode::Leaf { .. }));
+        assert_eq!(tree.depth(), 0);
+        assert_eq!(tree.leaf_count(), 1);
+        assert!(tree.to_string().contains("no change"));
+    }
+
+    #[test]
+    fn empty_summary_is_none() {
+        let summary = ChangeSummary {
+            cts: vec![],
+            target_attr: "x".into(),
+            condition_attrs: vec![],
+            transform_attrs: vec![],
+            scores: Scores::default(),
+            breakdown: InterpretabilityBreakdown::default(),
+            total_rows: 0,
+        };
+        let tree = LinearModelTree::from_summary(&summary);
+        assert!(matches!(tree.root, TreeNode::None));
+    }
+}

@@ -1,0 +1,180 @@
+//! Partition visualization data (paper demo steps 9–10).
+//!
+//! The demo shows each summary as non-overlapping rectangles, one per
+//! partition, sized by coverage, with "no change" partitions hatched.
+//! This module produces that view as structured rows plus an ASCII
+//! rendering for terminal consumers.
+
+use crate::summary::ChangeSummary;
+use std::fmt;
+
+/// One partition rectangle.
+#[derive(Debug, Clone)]
+pub struct VizRect {
+    /// Condition describing the partition.
+    pub condition: String,
+    /// Transformation applied there.
+    pub transformation: String,
+    /// Coverage fraction in [0, 1].
+    pub coverage: f64,
+    /// Rows in the partition.
+    pub rows: usize,
+    /// Mean absolute error of the partition's transformation.
+    pub mae: f64,
+    /// Whether this partition observed no change (rendered hatched).
+    pub no_change: bool,
+}
+
+/// The visualization for one summary.
+#[derive(Debug, Clone)]
+pub struct PartitionViz {
+    /// Rectangles, largest coverage first.
+    pub rects: Vec<VizRect>,
+    /// Fraction of rows not covered by any partition.
+    pub uncovered: f64,
+}
+
+impl PartitionViz {
+    /// Build the visualization from a summary.
+    pub fn from_summary(summary: &ChangeSummary) -> Self {
+        let mut rects: Vec<VizRect> = summary
+            .cts
+            .iter()
+            .map(|ct| VizRect {
+                condition: ct.condition.to_string(),
+                transformation: ct.transformation.to_string(),
+                coverage: ct.coverage,
+                rows: ct.size(),
+                mae: ct.mae,
+                no_change: ct.is_no_change(),
+            })
+            .collect();
+        rects.sort_by(|a, b| b.coverage.total_cmp(&a.coverage));
+        let covered: f64 = rects.iter().map(|r| r.coverage).sum();
+        PartitionViz {
+            rects,
+            uncovered: (1.0 - covered).max(0.0),
+        }
+    }
+}
+
+impl fmt::Display for PartitionViz {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        const WIDTH: usize = 50;
+        for rect in &self.rects {
+            let bar_len = ((rect.coverage * WIDTH as f64).round() as usize).clamp(1, WIDTH);
+            let fill = if rect.no_change { "/" } else { "█" };
+            writeln!(
+                f,
+                "{:<50} |{}{}| {:>5.1}%  {}",
+                truncate(&rect.condition, 50),
+                fill.repeat(bar_len),
+                " ".repeat(WIDTH - bar_len),
+                rect.coverage * 100.0,
+                if rect.no_change {
+                    "no change".to_string()
+                } else {
+                    rect.transformation.clone()
+                }
+            )?;
+        }
+        if self.uncovered > 1e-9 {
+            writeln!(f, "(uncovered: {:.1}% of rows)", self.uncovered * 100.0)?;
+        }
+        Ok(())
+    }
+}
+
+fn truncate(s: &str, max: usize) -> String {
+    if s.chars().count() <= max {
+        s.to_string()
+    } else {
+        let cut: String = s.chars().take(max - 1).collect();
+        format!("{cut}…")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::condition::{Condition, Descriptor};
+    use crate::ct::ConditionalTransformation;
+    use crate::summary::{InterpretabilityBreakdown, Scores};
+    use crate::transform::{Term, Transformation};
+    use charles_relation::Value;
+
+    fn summary() -> ChangeSummary {
+        let phd = ConditionalTransformation::new(
+            Condition::all().with(Descriptor::Equals {
+                attr: "edu".into(),
+                value: Value::str("PhD"),
+            }),
+            Transformation::linear(
+                "bonus",
+                vec![Term {
+                    attr: "bonus".into(),
+                    coefficient: 1.05,
+                }],
+                1000.0,
+            ),
+            vec![0, 1, 8],
+            9,
+            12.5,
+        );
+        let bs = ConditionalTransformation::new(
+            Condition::all().with(Descriptor::Equals {
+                attr: "edu".into(),
+                value: Value::str("BS"),
+            }),
+            Transformation::Identity,
+            vec![4, 6],
+            9,
+            0.0,
+        );
+        ChangeSummary {
+            cts: vec![bs.clone(), phd],
+            target_attr: "bonus".into(),
+            condition_attrs: vec!["edu".into()],
+            transform_attrs: vec!["bonus".into()],
+            scores: Scores::default(),
+            breakdown: InterpretabilityBreakdown::default(),
+            total_rows: 9,
+        }
+    }
+
+    #[test]
+    fn rects_sorted_by_coverage() {
+        let viz = PartitionViz::from_summary(&summary());
+        assert_eq!(viz.rects.len(), 2);
+        assert!(viz.rects[0].coverage >= viz.rects[1].coverage);
+        assert_eq!(viz.rects[0].condition, "edu = PhD");
+        assert!((viz.uncovered - 4.0 / 9.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn no_change_flag_propagates() {
+        let viz = PartitionViz::from_summary(&summary());
+        let bs = viz.rects.iter().find(|r| r.condition == "edu = BS").unwrap();
+        assert!(bs.no_change);
+        assert_eq!(bs.rows, 2);
+    }
+
+    #[test]
+    fn ascii_render_contains_bars_and_hatching() {
+        let viz = PartitionViz::from_summary(&summary());
+        let text = viz.to_string();
+        assert!(text.contains("█"), "{text}");
+        assert!(text.contains("/"), "{text}");
+        assert!(text.contains("33.3%"), "{text}");
+        assert!(text.contains("uncovered"), "{text}");
+    }
+
+    #[test]
+    fn truncate_long_conditions() {
+        assert_eq!(truncate("short", 50), "short");
+        let long = "x".repeat(80);
+        let t = truncate(&long, 50);
+        assert_eq!(t.chars().count(), 50);
+        assert!(t.ends_with('…'));
+    }
+}

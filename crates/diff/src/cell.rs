@@ -1,0 +1,141 @@
+//! Cell-level diffing of aligned snapshots — the *syntactic* change layer
+//! that comparator tools (PostgresCompare, OrpheusDB) expose and that
+//! ChARLES summarizes semantically.
+
+use charles_relation::{SnapshotPair, Value};
+
+/// One changed cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellChange {
+    /// Entity key (or row id for positional alignment).
+    pub key: Value,
+    /// Source row index.
+    pub row: usize,
+    /// Attribute name.
+    pub attr: String,
+    /// Value in the source snapshot.
+    pub old: Value,
+    /// Value in the target snapshot.
+    pub new: Value,
+}
+
+impl CellChange {
+    /// Numeric delta (`new − old`) when both sides are numeric.
+    pub fn delta(&self) -> Option<f64> {
+        Some(self.new.as_f64()? - self.old.as_f64()?)
+    }
+}
+
+impl std::fmt::Display for CellChange {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "[{}] {}: {} → {}",
+            self.key, self.attr, self.old, self.new
+        )
+    }
+}
+
+/// All changed cells between the snapshots, in (row, column) order.
+///
+/// `Null → Null` is not a change; any other pair differing under semantic
+/// equality is.
+pub fn diff_cells(pair: &SnapshotPair) -> charles_relation::Result<Vec<CellChange>> {
+    let source = pair.source();
+    let target = pair.target();
+    let mut out = Vec::new();
+    for row in source.row_ids() {
+        let trow = pair.target_row(row);
+        for (col_idx, field) in source.schema().fields().iter().enumerate() {
+            let old = source.column(col_idx)?.get(row);
+            let new = target.column(col_idx)?.get(trow);
+            let both_null = old.is_null() && new.is_null();
+            if !both_null && !old.sem_eq(&new) {
+                out.push(CellChange {
+                    key: pair.key_of(row)?,
+                    row,
+                    attr: field.name().to_string(),
+                    old,
+                    new,
+                });
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Changed cells restricted to one attribute.
+pub fn diff_attr(pair: &SnapshotPair, attr: &str) -> charles_relation::Result<Vec<CellChange>> {
+    // Validate the attribute early for a clear error.
+    pair.source().schema().index_of(attr)?;
+    Ok(diff_cells(pair)?
+        .into_iter()
+        .filter(|c| c.attr == attr)
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use charles_relation::TableBuilder;
+
+    fn pair() -> SnapshotPair {
+        let s = TableBuilder::new("s")
+            .str_col("k", &["a", "b", "c"])
+            .float_col("x", &[1.0, 2.0, 3.0])
+            .str_col("tag", &["p", "q", "r"])
+            .key("k")
+            .build()
+            .unwrap();
+        let t = TableBuilder::new("t")
+            .str_col("k", &["c", "a", "b"]) // shuffled
+            .float_col("x", &[3.5, 1.0, 2.0])
+            .str_col("tag", &["r", "P", "q"])
+            .key("k")
+            .build()
+            .unwrap();
+        SnapshotPair::align(s, t).unwrap()
+    }
+
+    #[test]
+    fn detects_changes_across_shuffled_rows() {
+        let changes = diff_cells(&pair()).unwrap();
+        assert_eq!(changes.len(), 2);
+        // Anne's tag p→P, Cathy's x 3.0→3.5 (keys a and c).
+        let keys: Vec<String> = changes.iter().map(|c| c.key.to_string()).collect();
+        assert!(keys.contains(&"a".to_string()));
+        assert!(keys.contains(&"c".to_string()));
+    }
+
+    #[test]
+    fn delta_for_numeric_changes() {
+        let changes = diff_attr(&pair(), "x").unwrap();
+        assert_eq!(changes.len(), 1);
+        assert_eq!(changes[0].delta(), Some(0.5));
+        let tag_changes = diff_attr(&pair(), "tag").unwrap();
+        assert_eq!(tag_changes[0].delta(), None);
+    }
+
+    #[test]
+    fn unknown_attribute_errors() {
+        assert!(diff_attr(&pair(), "zzz").is_err());
+    }
+
+    #[test]
+    fn identical_snapshots_no_changes() {
+        let s = TableBuilder::new("s")
+            .str_col("k", &["a"])
+            .float_col("x", &[1.0])
+            .key("k")
+            .build()
+            .unwrap();
+        let p = SnapshotPair::align(s.clone(), s).unwrap();
+        assert!(diff_cells(&p).unwrap().is_empty());
+    }
+
+    #[test]
+    fn display_renders() {
+        let changes = diff_attr(&pair(), "x").unwrap();
+        assert_eq!(changes[0].to_string(), "[c] x: 3.0 → 3.5");
+    }
+}

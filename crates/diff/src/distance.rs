@@ -1,0 +1,135 @@
+//! Update distance between two database versions (Müller, Freytag, Leser,
+//! CIKM 2006): the minimal number of insert, delete, and modification
+//! operations transforming one into the other.
+//!
+//! Unlike [`crate::cell::diff_cells`], this works on *unaligned* tables:
+//! entities present on only one side count as inserts/deletes, and shared
+//! entities contribute one modification per differing cell.
+
+use charles_relation::{KeyIndex, RelationError, Table};
+
+/// The decomposed update distance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct UpdateDistance {
+    /// Rows present only in the target (insertions).
+    pub inserts: usize,
+    /// Rows present only in the source (deletions).
+    pub deletes: usize,
+    /// Differing cells among shared rows (modifications).
+    pub modifications: usize,
+}
+
+impl UpdateDistance {
+    /// Total operation count (the distance itself).
+    pub fn total(&self) -> usize {
+        self.inserts + self.deletes + self.modifications
+    }
+}
+
+/// Compute the update distance between two tables keyed by `key_attr`.
+/// Schemas must match.
+pub fn update_distance(
+    source: &Table,
+    target: &Table,
+    key_attr: &str,
+) -> Result<UpdateDistance, RelationError> {
+    source.schema().ensure_same(target.schema())?;
+    let src_idx = KeyIndex::build(source, key_attr)?;
+    let tgt_idx = KeyIndex::build(target, key_attr)?;
+
+    let deletes = src_idx.keys_missing_from(&tgt_idx).len();
+    let inserts = tgt_idx.keys_missing_from(&src_idx).len();
+
+    let mut modifications = 0;
+    let key_col = source.column_by_name(key_attr)?;
+    for row in source.row_ids() {
+        let key = key_col.get(row);
+        let Some(trow) = tgt_idx.get(&key) else {
+            continue;
+        };
+        for col_idx in 0..source.width() {
+            let old = source.column(col_idx)?.get(row);
+            let new = target.column(col_idx)?.get(trow);
+            let both_null = old.is_null() && new.is_null();
+            if !both_null && !old.sem_eq(&new) {
+                modifications += 1;
+            }
+        }
+    }
+    Ok(UpdateDistance {
+        inserts,
+        deletes,
+        modifications,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use charles_relation::TableBuilder;
+
+    fn t(keys: &[&str], xs: &[f64]) -> Table {
+        TableBuilder::new("t")
+            .str_col("k", keys)
+            .float_col("x", xs)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn pure_modifications() {
+        let d = update_distance(
+            &t(&["a", "b"], &[1.0, 2.0]),
+            &t(&["a", "b"], &[1.5, 2.0]),
+            "k",
+        )
+        .unwrap();
+        assert_eq!(d, UpdateDistance { inserts: 0, deletes: 0, modifications: 1 });
+        assert_eq!(d.total(), 1);
+    }
+
+    #[test]
+    fn inserts_and_deletes() {
+        let d = update_distance(
+            &t(&["a", "b"], &[1.0, 2.0]),
+            &t(&["b", "c", "d"], &[2.0, 9.0, 8.0]),
+            "k",
+        )
+        .unwrap();
+        assert_eq!(d.inserts, 2); // c, d
+        assert_eq!(d.deletes, 1); // a
+        assert_eq!(d.modifications, 0);
+        assert_eq!(d.total(), 3);
+    }
+
+    #[test]
+    fn mixed_operations() {
+        let d = update_distance(
+            &t(&["a", "b", "c"], &[1.0, 2.0, 3.0]),
+            &t(&["b", "c", "x"], &[2.5, 3.0, 0.0]),
+            "k",
+        )
+        .unwrap();
+        assert_eq!(d.inserts, 1);
+        assert_eq!(d.deletes, 1);
+        assert_eq!(d.modifications, 1); // b's x changed
+        assert_eq!(d.total(), 3);
+    }
+
+    #[test]
+    fn identical_tables_zero() {
+        let a = t(&["a", "b"], &[1.0, 2.0]);
+        assert_eq!(update_distance(&a, &a, "k").unwrap().total(), 0);
+    }
+
+    #[test]
+    fn schema_mismatch_rejected() {
+        let a = t(&["a"], &[1.0]);
+        let b = TableBuilder::new("b")
+            .str_col("k", &["a"])
+            .int_col("x", &[1])
+            .build()
+            .unwrap();
+        assert!(update_distance(&a, &b, "k").is_err());
+    }
+}

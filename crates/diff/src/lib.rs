@@ -1,0 +1,30 @@
+//! # charles-diff
+//!
+//! The *syntactic* change layer under ChARLES plus the baseline explainers
+//! it is compared against:
+//!
+//! - [`diff_cells`] / [`diff_attr`] — cell-level diffs of aligned
+//!   snapshots (what comparator tools like PostgresCompare surface);
+//! - [`change_stats`] — aggregate change statistics per attribute;
+//! - [`update_distance`] — Müller et al.'s minimal
+//!   insert/delete/modification distance between unaligned versions;
+//! - [`baseline`] — explainers from the paper's related-work framing
+//!   (exhaustive list, single global regression, the "R4" flat-ratio
+//!   description, flat delta, no-change), all scored with the ChARLES
+//!   score function so experiment E7 can compare them directly.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod baseline;
+pub mod cell;
+pub mod distance;
+pub mod stats;
+
+pub use baseline::{
+    all_baselines, exhaustive_list_baseline, flat_delta_baseline, flat_ratio_baseline,
+    global_regression_baseline, no_change_baseline, BaselineReport,
+};
+pub use cell::{diff_attr, diff_cells, CellChange};
+pub use distance::{update_distance, UpdateDistance};
+pub use stats::{change_stats, stats_from_changes, AttrChangeStats, ChangeStats};

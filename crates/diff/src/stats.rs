@@ -1,0 +1,148 @@
+//! Aggregate change statistics over a snapshot pair.
+
+use crate::cell::{diff_cells, CellChange};
+use charles_relation::SnapshotPair;
+use std::collections::BTreeMap;
+
+/// Per-attribute change statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttrChangeStats {
+    /// Number of changed cells in this attribute.
+    pub count: usize,
+    /// Mean numeric delta (`None` for non-numeric attributes).
+    pub mean_delta: Option<f64>,
+    /// Mean absolute numeric delta.
+    pub mean_abs_delta: Option<f64>,
+    /// Extremes of the numeric delta.
+    pub min_delta: Option<f64>,
+    /// Maximum numeric delta.
+    pub max_delta: Option<f64>,
+}
+
+/// Whole-pair change statistics.
+#[derive(Debug, Clone, Default)]
+pub struct ChangeStats {
+    /// Total rows in the pair.
+    pub rows: usize,
+    /// Rows with at least one changed cell.
+    pub rows_changed: usize,
+    /// Total changed cells.
+    pub cells_changed: usize,
+    /// Per-attribute breakdown (sorted by attribute name).
+    pub per_attr: BTreeMap<String, AttrChangeStats>,
+}
+
+impl ChangeStats {
+    /// Fraction of rows with any change.
+    pub fn change_rate(&self) -> f64 {
+        if self.rows == 0 {
+            0.0
+        } else {
+            self.rows_changed as f64 / self.rows as f64
+        }
+    }
+}
+
+/// Compute statistics from a pre-computed change list.
+pub fn stats_from_changes(pair: &SnapshotPair, changes: &[CellChange]) -> ChangeStats {
+    let mut per_attr: BTreeMap<String, Vec<Option<f64>>> = BTreeMap::new();
+    let mut rows_with_change: std::collections::HashSet<usize> = std::collections::HashSet::new();
+    for c in changes {
+        per_attr.entry(c.attr.clone()).or_default().push(c.delta());
+        rows_with_change.insert(c.row);
+    }
+    let per_attr = per_attr
+        .into_iter()
+        .map(|(attr, deltas)| {
+            let numeric: Vec<f64> = deltas.iter().filter_map(|d| *d).collect();
+            let stats = if numeric.is_empty() {
+                AttrChangeStats {
+                    count: deltas.len(),
+                    mean_delta: None,
+                    mean_abs_delta: None,
+                    min_delta: None,
+                    max_delta: None,
+                }
+            } else {
+                let n = numeric.len() as f64;
+                AttrChangeStats {
+                    count: deltas.len(),
+                    mean_delta: Some(numeric.iter().sum::<f64>() / n),
+                    mean_abs_delta: Some(numeric.iter().map(|d| d.abs()).sum::<f64>() / n),
+                    min_delta: numeric.iter().copied().reduce(f64::min),
+                    max_delta: numeric.iter().copied().reduce(f64::max),
+                }
+            };
+            (attr, stats)
+        })
+        .collect();
+    ChangeStats {
+        rows: pair.len(),
+        rows_changed: rows_with_change.len(),
+        cells_changed: changes.len(),
+        per_attr,
+    }
+}
+
+/// Diff and summarize in one call.
+pub fn change_stats(pair: &SnapshotPair) -> charles_relation::Result<ChangeStats> {
+    let changes = diff_cells(pair)?;
+    Ok(stats_from_changes(pair, &changes))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use charles_relation::TableBuilder;
+
+    fn pair() -> SnapshotPair {
+        let s = TableBuilder::new("s")
+            .str_col("k", &["a", "b", "c", "d"])
+            .float_col("x", &[10.0, 20.0, 30.0, 40.0])
+            .str_col("tag", &["p", "q", "r", "s"])
+            .key("k")
+            .build()
+            .unwrap();
+        let t = TableBuilder::new("t")
+            .str_col("k", &["a", "b", "c", "d"])
+            .float_col("x", &[11.0, 20.0, 27.0, 40.0])
+            .str_col("tag", &["p", "Q", "r", "s"])
+            .key("k")
+            .build()
+            .unwrap();
+        SnapshotPair::align(s, t).unwrap()
+    }
+
+    #[test]
+    fn aggregates_per_attribute() {
+        let stats = change_stats(&pair()).unwrap();
+        assert_eq!(stats.rows, 4);
+        assert_eq!(stats.rows_changed, 3);
+        assert_eq!(stats.cells_changed, 3);
+        assert_eq!(stats.change_rate(), 0.75);
+        let x = &stats.per_attr["x"];
+        assert_eq!(x.count, 2);
+        assert_eq!(x.mean_delta, Some(-1.0)); // (+1 - 3) / 2
+        assert_eq!(x.mean_abs_delta, Some(2.0));
+        assert_eq!(x.min_delta, Some(-3.0));
+        assert_eq!(x.max_delta, Some(1.0));
+        let tag = &stats.per_attr["tag"];
+        assert_eq!(tag.count, 1);
+        assert_eq!(tag.mean_delta, None);
+    }
+
+    #[test]
+    fn empty_pair() {
+        let s = TableBuilder::new("s")
+            .str_col("k", &["a"])
+            .float_col("x", &[1.0])
+            .key("k")
+            .build()
+            .unwrap();
+        let p = SnapshotPair::align(s.clone(), s).unwrap();
+        let stats = change_stats(&p).unwrap();
+        assert_eq!(stats.cells_changed, 0);
+        assert_eq!(stats.change_rate(), 0.0);
+        assert!(stats.per_attr.is_empty());
+    }
+}

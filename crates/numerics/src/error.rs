@@ -1,0 +1,60 @@
+//! Error types for numeric routines.
+
+use std::fmt;
+
+/// Errors produced by linear algebra and statistics routines.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NumericsError {
+    /// Matrix/vector dimensions are incompatible for the operation.
+    DimensionMismatch {
+        /// Description of the expected shape.
+        expected: String,
+        /// Description of the offending shape.
+        found: String,
+    },
+    /// A linear system was singular (or numerically so) and could not be
+    /// solved even with regularization.
+    Singular(String),
+    /// An operation needs more data points than were provided.
+    InsufficientData {
+        /// Minimum number of observations required.
+        needed: usize,
+        /// Number of observations provided.
+        got: usize,
+    },
+    /// Generic invalid-argument error.
+    InvalidArgument(String),
+}
+
+impl fmt::Display for NumericsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NumericsError::DimensionMismatch { expected, found } => {
+                write!(f, "dimension mismatch: expected {expected}, found {found}")
+            }
+            NumericsError::Singular(msg) => write!(f, "singular system: {msg}"),
+            NumericsError::InsufficientData { needed, got } => {
+                write!(f, "insufficient data: needed {needed} observations, got {got}")
+            }
+            NumericsError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for NumericsError {}
+
+/// Convenience result alias for the numerics crate.
+pub type Result<T> = std::result::Result<T, NumericsError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = NumericsError::InsufficientData { needed: 3, got: 1 };
+        assert!(e.to_string().contains("needed 3"));
+        let e = NumericsError::Singular("rank deficient".into());
+        assert!(e.to_string().contains("rank deficient"));
+    }
+}

@@ -1,0 +1,42 @@
+//! # charles-numerics
+//!
+//! Linear algebra and statistics substrate for
+//! [ChARLES](https://arxiv.org/abs/2409.18386): dense matrices, least
+//! squares (with ridge fallback), descriptive statistics, the correlation
+//! measures behind the setup assistant, and the constant-*normality*
+//! machinery behind interpretable transformation coefficients.
+//!
+//! Everything here is dependency-free and sized for ChARLES's workloads:
+//! regressions with a handful of predictors over 10²–10⁵ rows.
+//!
+//! ## Example: recovering the paper's rule R1
+//!
+//! ```
+//! use charles_numerics::ols::fit_ols;
+//!
+//! // bonus2017 = 1.05 × bonus2016 + 1000 (paper Example 1, rule R1)
+//! let bonus2016 = vec![23_000.0, 25_000.0, 21_000.0];
+//! let bonus2017: Vec<f64> = bonus2016.iter().map(|b| 1.05 * b + 1000.0).collect();
+//! let fit = fit_ols(&[bonus2016], &bonus2017).unwrap();
+//! assert!((fit.coefficients[0] - 1.05).abs() < 1e-9);
+//! assert!((fit.intercept - 1000.0).abs() < 1e-4);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod corr;
+pub mod error;
+pub mod matrix;
+pub mod normality;
+pub mod ols;
+pub mod solve;
+pub mod stats;
+
+pub use corr::{correlation_ratio, pearson, spearman};
+pub use error::{NumericsError, Result};
+pub use matrix::Matrix;
+pub use normality::{mean_roundness, roundness, snap_candidates};
+pub use ols::{fit_constant, fit_ols, r_squared, LinearFit};
+pub use solve::{solve_cholesky, solve_gaussian};
+pub use stats::{mad, mean, mean_abs_diff, median, quantile, ranks, std_dev, variance};

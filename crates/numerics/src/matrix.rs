@@ -1,0 +1,313 @@
+//! Dense row-major matrices — just enough linear algebra for least squares.
+
+use crate::error::{NumericsError, Result};
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// A dense, row-major `f64` matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// A `rows × cols` matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// The `n × n` identity.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Build from row-major data.
+    pub fn from_rows(rows: usize, cols: usize, data: Vec<f64>) -> Result<Self> {
+        if data.len() != rows * cols {
+            return Err(NumericsError::DimensionMismatch {
+                expected: format!("{rows}×{cols} = {} elements", rows * cols),
+                found: format!("{} elements", data.len()),
+            });
+        }
+        Ok(Matrix { rows, cols, data })
+    }
+
+    /// Build from a slice of row vectors (must be rectangular).
+    pub fn from_row_slices(rows: &[Vec<f64>]) -> Result<Self> {
+        let nrows = rows.len();
+        let ncols = rows.first().map_or(0, Vec::len);
+        let mut data = Vec::with_capacity(nrows * ncols);
+        for r in rows {
+            if r.len() != ncols {
+                return Err(NumericsError::DimensionMismatch {
+                    expected: format!("{ncols} columns"),
+                    found: format!("{} columns", r.len()),
+                });
+            }
+            data.extend_from_slice(r);
+        }
+        Ok(Matrix {
+            rows: nrows,
+            cols: ncols,
+            data,
+        })
+    }
+
+    /// Build a design matrix from column vectors, optionally prepending an
+    /// all-ones intercept column.
+    pub fn design(columns: &[Vec<f64>], intercept: bool) -> Result<Self> {
+        let n = columns.first().map_or(0, Vec::len);
+        for c in columns {
+            if c.len() != n {
+                return Err(NumericsError::DimensionMismatch {
+                    expected: format!("{n} rows"),
+                    found: format!("{} rows", c.len()),
+                });
+            }
+        }
+        let extra = usize::from(intercept);
+        let mut m = Matrix::zeros(n, columns.len() + extra);
+        for i in 0..n {
+            if intercept {
+                m[(i, 0)] = 1.0;
+            }
+            for (j, col) in columns.iter().enumerate() {
+                m[(i, j + extra)] = col[i];
+            }
+        }
+        Ok(m)
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// One row as a slice.
+    pub fn row(&self, r: usize) -> &[f64] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut t = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                t[(j, i)] = self[(i, j)];
+            }
+        }
+        t
+    }
+
+    /// Matrix product `self × other`.
+    pub fn matmul(&self, other: &Matrix) -> Result<Matrix> {
+        if self.cols != other.rows {
+            return Err(NumericsError::DimensionMismatch {
+                expected: format!("{} rows on rhs", self.cols),
+                found: format!("{} rows", other.rows),
+            });
+        }
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        // i-k-j loop order: streams through `other` row-wise for locality.
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(i, k)];
+                if a == 0.0 {
+                    continue;
+                }
+                let orow = other.row(k);
+                let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
+                for (o, &b) in out_row.iter_mut().zip(orow.iter()) {
+                    *o += a * b;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Matrix–vector product.
+    pub fn matvec(&self, v: &[f64]) -> Result<Vec<f64>> {
+        if self.cols != v.len() {
+            return Err(NumericsError::DimensionMismatch {
+                expected: format!("vector of length {}", self.cols),
+                found: format!("length {}", v.len()),
+            });
+        }
+        Ok((0..self.rows)
+            .map(|i| {
+                self.row(i)
+                    .iter()
+                    .zip(v.iter())
+                    .map(|(&a, &b)| a * b)
+                    .sum()
+            })
+            .collect())
+    }
+
+    /// Gram matrix `Aᵀ A` computed without materializing the transpose.
+    pub fn gram(&self) -> Matrix {
+        let mut g = Matrix::zeros(self.cols, self.cols);
+        for r in 0..self.rows {
+            let row = self.row(r);
+            for i in 0..self.cols {
+                let a = row[i];
+                if a == 0.0 {
+                    continue;
+                }
+                for j in i..self.cols {
+                    g[(i, j)] += a * row[j];
+                }
+            }
+        }
+        // Mirror the upper triangle.
+        for i in 0..self.cols {
+            for j in 0..i {
+                g[(i, j)] = g[(j, i)];
+            }
+        }
+        g
+    }
+
+    /// `Aᵀ y` without materializing the transpose.
+    pub fn t_matvec(&self, y: &[f64]) -> Result<Vec<f64>> {
+        if self.rows != y.len() {
+            return Err(NumericsError::DimensionMismatch {
+                expected: format!("vector of length {}", self.rows),
+                found: format!("length {}", y.len()),
+            });
+        }
+        let mut out = vec![0.0; self.cols];
+        for (r, &yr) in y.iter().enumerate() {
+            if yr == 0.0 {
+                continue;
+            }
+            for (o, &a) in out.iter_mut().zip(self.row(r).iter()) {
+                *o += a * yr;
+            }
+        }
+        Ok(out)
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    fn index(&self, (r, c): (usize, usize)) -> &f64 {
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+impl fmt::Display for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in 0..self.rows {
+            write!(f, "[")?;
+            for j in 0..self.cols {
+                if j > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{:.6}", self[(i, j)])?;
+            }
+            writeln!(f, "]")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_indexing() {
+        let m = Matrix::from_rows(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.cols(), 3);
+        assert_eq!(m[(1, 2)], 6.0);
+        assert_eq!(m.row(0), &[1.0, 2.0, 3.0]);
+        assert!(Matrix::from_rows(2, 2, vec![1.0]).is_err());
+    }
+
+    #[test]
+    fn identity_and_matmul() {
+        let m = Matrix::from_rows(2, 2, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let i = Matrix::identity(2);
+        assert_eq!(m.matmul(&i).unwrap(), m);
+        let sq = m.matmul(&m).unwrap();
+        assert_eq!(sq, Matrix::from_rows(2, 2, vec![7.0, 10.0, 15.0, 22.0]).unwrap());
+    }
+
+    #[test]
+    fn matmul_dimension_check() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        assert!(a.matmul(&b).is_err());
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let m = Matrix::from_rows(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        let t = m.transpose();
+        assert_eq!(t.rows(), 3);
+        assert_eq!(t[(2, 1)], 6.0);
+        assert_eq!(t.transpose(), m);
+    }
+
+    #[test]
+    fn matvec() {
+        let m = Matrix::from_rows(2, 2, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(m.matvec(&[1.0, 1.0]).unwrap(), vec![3.0, 7.0]);
+        assert!(m.matvec(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn gram_equals_explicit_transpose_product() {
+        let m = Matrix::from_rows(3, 2, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        let explicit = m.transpose().matmul(&m).unwrap();
+        assert_eq!(m.gram(), explicit);
+    }
+
+    #[test]
+    fn t_matvec_equals_explicit() {
+        let m = Matrix::from_rows(3, 2, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        let y = vec![1.0, -1.0, 2.0];
+        let explicit = m.transpose().matvec(&y).unwrap();
+        assert_eq!(m.t_matvec(&y).unwrap(), explicit);
+    }
+
+    #[test]
+    fn design_matrix_with_intercept() {
+        let x1 = vec![1.0, 2.0];
+        let x2 = vec![10.0, 20.0];
+        let d = Matrix::design(&[x1, x2], true).unwrap();
+        assert_eq!(d.rows(), 2);
+        assert_eq!(d.cols(), 3);
+        assert_eq!(d.row(1), &[1.0, 2.0, 20.0]);
+        let d0 = Matrix::design(&[vec![1.0], vec![2.0]], false).unwrap();
+        assert_eq!(d0.row(0), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn design_rejects_ragged() {
+        assert!(Matrix::design(&[vec![1.0, 2.0], vec![1.0]], true).is_err());
+    }
+}

@@ -1,0 +1,338 @@
+//! Ordinary least squares — the workhorse of ChARLES transformation
+//! discovery.
+//!
+//! Fits `y ≈ β₀ + β₁x₁ + … + βₚxₚ` by solving the normal equations with
+//! Cholesky; if the Gram matrix is (near-)singular — common on tiny
+//! partitions or collinear predictors — retries with ridge regularization,
+//! escalating λ until the system solves.
+
+use crate::error::{NumericsError, Result};
+use crate::matrix::Matrix;
+use crate::solve::solve_cholesky;
+
+/// A fitted linear model `y = intercept + Σ coef[i]·x[i]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinearFit {
+    /// Intercept term β₀.
+    pub intercept: f64,
+    /// Slope coefficients β₁..βₚ, one per predictor column.
+    pub coefficients: Vec<f64>,
+    /// Coefficient of determination on the training data (1 = perfect;
+    /// may be negative for pathological fits on ridge fallback).
+    pub r_squared: f64,
+    /// Training residuals `y_i − ŷ_i` in input order.
+    pub residuals: Vec<f64>,
+    /// Ridge λ that was needed (0.0 = plain OLS succeeded).
+    pub ridge_lambda: f64,
+}
+
+impl LinearFit {
+    /// Predict for one observation (`x.len()` must equal predictor count).
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        self.intercept
+            + self
+                .coefficients
+                .iter()
+                .zip(x.iter())
+                .map(|(&c, &v)| c * v)
+                .sum::<f64>()
+    }
+
+    /// Predict for columns of predictor data.
+    pub fn predict_columns(&self, columns: &[Vec<f64>]) -> Result<Vec<f64>> {
+        if columns.len() != self.coefficients.len() {
+            return Err(NumericsError::DimensionMismatch {
+                expected: format!("{} predictor columns", self.coefficients.len()),
+                found: format!("{}", columns.len()),
+            });
+        }
+        let n = columns.first().map_or(0, Vec::len);
+        let mut out = vec![self.intercept; n];
+        for (c, col) in self.coefficients.iter().zip(columns.iter()) {
+            if col.len() != n {
+                return Err(NumericsError::DimensionMismatch {
+                    expected: format!("{n} rows"),
+                    found: format!("{} rows", col.len()),
+                });
+            }
+            for (o, &v) in out.iter_mut().zip(col.iter()) {
+                *o += c * v;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Mean absolute residual (L1 error / n) on training data.
+    pub fn mean_abs_error(&self) -> f64 {
+        if self.residuals.is_empty() {
+            return 0.0;
+        }
+        self.residuals.iter().map(|r| r.abs()).sum::<f64>() / self.residuals.len() as f64
+    }
+
+    /// Maximum absolute residual on training data.
+    pub fn max_abs_error(&self) -> f64 {
+        self.residuals.iter().fold(0.0, |m, r| m.max(r.abs()))
+    }
+}
+
+/// Compute R² of predictions against observations.
+pub fn r_squared(y: &[f64], y_hat: &[f64]) -> f64 {
+    let n = y.len();
+    if n == 0 {
+        return 1.0;
+    }
+    let mean = y.iter().sum::<f64>() / n as f64;
+    let ss_tot: f64 = y.iter().map(|v| (v - mean).powi(2)).sum();
+    let ss_res: f64 = y
+        .iter()
+        .zip(y_hat.iter())
+        .map(|(a, b)| (a - b).powi(2))
+        .sum();
+    if ss_tot == 0.0 {
+        // Constant target: perfect iff we predict the constant.
+        return if ss_res < 1e-18 { 1.0 } else { 0.0 };
+    }
+    1.0 - ss_res / ss_tot
+}
+
+/// Escalating ridge penalties tried after plain OLS fails.
+const RIDGE_LADDER: [f64; 4] = [1e-8, 1e-4, 1e-1, 1.0];
+
+/// Fit `y` on predictor columns with an intercept.
+///
+/// Requires at least `p + 1` observations for `p` predictors (otherwise the
+/// system is underdetermined even with the intercept).
+pub fn fit_ols(columns: &[Vec<f64>], y: &[f64]) -> Result<LinearFit> {
+    let n = y.len();
+    let p = columns.len();
+    for c in columns {
+        if c.len() != n {
+            return Err(NumericsError::DimensionMismatch {
+                expected: format!("{n} rows"),
+                found: format!("{} rows", c.len()),
+            });
+        }
+    }
+    if n < p + 1 {
+        return Err(NumericsError::InsufficientData { needed: p + 1, got: n });
+    }
+    if y.iter().any(|v| !v.is_finite())
+        || columns.iter().flatten().any(|v| !v.is_finite())
+    {
+        return Err(NumericsError::InvalidArgument(
+            "non-finite value in regression input".to_string(),
+        ));
+    }
+
+    // Scale columns to unit max-abs for conditioning; fold scales back into
+    // the returned coefficients. (Salary-scale predictors otherwise push
+    // the Gram matrix towards singularity in f64.)
+    let mut scaled: Vec<Vec<f64>> = Vec::with_capacity(p);
+    let mut scales = Vec::with_capacity(p);
+    for c in columns {
+        let max_abs = c.iter().fold(0.0f64, |m, v| m.max(v.abs()));
+        let s = if max_abs > 0.0 { max_abs } else { 1.0 };
+        scales.push(s);
+        scaled.push(c.iter().map(|v| v / s).collect());
+    }
+
+    let x = Matrix::design(&scaled, true)?;
+    let gram = x.gram();
+    let xty = x.t_matvec(y)?;
+
+    let mut beta: Option<Vec<f64>> = None;
+    let mut used_lambda = 0.0;
+    match solve_cholesky(&gram, &xty) {
+        Ok(b) => beta = Some(b),
+        Err(_) => {
+            for &lambda in &RIDGE_LADDER {
+                let mut g = gram.clone();
+                // Regularize slopes only; leave the intercept unpenalized.
+                for i in 1..g.rows() {
+                    g[(i, i)] += lambda;
+                }
+                if let Ok(b) = solve_cholesky(&g, &xty) {
+                    beta = Some(b);
+                    used_lambda = lambda;
+                    break;
+                }
+            }
+        }
+    }
+    let beta = beta.ok_or_else(|| {
+        NumericsError::Singular("normal equations unsolvable even with ridge".to_string())
+    })?;
+
+    let intercept = beta[0];
+    let coefficients: Vec<f64> = beta[1..]
+        .iter()
+        .zip(scales.iter())
+        .map(|(&b, &s)| b / s)
+        .collect();
+
+    let fit = LinearFit {
+        intercept,
+        coefficients,
+        r_squared: 0.0,
+        residuals: Vec::new(),
+        ridge_lambda: used_lambda,
+    };
+    let y_hat = fit.predict_columns(columns)?;
+    let residuals: Vec<f64> = y.iter().zip(y_hat.iter()).map(|(a, b)| a - b).collect();
+    let r2 = r_squared(y, &y_hat);
+    Ok(LinearFit {
+        residuals,
+        r_squared: r2,
+        ..fit
+    })
+}
+
+/// Fit a constant model `y = c` (no predictors): `c` is the mean of `y`.
+/// This is the degenerate transformation "set everything to c" and also the
+/// fallback when no transformation attributes are available.
+pub fn fit_constant(y: &[f64]) -> Result<LinearFit> {
+    if y.is_empty() {
+        return Err(NumericsError::InsufficientData { needed: 1, got: 0 });
+    }
+    let mean = y.iter().sum::<f64>() / y.len() as f64;
+    let residuals: Vec<f64> = y.iter().map(|v| v - mean).collect();
+    let y_hat = vec![mean; y.len()];
+    Ok(LinearFit {
+        intercept: mean,
+        coefficients: Vec::new(),
+        r_squared: r_squared(y, &y_hat),
+        residuals,
+        ridge_lambda: 0.0,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_exact_affine_relation() {
+        // The paper's R1: y = 1.05 x + 1000, exactly.
+        let x: Vec<f64> = vec![23_000.0, 25_000.0, 21_000.0, 18_000.0];
+        let y: Vec<f64> = x.iter().map(|v| 1.05 * v + 1000.0).collect();
+        let fit = fit_ols(&[x], &y).unwrap();
+        assert!((fit.coefficients[0] - 1.05).abs() < 1e-9);
+        assert!((fit.intercept - 1000.0).abs() < 1e-4);
+        assert!(fit.r_squared > 0.999_999);
+        assert!(fit.max_abs_error() < 1e-6);
+        assert_eq!(fit.ridge_lambda, 0.0);
+    }
+
+    #[test]
+    fn recovers_two_predictor_relation() {
+        // y = 0.1·salary + 200·exp + 50
+        let salary = vec![230_000.0, 250_000.0, 160_000.0, 130_000.0, 110_000.0];
+        let exp = vec![2.0, 3.0, 5.0, 1.0, 2.0];
+        let y: Vec<f64> = salary
+            .iter()
+            .zip(exp.iter())
+            .map(|(&s, &e)| 0.1 * s + 200.0 * e + 50.0)
+            .collect();
+        let fit = fit_ols(&[salary, exp], &y).unwrap();
+        assert!((fit.coefficients[0] - 0.1).abs() < 1e-9);
+        assert!((fit.coefficients[1] - 200.0).abs() < 1e-6);
+        assert!((fit.intercept - 50.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn predict_matches_formula() {
+        let fit = LinearFit {
+            intercept: 10.0,
+            coefficients: vec![2.0, -1.0],
+            r_squared: 1.0,
+            residuals: vec![],
+            ridge_lambda: 0.0,
+        };
+        assert_eq!(fit.predict(&[3.0, 4.0]), 10.0 + 6.0 - 4.0);
+        let cols = vec![vec![3.0, 0.0], vec![4.0, 0.0]];
+        assert_eq!(fit.predict_columns(&cols).unwrap(), vec![12.0, 10.0]);
+        assert!(fit.predict_columns(&[vec![1.0]]).is_err());
+    }
+
+    #[test]
+    fn insufficient_data_rejected() {
+        assert!(matches!(
+            fit_ols(&[vec![1.0]], &[2.0]).unwrap_err(),
+            NumericsError::InsufficientData { needed: 2, got: 1 }
+        ));
+    }
+
+    #[test]
+    fn collinear_predictors_fall_back_to_ridge() {
+        let x1 = vec![1.0, 2.0, 3.0, 4.0];
+        let x2 = vec![2.0, 4.0, 6.0, 8.0]; // exactly 2·x1
+        let y = vec![3.0, 6.0, 9.0, 12.0];
+        let fit = fit_ols(&[x1.clone(), x2], &y).unwrap();
+        assert!(fit.ridge_lambda > 0.0, "expected ridge fallback");
+        // The fit should still predict well.
+        let y_hat = fit.predict_columns(&[x1.clone(), x1.iter().map(|v| 2.0 * v).collect()])
+            .unwrap();
+        for (a, b) in y.iter().zip(y_hat.iter()) {
+            assert!((a - b).abs() < 0.2, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn constant_column_handled() {
+        // A predictor with zero variance is collinear with the intercept.
+        let x = vec![5.0, 5.0, 5.0];
+        let y = vec![1.0, 2.0, 3.0];
+        let fit = fit_ols(&[x], &y).unwrap();
+        assert!((fit.predict(&[5.0]) - 2.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn non_finite_input_rejected() {
+        assert!(fit_ols(&[vec![1.0, f64::NAN, 3.0]], &[1.0, 2.0, 3.0]).is_err());
+        assert!(fit_ols(&[vec![1.0, 2.0, 3.0]], &[1.0, f64::INFINITY, 3.0]).is_err());
+    }
+
+    #[test]
+    fn constant_fit_is_mean() {
+        let fit = fit_constant(&[2.0, 4.0, 6.0]).unwrap();
+        assert_eq!(fit.intercept, 4.0);
+        assert!(fit.coefficients.is_empty());
+        assert_eq!(fit.predict(&[]), 4.0);
+        assert!(fit_constant(&[]).is_err());
+    }
+
+    #[test]
+    fn r_squared_edge_cases() {
+        assert_eq!(r_squared(&[], &[]), 1.0);
+        // Constant target predicted perfectly.
+        assert_eq!(r_squared(&[3.0, 3.0], &[3.0, 3.0]), 1.0);
+        // Constant target predicted wrongly.
+        assert_eq!(r_squared(&[3.0, 3.0], &[1.0, 1.0]), 0.0);
+        // Perfect fit.
+        assert_eq!(r_squared(&[1.0, 2.0], &[1.0, 2.0]), 1.0);
+    }
+
+    #[test]
+    fn mean_abs_error_empty_residuals() {
+        let fit = LinearFit {
+            intercept: 0.0,
+            coefficients: vec![],
+            r_squared: 1.0,
+            residuals: vec![],
+            ridge_lambda: 0.0,
+        };
+        assert_eq!(fit.mean_abs_error(), 0.0);
+        assert_eq!(fit.max_abs_error(), 0.0);
+    }
+
+    #[test]
+    fn large_scale_predictors_conditioned() {
+        // Salary-scale values: conditioning via column scaling must cope.
+        let x: Vec<f64> = (0..100).map(|i| 100_000.0 + 1_000.0 * i as f64).collect();
+        let y: Vec<f64> = x.iter().map(|v| 0.1 * v + 12_345.0).collect();
+        let fit = fit_ols(&[x], &y).unwrap();
+        assert!((fit.coefficients[0] - 0.1).abs() < 1e-8);
+        assert!((fit.intercept - 12_345.0).abs() < 1e-3);
+    }
+}

@@ -1,0 +1,195 @@
+//! Direct solvers for small dense linear systems.
+//!
+//! ChARLES fits regressions over data partitions with at most a handful of
+//! predictors (the paper's `t` parameter is 2 in the demo), so the systems
+//! solved here are tiny (`p ≤ ~10`). We provide Cholesky for the
+//! symmetric-positive-definite normal equations and Gaussian elimination
+//! with partial pivoting as the general fallback.
+
+use crate::error::{NumericsError, Result};
+use crate::matrix::Matrix;
+
+/// Solve `A x = b` for symmetric positive-definite `A` via Cholesky
+/// (`A = L Lᵀ`). Errors if `A` is not SPD within tolerance.
+pub fn solve_cholesky(a: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
+    let n = a.rows();
+    if a.cols() != n {
+        return Err(NumericsError::DimensionMismatch {
+            expected: "square matrix".to_string(),
+            found: format!("{}×{}", a.rows(), a.cols()),
+        });
+    }
+    if b.len() != n {
+        return Err(NumericsError::DimensionMismatch {
+            expected: format!("rhs of length {n}"),
+            found: format!("length {}", b.len()),
+        });
+    }
+    // Decompose.
+    let mut l = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in 0..=i {
+            let mut sum = a[(i, j)];
+            for k in 0..j {
+                sum -= l[(i, k)] * l[(j, k)];
+            }
+            if i == j {
+                if sum <= 0.0 || !sum.is_finite() {
+                    return Err(NumericsError::Singular(format!(
+                        "non-positive pivot {sum:.3e} at index {i}"
+                    )));
+                }
+                l[(i, j)] = sum.sqrt();
+            } else {
+                l[(i, j)] = sum / l[(j, j)];
+            }
+        }
+    }
+    // Forward substitution: L z = b.
+    let mut z = vec![0.0; n];
+    for i in 0..n {
+        let mut sum = b[i];
+        for k in 0..i {
+            sum -= l[(i, k)] * z[k];
+        }
+        z[i] = sum / l[(i, i)];
+    }
+    // Back substitution: Lᵀ x = z.
+    let mut x = vec![0.0; n];
+    for i in (0..n).rev() {
+        let mut sum = z[i];
+        for k in (i + 1)..n {
+            sum -= l[(k, i)] * x[k];
+        }
+        x[i] = sum / l[(i, i)];
+    }
+    Ok(x)
+}
+
+/// Solve `A x = b` by Gaussian elimination with partial pivoting.
+pub fn solve_gaussian(a: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
+    let n = a.rows();
+    if a.cols() != n {
+        return Err(NumericsError::DimensionMismatch {
+            expected: "square matrix".to_string(),
+            found: format!("{}×{}", a.rows(), a.cols()),
+        });
+    }
+    if b.len() != n {
+        return Err(NumericsError::DimensionMismatch {
+            expected: format!("rhs of length {n}"),
+            found: format!("length {}", b.len()),
+        });
+    }
+    // Augmented working copy.
+    let mut m = a.clone();
+    let mut rhs = b.to_vec();
+    for col in 0..n {
+        // Partial pivot.
+        let mut pivot = col;
+        let mut best = m[(col, col)].abs();
+        for r in (col + 1)..n {
+            let v = m[(r, col)].abs();
+            if v > best {
+                best = v;
+                pivot = r;
+            }
+        }
+        if best < 1e-12 {
+            return Err(NumericsError::Singular(format!(
+                "pivot {best:.3e} below tolerance at column {col}"
+            )));
+        }
+        if pivot != col {
+            for c in 0..n {
+                let tmp = m[(col, c)];
+                m[(col, c)] = m[(pivot, c)];
+                m[(pivot, c)] = tmp;
+            }
+            rhs.swap(col, pivot);
+        }
+        // Eliminate below.
+        for r in (col + 1)..n {
+            let factor = m[(r, col)] / m[(col, col)];
+            if factor == 0.0 {
+                continue;
+            }
+            for c in col..n {
+                m[(r, c)] -= factor * m[(col, c)];
+            }
+            rhs[r] -= factor * rhs[col];
+        }
+    }
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for i in (0..n).rev() {
+        let mut sum = rhs[i];
+        for c in (i + 1)..n {
+            sum -= m[(i, c)] * x[c];
+        }
+        x[i] = sum / m[(i, i)];
+    }
+    Ok(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn approx_eq(a: &[f64], b: &[f64], tol: f64) -> bool {
+        a.len() == b.len() && a.iter().zip(b).all(|(x, y)| (x - y).abs() < tol)
+    }
+
+    #[test]
+    fn cholesky_solves_spd() {
+        // SPD matrix: [[4,2],[2,3]], b = [10, 8] -> x = [1.75, 1.5]
+        let a = Matrix::from_rows(2, 2, vec![4.0, 2.0, 2.0, 3.0]).unwrap();
+        let x = solve_cholesky(&a, &[10.0, 8.0]).unwrap();
+        assert!(approx_eq(&x, &[1.75, 1.5], 1e-12));
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite() {
+        let a = Matrix::from_rows(2, 2, vec![0.0, 1.0, 1.0, 0.0]).unwrap();
+        assert!(matches!(
+            solve_cholesky(&a, &[1.0, 1.0]).unwrap_err(),
+            NumericsError::Singular(_)
+        ));
+    }
+
+    #[test]
+    fn gaussian_solves_general() {
+        // Non-symmetric system.
+        let a = Matrix::from_rows(3, 3, vec![0.0, 2.0, 1.0, 1.0, -1.0, 0.0, 3.0, 0.0, -2.0])
+            .unwrap();
+        let x_true = vec![1.0, 2.0, -1.0];
+        let b = a.matvec(&x_true).unwrap();
+        let x = solve_gaussian(&a, &b).unwrap();
+        assert!(approx_eq(&x, &x_true, 1e-10));
+    }
+
+    #[test]
+    fn gaussian_detects_singular() {
+        let a = Matrix::from_rows(2, 2, vec![1.0, 2.0, 2.0, 4.0]).unwrap();
+        assert!(solve_gaussian(&a, &[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn solvers_agree_on_spd() {
+        let a = Matrix::from_rows(3, 3, vec![6.0, 2.0, 1.0, 2.0, 5.0, 2.0, 1.0, 2.0, 4.0])
+            .unwrap();
+        let b = vec![1.0, 2.0, 3.0];
+        let x1 = solve_cholesky(&a, &b).unwrap();
+        let x2 = solve_gaussian(&a, &b).unwrap();
+        assert!(approx_eq(&x1, &x2, 1e-10));
+    }
+
+    #[test]
+    fn dimension_errors() {
+        let a = Matrix::zeros(2, 3);
+        assert!(solve_cholesky(&a, &[1.0, 2.0]).is_err());
+        let a = Matrix::identity(2);
+        assert!(solve_cholesky(&a, &[1.0]).is_err());
+        assert!(solve_gaussian(&a, &[1.0]).is_err());
+    }
+}

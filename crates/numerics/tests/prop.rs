@@ -1,0 +1,115 @@
+//! Property-based tests for the numeric substrate.
+
+use charles_numerics::normality::{round_to_significant, roundness, snap_candidates};
+use charles_numerics::ols::{fit_ols, r_squared};
+use charles_numerics::stats::{mean, quantile, ranks};
+use charles_numerics::{pearson, spearman};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn ols_recovers_exact_affine(
+        xs in proptest::collection::vec(-1e5f64..1e5, 3..40),
+        slope in -100.0f64..100.0,
+        intercept in -1e5f64..1e5,
+    ) {
+        // Require variance in x so the relation is identifiable.
+        let mx = mean(&xs).unwrap();
+        prop_assume!(xs.iter().any(|v| (v - mx).abs() > 1.0));
+        let y: Vec<f64> = xs.iter().map(|&x| slope * x + intercept).collect();
+        let fit = fit_ols(&[xs.clone()], &y).unwrap();
+        let scale = slope.abs().max(1.0);
+        prop_assert!(
+            (fit.coefficients[0] - slope).abs() < 1e-6 * scale,
+            "slope {} vs {}", fit.coefficients[0], slope
+        );
+        prop_assert!(fit.r_squared > 1.0 - 1e-6);
+    }
+
+    #[test]
+    fn ols_residuals_sum_to_zero(
+        xs in proptest::collection::vec(-1e4f64..1e4, 4..30),
+        ys in proptest::collection::vec(-1e4f64..1e4, 4..30),
+    ) {
+        let n = xs.len().min(ys.len());
+        let xs = &xs[..n];
+        let ys = &ys[..n];
+        let mx = mean(xs).unwrap();
+        prop_assume!(xs.iter().any(|v| (v - mx).abs() > 1.0));
+        let fit = fit_ols(&[xs.to_vec()], ys).unwrap();
+        // With an intercept, OLS residuals are mean-zero.
+        let mean_resid = fit.residuals.iter().sum::<f64>() / n as f64;
+        let scale = ys.iter().map(|v| v.abs()).fold(1.0, f64::max);
+        prop_assert!(mean_resid.abs() < 1e-6 * scale, "mean residual {mean_resid}");
+    }
+
+    #[test]
+    fn quantile_within_bounds(
+        xs in proptest::collection::vec(-1e6f64..1e6, 1..50),
+        q in 0.0f64..=1.0,
+    ) {
+        let v = quantile(&xs, q).unwrap();
+        let lo = xs.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(v >= lo - 1e-12 && v <= hi + 1e-12);
+        // Monotone in q.
+        let v2 = quantile(&xs, (q + 0.1).min(1.0)).unwrap();
+        prop_assert!(v2 >= v - 1e-12);
+    }
+
+    #[test]
+    fn ranks_are_valid(xs in proptest::collection::vec(-1e6f64..1e6, 0..50)) {
+        let r = ranks(&xs);
+        prop_assert_eq!(r.len(), xs.len());
+        if !xs.is_empty() {
+            let n = xs.len() as f64;
+            // Ranks sum to n(n+1)/2 regardless of ties.
+            let sum: f64 = r.iter().sum();
+            prop_assert!((sum - n * (n + 1.0) / 2.0).abs() < 1e-6);
+            for &v in &r {
+                prop_assert!((1.0..=n).contains(&v));
+            }
+        }
+    }
+
+    #[test]
+    fn pearson_symmetric_and_bounded(
+        xs in proptest::collection::vec(-1e4f64..1e4, 2..40),
+        ys in proptest::collection::vec(-1e4f64..1e4, 2..40),
+    ) {
+        let n = xs.len().min(ys.len());
+        let (xs, ys) = (&xs[..n], &ys[..n]);
+        let a = pearson(xs, ys).unwrap();
+        let b = pearson(ys, xs).unwrap();
+        prop_assert!((a - b).abs() < 1e-12);
+        prop_assert!((-1.0..=1.0).contains(&a));
+        let s = spearman(xs, ys).unwrap();
+        prop_assert!((-1.0..=1.0).contains(&s));
+    }
+
+    #[test]
+    fn roundness_bounded_and_rounding_helps(x in -1e9f64..1e9) {
+        let r = roundness(x);
+        prop_assert!((0.0..=1.0).contains(&r));
+        let rounded = round_to_significant(x, 1);
+        prop_assert!(roundness(rounded) >= r - 1e-12,
+            "rounding {x} to {rounded} lowered roundness");
+    }
+
+    #[test]
+    fn snap_candidates_always_contain_raw(x in -1e9f64..1e9) {
+        let cands = snap_candidates(x);
+        prop_assert!(!cands.is_empty());
+        prop_assert!(cands.iter().any(|&c| c == x));
+    }
+
+    #[test]
+    fn r_squared_at_most_one(
+        ys in proptest::collection::vec(-1e4f64..1e4, 1..30),
+    ) {
+        // Perfect predictions give exactly 1.
+        prop_assert!((r_squared(&ys, &ys) - 1.0).abs() < 1e-12);
+    }
+}

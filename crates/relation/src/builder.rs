@@ -1,0 +1,187 @@
+//! Ergonomic row- and column-wise table construction.
+
+use crate::column::Column;
+use crate::error::Result;
+use crate::schema::{Field, Schema};
+use crate::table::Table;
+use crate::value::{DataType, Value};
+use std::sync::Arc;
+
+/// Builds a [`Table`] column by column with type inference from Rust types.
+///
+/// ```
+/// use charles_relation::TableBuilder;
+/// let table = TableBuilder::new("emp")
+///     .str_col("name", &["Anne", "Bob"])
+///     .int_col("exp", &[2, 3])
+///     .float_col("salary", &[230_000.0, 250_000.0])
+///     .build()
+///     .unwrap();
+/// assert_eq!(table.height(), 2);
+/// ```
+#[derive(Debug, Default)]
+pub struct TableBuilder {
+    name: String,
+    fields: Vec<Field>,
+    columns: Vec<Column>,
+    key: Option<String>,
+}
+
+impl TableBuilder {
+    /// Start building a table with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        TableBuilder {
+            name: name.into(),
+            ..Default::default()
+        }
+    }
+
+    /// Add a Utf8 column.
+    pub fn str_col<S: AsRef<str>>(mut self, name: &str, values: &[S]) -> Self {
+        self.fields.push(Field::new(name, DataType::Utf8));
+        self.columns.push(Column::from_strs(values));
+        self
+    }
+
+    /// Add an Int64 column.
+    pub fn int_col(mut self, name: &str, values: &[i64]) -> Self {
+        self.fields.push(Field::new(name, DataType::Int64));
+        self.columns.push(Column::from_i64(values.to_vec()));
+        self
+    }
+
+    /// Add a Float64 column.
+    pub fn float_col(mut self, name: &str, values: &[f64]) -> Self {
+        self.fields.push(Field::new(name, DataType::Float64));
+        self.columns.push(Column::from_f64(values.to_vec()));
+        self
+    }
+
+    /// Add a Bool column.
+    pub fn bool_col(mut self, name: &str, values: &[bool]) -> Self {
+        self.fields.push(Field::new(name, DataType::Bool));
+        self.columns.push(Column::Bool {
+            values: values.to_vec(),
+            validity: None,
+        });
+        self
+    }
+
+    /// Add a column of dynamically-typed values with an explicit type.
+    pub fn value_col(mut self, name: &str, dtype: DataType, values: &[Value]) -> Result<Self> {
+        self.fields.push(Field::new(name, dtype));
+        self.columns.push(Column::from_values(dtype, values)?);
+        Ok(self)
+    }
+
+    /// Declare the key column (validated at `build`).
+    pub fn key(mut self, name: &str) -> Self {
+        self.key = Some(name.to_string());
+        self
+    }
+
+    /// Finish, validating shape and key uniqueness.
+    pub fn build(self) -> Result<Table> {
+        let schema = Schema::new(self.fields)?;
+        let mut table = Table::new(schema, self.columns)?.with_name(self.name);
+        if let Some(key) = self.key {
+            table = table.with_key(&key)?;
+        }
+        Ok(table)
+    }
+}
+
+/// Builds a [`Table`] row by row against a fixed schema.
+#[derive(Debug)]
+pub struct RowBuilder {
+    table: Table,
+}
+
+impl RowBuilder {
+    /// Start with a schema.
+    pub fn new(schema: Arc<Schema>) -> Self {
+        RowBuilder {
+            table: Table::empty(schema),
+        }
+    }
+
+    /// Append one row in schema order.
+    pub fn push(&mut self, values: Vec<Value>) -> Result<&mut Self> {
+        self.table.push_row(values)?;
+        Ok(self)
+    }
+
+    /// Finish building.
+    pub fn build(self) -> Table {
+        self.table
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_constructs_typed_table() {
+        let t = TableBuilder::new("t")
+            .str_col("s", &["x", "y"])
+            .int_col("i", &[1, 2])
+            .float_col("f", &[0.5, 1.5])
+            .bool_col("b", &[true, false])
+            .build()
+            .unwrap();
+        assert_eq!(t.width(), 4);
+        assert_eq!(t.height(), 2);
+        assert_eq!(t.schema().dtype_of("b").unwrap(), DataType::Bool);
+    }
+
+    #[test]
+    fn builder_key_validation() {
+        let err = TableBuilder::new("t")
+            .int_col("k", &[1, 1])
+            .key("k")
+            .build();
+        assert!(err.is_err());
+        let ok = TableBuilder::new("t")
+            .int_col("k", &[1, 2])
+            .key("k")
+            .build()
+            .unwrap();
+        assert_eq!(ok.key_name(), Some("k"));
+    }
+
+    #[test]
+    fn builder_rejects_ragged_columns() {
+        let err = TableBuilder::new("t")
+            .int_col("a", &[1, 2])
+            .int_col("b", &[1])
+            .build();
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn value_col_with_nulls() {
+        let t = TableBuilder::new("t")
+            .value_col(
+                "v",
+                DataType::Float64,
+                &[Value::Float(1.0), Value::Null, Value::Int(3)],
+            )
+            .unwrap()
+            .build()
+            .unwrap();
+        assert_eq!(t.column_by_name("v").unwrap().null_count(), 1);
+        assert_eq!(t.value(2, "v").unwrap(), Value::Float(3.0));
+    }
+
+    #[test]
+    fn row_builder_roundtrip() {
+        let schema = Schema::from_pairs([("a", DataType::Int64), ("s", DataType::Utf8)]).unwrap();
+        let mut rb = RowBuilder::new(schema);
+        rb.push(vec![Value::Int(1), Value::str("one")]).unwrap();
+        rb.push(vec![Value::Int(2), Value::str("two")]).unwrap();
+        let t = rb.build();
+        assert_eq!(t.height(), 2);
+        assert_eq!(t.value(1, "s").unwrap(), Value::str("two"));
+    }
+}

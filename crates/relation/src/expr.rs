@@ -1,0 +1,265 @@
+//! Scalar arithmetic expressions over table rows.
+//!
+//! Expressions describe how a new value is computed from a row's current
+//! values — exactly the shape of a ChARLES *transformation* right-hand side
+//! (`1.05 × bonus + 1000`) and of UPDATE statements' `SET` clauses.
+
+use crate::error::{RelationError, Result};
+use crate::table::Table;
+use std::fmt;
+
+/// A scalar numeric expression evaluated per row.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Reference to a (numeric) attribute's current value.
+    Col(String),
+    /// Floating-point literal.
+    Lit(f64),
+    /// Addition.
+    Add(Box<Expr>, Box<Expr>),
+    /// Subtraction.
+    Sub(Box<Expr>, Box<Expr>),
+    /// Multiplication.
+    Mul(Box<Expr>, Box<Expr>),
+    /// Division (dividing by zero yields an error at evaluation).
+    Div(Box<Expr>, Box<Expr>),
+    /// Negation.
+    Neg(Box<Expr>),
+}
+
+impl Expr {
+    /// Attribute reference.
+    pub fn col(name: impl Into<String>) -> Self {
+        Expr::Col(name.into())
+    }
+
+    /// Literal.
+    pub fn lit(v: f64) -> Self {
+        Expr::Lit(v)
+    }
+
+    /// `self + rhs`.
+    pub fn add(self, rhs: Expr) -> Self {
+        Expr::Add(Box::new(self), Box::new(rhs))
+    }
+
+    /// `self - rhs`.
+    pub fn sub(self, rhs: Expr) -> Self {
+        Expr::Sub(Box::new(self), Box::new(rhs))
+    }
+
+    /// `self * rhs`.
+    pub fn mul(self, rhs: Expr) -> Self {
+        Expr::Mul(Box::new(self), Box::new(rhs))
+    }
+
+    /// `self / rhs`.
+    pub fn div(self, rhs: Expr) -> Self {
+        Expr::Div(Box::new(self), Box::new(rhs))
+    }
+
+    /// `-self`.
+    pub fn neg(self) -> Self {
+        Expr::Neg(Box::new(self))
+    }
+
+    /// Convenience: the affine expression `scale × attr + offset`, the
+    /// canonical single-variable ChARLES transformation.
+    pub fn affine(attr: impl Into<String>, scale: f64, offset: f64) -> Self {
+        Expr::lit(scale).mul(Expr::col(attr)).add(Expr::lit(offset))
+    }
+
+    /// Evaluate on one row. Non-numeric or null referenced cells error.
+    pub fn eval(&self, table: &Table, row: usize) -> Result<f64> {
+        match self {
+            Expr::Col(name) => {
+                let v = table.column_by_name(name)?.get(row);
+                v.as_f64().ok_or_else(|| {
+                    RelationError::Eval(format!(
+                        "attribute {name:?} at row {row} is not numeric (value: {v})"
+                    ))
+                })
+            }
+            Expr::Lit(v) => Ok(*v),
+            Expr::Add(a, b) => Ok(a.eval(table, row)? + b.eval(table, row)?),
+            Expr::Sub(a, b) => Ok(a.eval(table, row)? - b.eval(table, row)?),
+            Expr::Mul(a, b) => Ok(a.eval(table, row)? * b.eval(table, row)?),
+            Expr::Div(a, b) => {
+                let denom = b.eval(table, row)?;
+                if denom == 0.0 {
+                    return Err(RelationError::Eval(format!(
+                        "division by zero at row {row} in {self}"
+                    )));
+                }
+                Ok(a.eval(table, row)? / denom)
+            }
+            Expr::Neg(inner) => Ok(-inner.eval(table, row)?),
+        }
+    }
+
+    /// Evaluate over every row.
+    pub fn eval_all(&self, table: &Table) -> Result<Vec<f64>> {
+        let mut out = Vec::with_capacity(table.height());
+        for row in table.row_ids() {
+            out.push(self.eval(table, row)?);
+        }
+        Ok(out)
+    }
+
+    /// Attributes referenced (sorted, deduplicated).
+    pub fn attributes(&self) -> Vec<String> {
+        let mut set = std::collections::BTreeSet::new();
+        self.collect_attrs(&mut set);
+        set.into_iter().collect()
+    }
+
+    fn collect_attrs(&self, out: &mut std::collections::BTreeSet<String>) {
+        match self {
+            Expr::Col(name) => {
+                out.insert(name.clone());
+            }
+            Expr::Lit(_) => {}
+            Expr::Add(a, b) | Expr::Sub(a, b) | Expr::Mul(a, b) | Expr::Div(a, b) => {
+                a.collect_attrs(out);
+                b.collect_attrs(out);
+            }
+            Expr::Neg(inner) => inner.collect_attrs(out),
+        }
+    }
+
+    fn precedence(&self) -> u8 {
+        match self {
+            Expr::Col(_) | Expr::Lit(_) => 3,
+            Expr::Neg(_) => 2,
+            Expr::Mul(_, _) | Expr::Div(_, _) => 1,
+            Expr::Add(_, _) | Expr::Sub(_, _) => 0,
+        }
+    }
+
+    fn fmt_child(&self, child: &Expr, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if child.precedence() < self.precedence() {
+            write!(f, "({child})")
+        } else {
+            write!(f, "{child}")
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Col(name) => f.write_str(name),
+            Expr::Lit(v) => write!(f, "{v}"),
+            Expr::Add(a, b) => {
+                self.fmt_child(a, f)?;
+                f.write_str(" + ")?;
+                self.fmt_child(b, f)
+            }
+            Expr::Sub(a, b) => {
+                self.fmt_child(a, f)?;
+                f.write_str(" - ")?;
+                // Subtraction is left-associative; parenthesize right child
+                // at equal precedence.
+                if b.precedence() <= self.precedence() {
+                    write!(f, "({b})")
+                } else {
+                    write!(f, "{b}")
+                }
+            }
+            Expr::Mul(a, b) => {
+                self.fmt_child(a, f)?;
+                f.write_str(" × ")?;
+                self.fmt_child(b, f)
+            }
+            Expr::Div(a, b) => {
+                self.fmt_child(a, f)?;
+                f.write_str(" / ")?;
+                if b.precedence() <= self.precedence() {
+                    write!(f, "({b})")
+                } else {
+                    write!(f, "{b}")
+                }
+            }
+            Expr::Neg(inner) => {
+                f.write_str("-")?;
+                self.fmt_child(inner, f)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::TableBuilder;
+
+    fn t() -> Table {
+        TableBuilder::new("t")
+            .float_col("bonus", &[23_000.0, 25_000.0])
+            .float_col("salary", &[230_000.0, 250_000.0])
+            .str_col("edu", &["PhD", "MS"])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn affine_matches_paper_rule_r1() {
+        // R1: new_bonus = 1.05 × old_bonus + 1000
+        let e = Expr::affine("bonus", 1.05, 1000.0);
+        assert_eq!(e.eval(&t(), 0).unwrap(), 1.05 * 23_000.0 + 1000.0);
+        assert_eq!(e.to_string(), "1.05 × bonus + 1000");
+    }
+
+    #[test]
+    fn arithmetic() {
+        let table = t();
+        let e = Expr::col("salary").sub(Expr::col("bonus"));
+        assert_eq!(e.eval(&table, 0).unwrap(), 207_000.0);
+        let e = Expr::col("salary").div(Expr::lit(10.0));
+        assert_eq!(e.eval(&table, 1).unwrap(), 25_000.0);
+        let e = Expr::col("bonus").neg();
+        assert_eq!(e.eval(&table, 0).unwrap(), -23_000.0);
+    }
+
+    #[test]
+    fn division_by_zero_errors() {
+        let e = Expr::col("salary").div(Expr::lit(0.0));
+        assert!(matches!(
+            e.eval(&t(), 0).unwrap_err(),
+            RelationError::Eval(_)
+        ));
+    }
+
+    #[test]
+    fn non_numeric_reference_errors() {
+        let e = Expr::col("edu").add(Expr::lit(1.0));
+        assert!(e.eval(&t(), 0).is_err());
+    }
+
+    #[test]
+    fn eval_all_rows() {
+        let e = Expr::affine("bonus", 1.0, 500.0);
+        assert_eq!(e.eval_all(&t()).unwrap(), vec![23_500.0, 25_500.0]);
+    }
+
+    #[test]
+    fn attributes_collected_sorted() {
+        let e = Expr::col("salary")
+            .mul(Expr::lit(0.1))
+            .add(Expr::col("bonus"));
+        assert_eq!(
+            e.attributes(),
+            vec!["bonus".to_string(), "salary".to_string()]
+        );
+    }
+
+    #[test]
+    fn display_parenthesization() {
+        let e = Expr::col("a").add(Expr::col("b")).mul(Expr::lit(2.0));
+        assert_eq!(e.to_string(), "(a + b) × 2");
+        let e = Expr::col("a").sub(Expr::col("b").sub(Expr::col("c")));
+        assert_eq!(e.to_string(), "a - (b - c)");
+        let e = Expr::col("a").div(Expr::col("b").mul(Expr::col("c")));
+        assert_eq!(e.to_string(), "a / (b × c)");
+    }
+}

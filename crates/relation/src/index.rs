@@ -1,0 +1,137 @@
+//! Key indexes: O(1) lookup from entity key to row id.
+
+use crate::error::{RelationError, Result};
+use crate::table::Table;
+use crate::value::Value;
+use std::collections::HashMap;
+
+/// A hash index over a table's key column.
+///
+/// ChARLES assumes the two snapshots contain the same real-world entities;
+/// the index is what lets us pair up each entity's source row with its
+/// target row in O(n) total.
+#[derive(Debug, Clone)]
+pub struct KeyIndex {
+    attr: String,
+    map: HashMap<Value, usize>,
+}
+
+impl KeyIndex {
+    /// Build an index over `attr`; fails on duplicate or null keys.
+    pub fn build(table: &Table, attr: &str) -> Result<Self> {
+        let col = table.column_by_name(attr)?;
+        let mut map = HashMap::with_capacity(col.len());
+        for i in 0..col.len() {
+            let v = col.get(i);
+            if v.is_null() {
+                return Err(RelationError::DuplicateKey(format!(
+                    "null key at row {i} in {attr:?}"
+                )));
+            }
+            if map.insert(v.clone(), i).is_some() {
+                return Err(RelationError::DuplicateKey(v.to_string()));
+            }
+        }
+        Ok(KeyIndex {
+            attr: attr.to_string(),
+            map,
+        })
+    }
+
+    /// Build over the table's declared key column.
+    pub fn build_on_key(table: &Table) -> Result<Self> {
+        let attr = table
+            .key_name()
+            .ok_or_else(|| RelationError::InvalidArgument("table has no key column".into()))?
+            .to_string();
+        KeyIndex::build(table, &attr)
+    }
+
+    /// The indexed attribute.
+    pub fn attr(&self) -> &str {
+        &self.attr
+    }
+
+    /// Row id for a key value.
+    pub fn get(&self, key: &Value) -> Option<usize> {
+        self.map.get(key).copied()
+    }
+
+    /// Row id for a key value, or an error.
+    pub fn require(&self, key: &Value) -> Result<usize> {
+        self.get(key)
+            .ok_or_else(|| RelationError::KeyNotFound(key.to_string()))
+    }
+
+    /// Number of indexed keys.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Keys present in `self` but not in `other` (sorted for determinism).
+    pub fn keys_missing_from(&self, other: &KeyIndex) -> Vec<Value> {
+        let mut missing: Vec<Value> = self
+            .map
+            .keys()
+            .filter(|k| !other.map.contains_key(*k))
+            .cloned()
+            .collect();
+        missing.sort();
+        missing
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::TableBuilder;
+
+    fn t(keys: &[&str]) -> Table {
+        TableBuilder::new("t").str_col("k", keys).build().unwrap()
+    }
+
+    #[test]
+    fn build_and_lookup() {
+        let table = t(&["a", "b", "c"]);
+        let idx = KeyIndex::build(&table, "k").unwrap();
+        assert_eq!(idx.len(), 3);
+        assert_eq!(idx.get(&Value::str("b")), Some(1));
+        assert_eq!(idx.get(&Value::str("z")), None);
+        assert!(idx.require(&Value::str("z")).is_err());
+        assert_eq!(idx.attr(), "k");
+    }
+
+    #[test]
+    fn duplicates_rejected() {
+        let table = t(&["a", "a"]);
+        assert!(matches!(
+            KeyIndex::build(&table, "k").unwrap_err(),
+            RelationError::DuplicateKey(_)
+        ));
+    }
+
+    #[test]
+    fn build_on_declared_key() {
+        let table = t(&["x", "y"]).with_key("k").unwrap();
+        let idx = KeyIndex::build_on_key(&table).unwrap();
+        assert_eq!(idx.get(&Value::str("y")), Some(1));
+        let nokey = t(&["x"]);
+        assert!(KeyIndex::build_on_key(&nokey).is_err());
+    }
+
+    #[test]
+    fn missing_keys_sorted() {
+        let a = KeyIndex::build(&t(&["a", "b", "d"]), "k").unwrap();
+        let b = KeyIndex::build(&t(&["b"]), "k").unwrap();
+        assert_eq!(
+            a.keys_missing_from(&b),
+            vec![Value::str("a"), Value::str("d")]
+        );
+        assert!(b.keys_missing_from(&a).is_empty());
+    }
+}

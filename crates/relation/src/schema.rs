@@ -1,0 +1,246 @@
+//! Table schemas: ordered, named, typed fields.
+
+use crate::error::{RelationError, Result};
+use crate::value::DataType;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// A single named, typed field in a schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Field {
+    name: String,
+    dtype: DataType,
+}
+
+impl Field {
+    /// Create a field.
+    pub fn new(name: impl Into<String>, dtype: DataType) -> Self {
+        Field {
+            name: name.into(),
+            dtype,
+        }
+    }
+
+    /// The field name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The field's data type.
+    pub fn dtype(&self) -> DataType {
+        self.dtype
+    }
+}
+
+impl fmt::Display for Field {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.name, self.dtype)
+    }
+}
+
+/// An ordered collection of fields with O(1) name lookup.
+///
+/// Schemas are immutable once built and are shared between snapshots via
+/// `Arc<Schema>`; ChARLES requires the source and target snapshot to have
+/// *identical* schemas (same names, same types, same order).
+#[derive(Debug, Clone)]
+pub struct Schema {
+    fields: Vec<Field>,
+    by_name: HashMap<String, usize>,
+}
+
+impl PartialEq for Schema {
+    fn eq(&self, other: &Self) -> bool {
+        self.fields == other.fields
+    }
+}
+
+impl Eq for Schema {}
+
+impl Schema {
+    /// Build a schema from fields. Field names must be unique.
+    pub fn new(fields: Vec<Field>) -> Result<Arc<Self>> {
+        let mut by_name = HashMap::with_capacity(fields.len());
+        for (i, field) in fields.iter().enumerate() {
+            if by_name.insert(field.name.clone(), i).is_some() {
+                return Err(RelationError::SchemaMismatch(format!(
+                    "duplicate field name {:?}",
+                    field.name
+                )));
+            }
+        }
+        Ok(Arc::new(Schema { fields, by_name }))
+    }
+
+    /// Build a schema from `(name, dtype)` pairs.
+    pub fn from_pairs<'a, I>(pairs: I) -> Result<Arc<Self>>
+    where
+        I: IntoIterator<Item = (&'a str, DataType)>,
+    {
+        Schema::new(
+            pairs
+                .into_iter()
+                .map(|(n, t)| Field::new(n, t))
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    /// Number of fields.
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// Whether the schema has no fields.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// All fields in declaration order.
+    pub fn fields(&self) -> &[Field] {
+        &self.fields
+    }
+
+    /// Field at an index.
+    pub fn field(&self, index: usize) -> Result<&Field> {
+        self.fields
+            .get(index)
+            .ok_or(RelationError::ColumnIndexOutOfBounds {
+                index,
+                width: self.fields.len(),
+            })
+    }
+
+    /// Index of a field by name.
+    pub fn index_of(&self, name: &str) -> Result<usize> {
+        self.by_name
+            .get(name)
+            .copied()
+            .ok_or_else(|| RelationError::UnknownAttribute(name.to_string()))
+    }
+
+    /// Whether a field with this name exists.
+    pub fn contains(&self, name: &str) -> bool {
+        self.by_name.contains_key(name)
+    }
+
+    /// Data type of the named field.
+    pub fn dtype_of(&self, name: &str) -> Result<DataType> {
+        Ok(self.fields[self.index_of(name)?].dtype)
+    }
+
+    /// All field names in declaration order.
+    pub fn names(&self) -> Vec<&str> {
+        self.fields.iter().map(|f| f.name()).collect()
+    }
+
+    /// Names of all numeric (Int64/Float64) fields.
+    pub fn numeric_names(&self) -> Vec<&str> {
+        self.fields
+            .iter()
+            .filter(|f| f.dtype.is_numeric())
+            .map(|f| f.name())
+            .collect()
+    }
+
+    /// Check that another schema is identical; describes the first point of
+    /// divergence in the error message.
+    pub fn ensure_same(&self, other: &Schema) -> Result<()> {
+        if self.fields.len() != other.fields.len() {
+            return Err(RelationError::SchemaMismatch(format!(
+                "field counts differ: {} vs {}",
+                self.fields.len(),
+                other.fields.len()
+            )));
+        }
+        for (a, b) in self.fields.iter().zip(other.fields.iter()) {
+            if a != b {
+                return Err(RelationError::SchemaMismatch(format!(
+                    "field ({a}) vs ({b})"
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Schema[")?;
+        for (i, field) in self.fields.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{field}")?;
+        }
+        f.write_str("]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn abc() -> Arc<Schema> {
+        Schema::from_pairs([
+            ("a", DataType::Int64),
+            ("b", DataType::Float64),
+            ("c", DataType::Utf8),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn lookup_by_name_and_index() {
+        let s = abc();
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.index_of("b").unwrap(), 1);
+        assert_eq!(s.field(2).unwrap().name(), "c");
+        assert_eq!(s.dtype_of("a").unwrap(), DataType::Int64);
+        assert!(s.contains("c"));
+        assert!(!s.contains("z"));
+    }
+
+    #[test]
+    fn unknown_attribute_error() {
+        let s = abc();
+        assert_eq!(
+            s.index_of("zzz").unwrap_err(),
+            RelationError::UnknownAttribute("zzz".to_string())
+        );
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let err = Schema::from_pairs([("x", DataType::Int64), ("x", DataType::Utf8)]).unwrap_err();
+        assert!(matches!(err, RelationError::SchemaMismatch(_)));
+    }
+
+    #[test]
+    fn numeric_names_filters() {
+        let s = abc();
+        assert_eq!(s.numeric_names(), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn ensure_same_detects_divergence() {
+        let s1 = abc();
+        let s2 = Schema::from_pairs([
+            ("a", DataType::Int64),
+            ("b", DataType::Int64),
+            ("c", DataType::Utf8),
+        ])
+        .unwrap();
+        assert!(s1.ensure_same(&s1).is_ok());
+        let err = s1.ensure_same(&s2).unwrap_err();
+        assert!(err.to_string().contains("b"));
+        let s3 = Schema::from_pairs([("a", DataType::Int64)]).unwrap();
+        assert!(s1.ensure_same(&s3).is_err());
+    }
+
+    #[test]
+    fn display_roundtrip() {
+        let s = abc();
+        assert_eq!(s.to_string(), "Schema[a: Int64, b: Float64, c: Utf8]");
+    }
+}

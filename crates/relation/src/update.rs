@@ -1,0 +1,244 @@
+//! A small UPDATE-statement engine.
+//!
+//! This is the substrate ChARLES's *synthetic* workloads are built on: a
+//! ground-truth evolution policy is a list of `UPDATE t SET a = expr WHERE
+//! cond` statements, and applying them to a source snapshot produces a
+//! target snapshot whose latent semantics the recovery engine must infer.
+
+use crate::error::{RelationError, Result};
+use crate::expr::Expr;
+use crate::predicate::Predicate;
+use crate::table::Table;
+use crate::value::{DataType, Value};
+use std::fmt;
+
+/// One `SET attr = expr WHERE cond` statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UpdateStatement {
+    /// Attribute being assigned.
+    pub target: String,
+    /// Right-hand side, evaluated against the row's *pre-update* values.
+    pub expr: Expr,
+    /// Row filter.
+    pub condition: Predicate,
+}
+
+impl UpdateStatement {
+    /// Create a statement.
+    pub fn new(target: impl Into<String>, expr: Expr, condition: Predicate) -> Self {
+        UpdateStatement {
+            target: target.into(),
+            expr,
+            condition,
+        }
+    }
+}
+
+impl fmt::Display for UpdateStatement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "SET {} = {} WHERE {}",
+            self.target, self.expr, self.condition
+        )
+    }
+}
+
+/// How multiple statements compose when their conditions overlap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ApplyMode {
+    /// Each row is updated by the **first** statement whose condition
+    /// matches (the semantics of a policy rule list like Example 1's
+    /// R1/R2/R3, which are mutually exclusive by construction).
+    #[default]
+    FirstMatch,
+    /// Every statement applies in order; later statements see the effects
+    /// of earlier ones (sequential UPDATE semantics).
+    Sequential,
+}
+
+/// Result of applying updates: the evolved table plus per-statement row
+/// counts, useful both for tests and for ground-truth bookkeeping.
+#[derive(Debug, Clone)]
+pub struct UpdateOutcome {
+    /// The evolved table.
+    pub table: Table,
+    /// For each statement, the row ids it updated.
+    pub touched: Vec<Vec<usize>>,
+}
+
+impl UpdateOutcome {
+    /// Total number of (row, statement) updates applied.
+    pub fn total_updates(&self) -> usize {
+        self.touched.iter().map(Vec::len).sum()
+    }
+}
+
+/// Apply a list of UPDATE statements to a snapshot, producing a new one.
+///
+/// All right-hand sides read *pre-statement* values: in `FirstMatch` mode the
+/// expressions see the original table; in `Sequential` mode each statement
+/// sees the table as left by the previous statement (but not its own partial
+/// writes, i.e. proper snapshot-consistent UPDATE semantics).
+pub fn apply_updates(
+    source: &Table,
+    statements: &[UpdateStatement],
+    mode: ApplyMode,
+) -> Result<UpdateOutcome> {
+    for stmt in statements {
+        let dtype = source.schema().dtype_of(&stmt.target)?;
+        if !dtype.is_numeric() {
+            return Err(RelationError::InvalidArgument(format!(
+                "update target {:?} must be numeric, found {}",
+                stmt.target, dtype
+            )));
+        }
+    }
+    let mut current = source.clone();
+    let mut touched = Vec::with_capacity(statements.len());
+    let mut claimed = vec![false; source.height()];
+
+    for stmt in statements {
+        // Evaluate RHS + condition against the pre-statement state.
+        let read_view = current.clone();
+        let mut rows_updated = Vec::new();
+        let is_int = read_view.schema().dtype_of(&stmt.target)? == DataType::Int64;
+        for row in read_view.row_ids() {
+            if mode == ApplyMode::FirstMatch && claimed[row] {
+                continue;
+            }
+            if !stmt.condition.eval(&read_view, row)? {
+                continue;
+            }
+            let new_val = stmt.expr.eval(&read_view, row)?;
+            let value = if is_int {
+                Value::Int(new_val.round() as i64)
+            } else {
+                Value::Float(new_val)
+            };
+            current.column_by_name_mut(&stmt.target)?.set(row, value)?;
+            claimed[row] = true;
+            rows_updated.push(row);
+        }
+        touched.push(rows_updated);
+    }
+    Ok(UpdateOutcome {
+        table: current,
+        touched,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::TableBuilder;
+    use crate::predicate::CmpOp;
+
+    fn emp() -> Table {
+        TableBuilder::new("emp")
+            .str_col("edu", &["PhD", "MS", "MS", "BS"])
+            .int_col("exp", &[2, 5, 1, 2])
+            .float_col("bonus", &[23_000.0, 16_000.0, 13_000.0, 11_000.0])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn first_match_is_exclusive() {
+        // Two overlapping rules; first-match means row 1 (MS, exp 5) only
+        // gets the first one.
+        let stmts = vec![
+            UpdateStatement::new(
+                "bonus",
+                Expr::affine("bonus", 1.04, 800.0),
+                Predicate::eq("edu", "MS"),
+            ),
+            UpdateStatement::new(
+                "bonus",
+                Expr::affine("bonus", 2.0, 0.0),
+                Predicate::cmp("exp", CmpOp::Ge, 5),
+            ),
+        ];
+        let out = apply_updates(&emp(), &stmts, ApplyMode::FirstMatch).unwrap();
+        assert_eq!(out.touched[0], vec![1, 2]);
+        assert!(out.touched[1].is_empty());
+        assert_eq!(
+            out.table.value(1, "bonus").unwrap(),
+            Value::Float(1.04 * 16_000.0 + 800.0)
+        );
+        assert_eq!(out.total_updates(), 2);
+    }
+
+    #[test]
+    fn sequential_compounds() {
+        let stmts = vec![
+            UpdateStatement::new("bonus", Expr::affine("bonus", 2.0, 0.0), Predicate::True),
+            UpdateStatement::new("bonus", Expr::affine("bonus", 1.0, 100.0), Predicate::True),
+        ];
+        let out = apply_updates(&emp(), &stmts, ApplyMode::Sequential).unwrap();
+        // 23000 * 2 + 100
+        assert_eq!(out.table.value(0, "bonus").unwrap(), Value::Float(46_100.0));
+        assert_eq!(out.touched[0].len(), 4);
+        assert_eq!(out.touched[1].len(), 4);
+    }
+
+    #[test]
+    fn rhs_reads_pre_statement_values() {
+        // SET bonus = bonus + exp should read original bonus for all rows,
+        // even though earlier rows were already written.
+        let stmts = vec![UpdateStatement::new(
+            "bonus",
+            Expr::col("bonus").add(Expr::col("exp")),
+            Predicate::True,
+        )];
+        let out = apply_updates(&emp(), &stmts, ApplyMode::FirstMatch).unwrap();
+        assert_eq!(out.table.value(0, "bonus").unwrap(), Value::Float(23_002.0));
+        assert_eq!(out.table.value(3, "bonus").unwrap(), Value::Float(11_002.0));
+    }
+
+    #[test]
+    fn int_target_rounds() {
+        let stmts = vec![UpdateStatement::new(
+            "exp",
+            Expr::col("exp").add(Expr::lit(1.0)),
+            Predicate::True,
+        )];
+        let out = apply_updates(&emp(), &stmts, ApplyMode::FirstMatch).unwrap();
+        assert_eq!(out.table.value(0, "exp").unwrap(), Value::Int(3));
+    }
+
+    #[test]
+    fn non_numeric_target_rejected() {
+        let stmts = vec![UpdateStatement::new(
+            "edu",
+            Expr::lit(1.0),
+            Predicate::True,
+        )];
+        assert!(apply_updates(&emp(), &stmts, ApplyMode::FirstMatch).is_err());
+    }
+
+    #[test]
+    fn source_is_untouched() {
+        let source = emp();
+        let stmts = vec![UpdateStatement::new(
+            "bonus",
+            Expr::affine("bonus", 0.0, 0.0),
+            Predicate::True,
+        )];
+        let _ = apply_updates(&source, &stmts, ApplyMode::FirstMatch).unwrap();
+        assert_eq!(source.value(0, "bonus").unwrap(), Value::Float(23_000.0));
+    }
+
+    #[test]
+    fn statement_display() {
+        let stmt = UpdateStatement::new(
+            "bonus",
+            Expr::affine("bonus", 1.05, 1000.0),
+            Predicate::eq("edu", "PhD"),
+        );
+        assert_eq!(
+            stmt.to_string(),
+            "SET bonus = 1.05 × bonus + 1000 WHERE edu = PhD"
+        );
+    }
+}

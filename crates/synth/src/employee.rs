@@ -1,0 +1,212 @@
+//! The paper's employee-bonus scenario (Example 1, Figure 1) and scaled
+//! variants of it.
+
+use crate::names::entity_names;
+use crate::policy::{Policy, PolicyRule, Scenario};
+use charles_relation::{CmpOp, Expr, Predicate, RelationError, Table, TableBuilder};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The paper's 2016 snapshot, verbatim (Figure 1a).
+pub fn figure1_source() -> Table {
+    TableBuilder::new("salaries-2016")
+        .str_col(
+            "name",
+            &["Anne", "Bob", "Amber", "Allen", "Cathy", "Tom", "James", "Lucy", "Frank"],
+        )
+        .str_col("gen", &["F", "M", "F", "M", "F", "M", "M", "F", "M"])
+        .str_col(
+            "edu",
+            &["PhD", "PhD", "MS", "MS", "BS", "MS", "BS", "MS", "PhD"],
+        )
+        .int_col("exp", &[2, 3, 5, 1, 2, 4, 3, 4, 1])
+        .float_col(
+            "salary",
+            &[
+                230_000.0, 250_000.0, 160_000.0, 130_000.0, 110_000.0, 150_000.0, 120_000.0,
+                150_000.0, 210_000.0,
+            ],
+        )
+        .float_col(
+            "bonus",
+            &[
+                23_000.0, 25_000.0, 16_000.0, 13_000.0, 11_000.0, 15_000.0, 12_000.0, 15_000.0,
+                21_000.0,
+            ],
+        )
+        .key("name")
+        .build()
+        .expect("static Figure 1 data is well-formed")
+}
+
+/// The paper's bonus policy: R1 (PhD: 5% + $1000), R2 (MS with ≥ 3 years:
+/// 4% + $800), R3 (MS with < 3 years: 3% + $400); BS unchanged.
+pub fn example1_policy() -> Policy {
+    Policy::new(
+        "bonus",
+        vec![
+            PolicyRule::update(
+                "R1: PhD → 5% + $1000",
+                Predicate::eq("edu", "PhD"),
+                Expr::affine("bonus", 1.05, 1000.0),
+            ),
+            PolicyRule::update(
+                "R2: MS, exp ≥ 3 → 4% + $800",
+                Predicate::eq("edu", "MS").and(Predicate::cmp("exp", CmpOp::Ge, 3)),
+                Expr::affine("bonus", 1.04, 800.0),
+            ),
+            PolicyRule::update(
+                "R3: MS, exp < 3 → 3% + $400",
+                Predicate::eq("edu", "MS").and(Predicate::cmp("exp", CmpOp::Lt, 3)),
+                Expr::affine("bonus", 1.03, 400.0),
+            ),
+            PolicyRule::keep("BS unchanged", Predicate::eq("edu", "BS")),
+        ],
+    )
+}
+
+/// The complete Example-1 scenario: Figure 1a evolved into Figure 1b.
+pub fn example1() -> Scenario {
+    Scenario::evolve("example1", figure1_source(), example1_policy())
+        .expect("Example 1 policy applies cleanly")
+}
+
+/// A scaled employee population with the same schema and the same latent
+/// policy as Example 1.
+///
+/// Education, experience, gender, and salary are drawn from realistic
+/// marginals; `bonus` starts as the 2016 flat 10% of salary (exactly as in
+/// the paper's setup). Deterministic for a given `(n, seed)`.
+pub fn employees(n: usize, seed: u64) -> Scenario {
+    let source = employee_table(n, seed).expect("generated table is well-formed");
+    Scenario::evolve(format!("employees-{n}"), source, example1_policy())
+        .expect("example policy applies to generated employees")
+}
+
+/// Generate only the source table (useful for custom policies).
+pub fn employee_table(n: usize, seed: u64) -> Result<Table, RelationError> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let names = entity_names(n);
+    let mut gens = Vec::with_capacity(n);
+    let mut edus = Vec::with_capacity(n);
+    let mut exps = Vec::with_capacity(n);
+    let mut salaries = Vec::with_capacity(n);
+    let mut bonuses = Vec::with_capacity(n);
+    for _ in 0..n {
+        let gen = if rng.gen_bool(0.5) { "F" } else { "M" };
+        let edu = match rng.gen_range(0..10) {
+            0..=2 => "PhD",
+            3..=6 => "MS",
+            _ => "BS",
+        };
+        let exp: i64 = rng.gen_range(1..=10);
+        // Salary scales with education and experience plus noise, rounded
+        // to $1000 as payroll data usually is.
+        let base = match edu {
+            "PhD" => 180_000.0,
+            "MS" => 120_000.0,
+            _ => 90_000.0,
+        };
+        let salary =
+            ((base + 8_000.0 * exp as f64 + rng.gen_range(-10_000.0..10_000.0)) / 1_000.0)
+                .round()
+                * 1_000.0;
+        let bonus = salary * 0.10; // the 2016 flat rate from the paper
+        gens.push(gen);
+        edus.push(edu);
+        exps.push(exp);
+        salaries.push(salary);
+        bonuses.push(bonus);
+    }
+    TableBuilder::new(format!("employees-{n}"))
+        .str_col("name", &names)
+        .str_col("gen", &gens)
+        .str_col("edu", &edus)
+        .int_col("exp", &exps)
+        .float_col("salary", &salaries)
+        .float_col("bonus", &bonuses)
+        .key("name")
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use charles_relation::Value;
+
+    #[test]
+    fn figure1_matches_paper_exactly() {
+        let t = figure1_source();
+        assert_eq!(t.height(), 9);
+        assert_eq!(t.width(), 6);
+        assert_eq!(t.value(0, "name").unwrap(), Value::str("Anne"));
+        assert_eq!(t.value(0, "bonus").unwrap(), Value::Float(23_000.0));
+        assert_eq!(t.value(8, "salary").unwrap(), Value::Float(210_000.0));
+        // 2016: bonus is a flat 10% of salary for everyone.
+        for r in 0..9 {
+            let s = t.value(r, "salary").unwrap().as_f64().unwrap();
+            let b = t.value(r, "bonus").unwrap().as_f64().unwrap();
+            assert!((b - 0.1 * s).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn example1_target_matches_figure_1b() {
+        let s = example1();
+        // Paper Figure 1b values (highlighted changes).
+        let expected = [
+            25_150.0, 27_250.0, 17_440.0, 13_790.0, 11_000.0, 16_400.0, 12_000.0, 16_400.0,
+            23_050.0,
+        ];
+        for (r, &want) in expected.iter().enumerate() {
+            let got = s.target.value(r, "bonus").unwrap().as_f64().unwrap();
+            assert!(
+                (got - want).abs() < 1e-6,
+                "row {r}: got {got}, want {want}"
+            );
+        }
+        // Cathy and James (BS) unchanged, as the paper highlights.
+        assert_eq!(
+            s.source.value(4, "bonus").unwrap(),
+            s.target.value(4, "bonus").unwrap()
+        );
+    }
+
+    #[test]
+    fn scaled_scenario_deterministic() {
+        let a = employees(100, 7);
+        let b = employees(100, 7);
+        assert!(a.source.content_eq(&b.source));
+        assert!(a.target.content_eq(&b.target));
+        let c = employees(100, 8);
+        assert!(!c.source.content_eq(&a.source));
+    }
+
+    #[test]
+    fn scaled_scenario_respects_policy() {
+        let s = employees(200, 42);
+        for r in 0..s.len() {
+            let edu = s.source.value(r, "edu").unwrap();
+            let exp = s.source.value(r, "exp").unwrap().as_i64().unwrap();
+            let old = s.source.value(r, "bonus").unwrap().as_f64().unwrap();
+            let new = s.target.value(r, "bonus").unwrap().as_f64().unwrap();
+            let want = match edu.as_str().unwrap() {
+                "PhD" => 1.05 * old + 1000.0,
+                "MS" if exp >= 3 => 1.04 * old + 800.0,
+                "MS" => 1.03 * old + 400.0,
+                _ => old,
+            };
+            assert!((new - want).abs() < 1e-6, "row {r}");
+        }
+    }
+
+    #[test]
+    fn generated_population_has_variety() {
+        let t = employee_table(500, 1).unwrap();
+        assert_eq!(t.column_by_name("edu").unwrap().distinct_count(), 3);
+        assert_eq!(t.column_by_name("gen").unwrap().distinct_count(), 2);
+        assert!(t.column_by_name("exp").unwrap().distinct_count() >= 8);
+        let salaries = t.numeric("salary").unwrap();
+        assert!(salaries.iter().all(|&s| s > 50_000.0 && s < 350_000.0));
+    }
+}

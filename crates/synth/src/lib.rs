@@ -1,0 +1,39 @@
+//! # charles-synth
+//!
+//! Synthetic evolving-database scenarios with **known ground truth** for
+//! the ChARLES experiments.
+//!
+//! The paper demonstrates on the Montgomery County MD payroll file and the
+//! Forbes billionaires list; neither is redistributable offline, so this
+//! crate generates statistically analogous populations with the same
+//! schemas, evolves them with explicit latent policies (first-match rule
+//! lists over `UPDATE` statements), and exposes the policies so recovery
+//! quality can be *measured* rather than eyeballed:
+//!
+//! - [`employee::example1`] — the paper's Figure 1, verbatim, including
+//!   the exact Figure 1b target values;
+//! - [`employee::employees`] — the same latent policy over a scaled
+//!   population;
+//! - [`county::county`] — the 8-attribute county payroll with a
+//!   department/grade pay policy;
+//! - [`billionaires::billionaires`] — a wealth list with an
+//!   industry-structured market policy;
+//! - [`noise::perturb`] — out-of-policy contamination for robustness
+//!   experiments.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod billionaires;
+pub mod county;
+pub mod employee;
+pub mod names;
+pub mod noise;
+pub mod policy;
+
+pub use billionaires::{billionaires, billionaires_table, market_policy};
+pub use county::{county, county_policy, county_table};
+pub use employee::{employee_table, employees, example1, example1_policy, figure1_source};
+pub use names::{entity_name, entity_names};
+pub use noise::{perturb, NoiseReport};
+pub use policy::{Policy, PolicyRule, Scenario};

@@ -1,0 +1,60 @@
+//! Deterministic synthetic entity names.
+
+/// First-name pool (enough variety for readable demos).
+const FIRST: [&str; 40] = [
+    "Anne", "Bob", "Amber", "Allen", "Cathy", "Tom", "James", "Lucy", "Frank", "Grace", "Henry",
+    "Ivy", "Jack", "Karen", "Liam", "Mona", "Noah", "Olga", "Pete", "Quinn", "Rosa", "Sam",
+    "Tina", "Umar", "Vera", "Walt", "Xena", "Yuri", "Zoe", "Aaron", "Bella", "Carl", "Dana",
+    "Eli", "Fay", "Gus", "Hana", "Igor", "June", "Kyle",
+];
+
+/// Surname pool.
+const LAST: [&str; 30] = [
+    "Smith", "Johnson", "Lee", "Brown", "Garcia", "Miller", "Davis", "Wilson", "Moore", "Taylor",
+    "Anderson", "Thomas", "Jackson", "White", "Harris", "Martin", "Thompson", "Clark", "Lewis",
+    "Walker", "Hall", "Young", "King", "Wright", "Lopez", "Hill", "Scott", "Green", "Adams",
+    "Baker",
+];
+
+/// Deterministic unique display name for entity `i` (cycles through
+/// first × last pairs, then appends a numeric suffix to stay unique).
+pub fn entity_name(i: usize) -> String {
+    let first = FIRST[i % FIRST.len()];
+    let last = LAST[(i / FIRST.len()) % LAST.len()];
+    let cycle = i / (FIRST.len() * LAST.len());
+    if cycle == 0 {
+        format!("{first} {last}")
+    } else {
+        format!("{first} {last} {cycle}")
+    }
+}
+
+/// `n` unique entity names.
+pub fn entity_names(n: usize) -> Vec<String> {
+    (0..n).map(entity_name).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_unique() {
+        let names = entity_names(5000);
+        let set: std::collections::HashSet<&String> = names.iter().collect();
+        assert_eq!(set.len(), names.len());
+    }
+
+    #[test]
+    fn names_are_deterministic() {
+        assert_eq!(entity_name(0), "Anne Smith");
+        assert_eq!(entity_name(0), entity_name(0));
+        assert_eq!(entity_names(10), entity_names(10));
+    }
+
+    #[test]
+    fn cycle_suffix_applied() {
+        let big = entity_name(FIRST.len() * LAST.len());
+        assert!(big.ends_with(" 1"), "{big}");
+    }
+}

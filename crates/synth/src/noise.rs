@@ -1,0 +1,125 @@
+//! Out-of-policy noise injection (experiment E6).
+//!
+//! Real change histories are rarely pure: a few cells get hand-edited,
+//! corrected, or updated by processes outside the dominant policy. This
+//! module perturbs a fraction of a snapshot's target values so experiments
+//! can measure how recovery quality degrades with contamination.
+
+use charles_relation::{RelationError, Table, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Report of an injection pass.
+#[derive(Debug, Clone)]
+pub struct NoiseReport {
+    /// The perturbed table.
+    pub table: Table,
+    /// Rows whose target value was perturbed.
+    pub touched: Vec<usize>,
+}
+
+/// Perturb `fraction` of rows' `attr` values multiplicatively by up to
+/// ±`magnitude` (relative). Deterministic per seed; rows are chosen
+/// without replacement.
+pub fn perturb(
+    table: &Table,
+    attr: &str,
+    fraction: f64,
+    magnitude: f64,
+    seed: u64,
+) -> Result<NoiseReport, RelationError> {
+    if !(0.0..=1.0).contains(&fraction) {
+        return Err(RelationError::InvalidArgument(format!(
+            "fraction must be in [0, 1], got {fraction}"
+        )));
+    }
+    if magnitude < 0.0 {
+        return Err(RelationError::InvalidArgument(format!(
+            "magnitude must be non-negative, got {magnitude}"
+        )));
+    }
+    let n = table.height();
+    let k = ((n as f64) * fraction).round() as usize;
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Partial Fisher–Yates for a without-replacement sample.
+    let mut indices: Vec<usize> = (0..n).collect();
+    for i in 0..k.min(n) {
+        let j = rng.gen_range(i..n);
+        indices.swap(i, j);
+    }
+    let mut touched: Vec<usize> = indices.into_iter().take(k).collect();
+    touched.sort_unstable();
+
+    let mut out = table.clone();
+    {
+        let col = out.column_by_name_mut(attr)?;
+        for &row in &touched {
+            let old = col.get_f64(row).ok_or_else(|| {
+                RelationError::Eval(format!("attribute {attr:?} null/non-numeric at row {row}"))
+            })?;
+            let factor = 1.0 + rng.gen_range(-magnitude..=magnitude);
+            col.set(row, Value::Float(old * factor))?;
+        }
+    }
+    Ok(NoiseReport { table: out, touched })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use charles_relation::TableBuilder;
+
+    fn t() -> Table {
+        TableBuilder::new("t")
+            .float_col("x", &(0..100).map(|i| 1000.0 + i as f64).collect::<Vec<_>>())
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn perturbs_exact_fraction() {
+        let r = perturb(&t(), "x", 0.25, 0.5, 1).unwrap();
+        assert_eq!(r.touched.len(), 25);
+        // Exactly the touched rows differ.
+        let orig = t();
+        for row in 0..100 {
+            let changed = orig.value(row, "x").unwrap() != r.table.value(row, "x").unwrap();
+            assert_eq!(changed, r.touched.contains(&row), "row {row}");
+        }
+    }
+
+    #[test]
+    fn zero_fraction_no_change() {
+        let r = perturb(&t(), "x", 0.0, 0.5, 1).unwrap();
+        assert!(r.touched.is_empty());
+        assert!(r.table.content_eq(&t()));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = perturb(&t(), "x", 0.3, 0.2, 9).unwrap();
+        let b = perturb(&t(), "x", 0.3, 0.2, 9).unwrap();
+        assert_eq!(a.touched, b.touched);
+        assert!(a.table.content_eq(&b.table));
+        let c = perturb(&t(), "x", 0.3, 0.2, 10).unwrap();
+        assert_ne!(a.touched, c.touched);
+    }
+
+    #[test]
+    fn bad_arguments_rejected() {
+        assert!(perturb(&t(), "x", 1.5, 0.1, 1).is_err());
+        assert!(perturb(&t(), "x", 0.5, -0.1, 1).is_err());
+        assert!(perturb(&t(), "nope", 0.5, 0.1, 1).is_err());
+    }
+
+    #[test]
+    fn magnitude_bounds_relative_change() {
+        let r = perturb(&t(), "x", 1.0, 0.1, 3).unwrap();
+        let orig = t();
+        for row in 0..100 {
+            let old = orig.value(row, "x").unwrap().as_f64().unwrap();
+            let new = r.table.value(row, "x").unwrap().as_f64().unwrap();
+            assert!(((new - old) / old).abs() <= 0.1 + 1e-12);
+        }
+    }
+}

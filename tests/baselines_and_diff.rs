@@ -1,0 +1,106 @@
+//! Cross-crate tests: ChARLES vs the baseline explainers, and the
+//! syntactic diff layer against known evolution scenarios.
+
+use charles::core::{Charles, CharlesConfig};
+use charles::diff::{all_baselines, change_stats, diff_attr, update_distance};
+use charles::prelude::*;
+use charles::synth::{county, example1};
+
+#[test]
+fn charles_beats_every_baseline_on_example1() {
+    let scenario = example1();
+    let pair = SnapshotPair::align(scenario.source, scenario.target).unwrap();
+    let config = CharlesConfig::default();
+    let top_score = Charles::from_pair(pair.clone(), "bonus")
+        .unwrap()
+        .with_condition_attrs(["edu", "exp", "gen"])
+        .with_transform_attrs(["bonus", "salary"])
+        .run()
+        .unwrap()
+        .top()
+        .unwrap()
+        .scores
+        .score;
+    for baseline in all_baselines(&pair, "bonus", &config).unwrap() {
+        assert!(
+            top_score > baseline.scores.score,
+            "baseline {} scored {} ≥ ChARLES {}",
+            baseline.name,
+            baseline.scores.score,
+            top_score
+        );
+    }
+}
+
+#[test]
+fn charles_beats_every_baseline_on_county() {
+    let scenario = county(600, 13);
+    let pair = SnapshotPair::align(scenario.source, scenario.target).unwrap();
+    let config = CharlesConfig::default();
+    let top_score = Charles::from_pair(pair.clone(), "base_salary")
+        .unwrap()
+        .run()
+        .unwrap()
+        .top()
+        .unwrap()
+        .scores
+        .score;
+    for baseline in all_baselines(&pair, "base_salary", &config).unwrap() {
+        assert!(
+            top_score > baseline.scores.score,
+            "baseline {} scored {} ≥ ChARLES {}",
+            baseline.name,
+            baseline.scores.score,
+            top_score
+        );
+    }
+}
+
+#[test]
+fn baseline_tradeoff_shape() {
+    // The paper's framing: the exhaustive list maximizes accuracy with
+    // rock-bottom interpretability; R4-style flat summaries are the
+    // opposite.
+    let scenario = example1();
+    let pair = SnapshotPair::align(scenario.source, scenario.target).unwrap();
+    let config = CharlesConfig::default();
+    let reports = all_baselines(&pair, "bonus", &config).unwrap();
+    let by_name = |name: &str| {
+        reports
+            .iter()
+            .find(|r| r.name.starts_with(name))
+            .unwrap_or_else(|| panic!("missing baseline {name}"))
+    };
+    let exhaustive = by_name("exhaustive");
+    let r4 = by_name("flat-ratio");
+    assert_eq!(exhaustive.scores.accuracy, 1.0);
+    assert!(r4.scores.interpretability > exhaustive.scores.interpretability);
+    assert!(exhaustive.scores.accuracy > r4.scores.accuracy);
+    assert!(exhaustive.explanation_units > r4.explanation_units);
+}
+
+#[test]
+fn diff_layer_sees_exactly_the_policy_changes() {
+    let scenario = example1();
+    let pair = SnapshotPair::align(scenario.source.clone(), scenario.target.clone()).unwrap();
+    // Figure 1: 7 employees' bonuses changed; Cathy and James did not.
+    let changes = diff_attr(&pair, "bonus").unwrap();
+    assert_eq!(changes.len(), 7);
+    assert!(changes.iter().all(|c| c.attr == "bonus"));
+    assert!(!changes.iter().any(|c| c.key == Value::str("Cathy")));
+    assert!(!changes.iter().any(|c| c.key == Value::str("James")));
+
+    let stats = change_stats(&pair).unwrap();
+    assert_eq!(stats.rows, 9);
+    assert_eq!(stats.rows_changed, 7);
+    assert_eq!(stats.cells_changed, 7);
+    let bonus = &stats.per_attr["bonus"];
+    assert!(bonus.mean_delta.unwrap() > 0.0, "bonuses only increased");
+    assert_eq!(bonus.min_delta.unwrap(), 790.0); // Allen: 13790 − 13000
+
+    // Update distance: same entities, so modifications only.
+    let d = update_distance(&scenario.source, &scenario.target, "name").unwrap();
+    assert_eq!(d.inserts, 0);
+    assert_eq!(d.deletes, 0);
+    assert_eq!(d.modifications, 7);
+}

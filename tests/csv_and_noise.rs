@@ -1,0 +1,101 @@
+//! Integration tests: CSV ingestion path and noise robustness.
+
+use charles::core::{evaluate_recovery, Charles, CharlesConfig, TruthRule};
+use charles::prelude::*;
+use charles::synth::{county, employees, perturb};
+
+#[test]
+fn csv_roundtrip_preserves_recovery() {
+    let scenario = county(300, 17);
+    let dir = std::env::temp_dir().join("charles-test-csv");
+    std::fs::create_dir_all(&dir).unwrap();
+    let sp = dir.join("src.csv");
+    let tp = dir.join("tgt.csv");
+    write_csv_path(&scenario.source, &sp).unwrap();
+    write_csv_path(&scenario.target, &tp).unwrap();
+
+    let source = read_csv_path(&sp).unwrap().with_key("name").unwrap();
+    let target = read_csv_path(&tp).unwrap().with_key("name").unwrap();
+    assert!(source.content_eq(&scenario.source));
+    assert!(target.content_eq(&scenario.target));
+
+    let direct = Charles::new(scenario.source, scenario.target, "base_salary")
+        .unwrap()
+        .run()
+        .unwrap();
+    let roundtripped = Charles::new(source, target, "base_salary")
+        .unwrap()
+        .run()
+        .unwrap();
+    assert_eq!(
+        direct.top().unwrap().signature(),
+        roundtripped.top().unwrap().signature()
+    );
+}
+
+fn recovery_ari(noise_fraction: f64, alpha: f64) -> f64 {
+    let scenario = employees(300, 23);
+    let noisy_target = perturb(
+        &scenario.target,
+        "bonus",
+        noise_fraction,
+        0.5,
+        99,
+    )
+    .unwrap()
+    .table;
+    let pair = SnapshotPair::align(scenario.source.clone(), noisy_target).unwrap();
+    let result = Charles::from_pair(pair.clone(), "bonus")
+        .unwrap()
+        .with_config(CharlesConfig::default().with_alpha(alpha))
+        .with_condition_attrs(["edu", "exp", "gen"])
+        .with_transform_attrs(["bonus", "salary"])
+        .run()
+        .unwrap();
+    let rules: Vec<TruthRule> = scenario
+        .policy
+        .rule_pairs()
+        .into_iter()
+        .map(|(condition, expr)| TruthRule { condition, expr })
+        .collect();
+    evaluate_recovery(
+        result.top().unwrap(),
+        &pair,
+        "bonus",
+        &rules,
+        &CharlesConfig::default(),
+    )
+    .unwrap()
+    .ari
+}
+
+#[test]
+fn noise_free_recovery_is_perfect_and_degrades_gracefully() {
+    let clean = recovery_ari(0.0, 0.5);
+    assert!(clean > 0.999, "clean ARI {clean}");
+    // Under contamination, accuracy saturates and interpretability starts
+    // dominating the default α = 0.5 ranking — the paper's α knob exists
+    // precisely for this: an accuracy-focused user raises α and the true
+    // structure surfaces again.
+    let light = recovery_ari(0.05, 0.9);
+    assert!(light > 0.9, "ARI at 5% noise, α = 0.9: {light}");
+    // Heavy contamination: the engine must still run and produce ranked,
+    // valid output (quality is measured by experiment E6, not asserted).
+    let heavy = recovery_ari(0.4, 0.9);
+    assert!((-1.0..=1.0).contains(&heavy));
+}
+
+#[test]
+fn engine_handles_all_rows_noisy() {
+    // Pure noise: no latent policy at all. The engine should still return
+    // *some* ranked summaries without panicking, with sane scores.
+    let scenario = employees(150, 31);
+    let noisy = perturb(&scenario.source, "bonus", 1.0, 0.3, 7).unwrap().table;
+    let pair = SnapshotPair::align(scenario.source, noisy).unwrap();
+    let result = Charles::from_pair(pair, "bonus").unwrap().run().unwrap();
+    assert!(!result.summaries.is_empty());
+    for s in &result.summaries {
+        assert!(s.scores.score.is_finite());
+        assert!((0.0..=1.0).contains(&s.scores.score));
+    }
+}

@@ -1,0 +1,188 @@
+//! End-to-end integration tests: full recovery pipeline over every
+//! synthetic scenario, with ground-truth verification.
+
+use charles::core::{
+    evaluate_recovery, Charles, CharlesConfig, LinearModelTree, PartitionViz, TruthRule,
+};
+use charles::prelude::*;
+use charles::synth::{billionaires, county, employees, example1};
+
+fn truth_rules(scenario: &charles::synth::Scenario) -> Vec<TruthRule> {
+    scenario
+        .policy
+        .rule_pairs()
+        .into_iter()
+        .map(|(condition, expr)| TruthRule { condition, expr })
+        .collect()
+}
+
+#[test]
+fn example1_exact_recovery() {
+    let scenario = example1();
+    let pair = SnapshotPair::align(scenario.source.clone(), scenario.target.clone()).unwrap();
+    let engine = Charles::from_pair(pair.clone(), "bonus")
+        .unwrap()
+        .with_condition_attrs(["edu", "exp", "gen"])
+        .with_transform_attrs(["bonus", "salary"]);
+    let result = engine.run().unwrap();
+    let top = result.top().unwrap();
+
+    assert!(top.scores.accuracy > 0.999, "accuracy {}", top.scores.accuracy);
+    let rendered = top.to_string();
+    assert!(rendered.contains("1.05 × old_bonus + 1000"), "{rendered}");
+    assert!(rendered.contains("1.04 × old_bonus + 800"), "{rendered}");
+    assert!(rendered.contains("no change"), "{rendered}");
+
+    let report =
+        evaluate_recovery(top, &pair, "bonus", &truth_rules(&scenario), &CharlesConfig::default())
+            .unwrap();
+    assert!((report.ari - 1.0).abs() < 1e-9, "ARI {}", report.ari);
+    assert!(report.prediction_nmae < 1e-9);
+}
+
+#[test]
+fn scaled_employees_recover_r3_coefficients() {
+    // With enough MS-junior employees, R3's (1.03, 400) becomes
+    // identifiable (unlike the 9-row Figure 1 where it covers one person).
+    let scenario = employees(300, 11);
+    let pair = SnapshotPair::align(scenario.source.clone(), scenario.target.clone()).unwrap();
+    let engine = Charles::from_pair(pair.clone(), "bonus")
+        .unwrap()
+        .with_condition_attrs(["edu", "exp", "gen"])
+        .with_transform_attrs(["bonus", "salary"]);
+    let result = engine.run().unwrap();
+    let top = result.top().unwrap();
+    assert!(top.scores.accuracy > 0.999, "accuracy {}", top.scores.accuracy);
+    let rendered = top.to_string();
+    assert!(rendered.contains("1.05 × old_bonus + 1000"), "{rendered}");
+    assert!(rendered.contains("1.04 × old_bonus + 800"), "{rendered}");
+    assert!(rendered.contains("1.03 × old_bonus + 400"), "{rendered}");
+
+    let report =
+        evaluate_recovery(top, &pair, "bonus", &truth_rules(&scenario), &CharlesConfig::default())
+            .unwrap();
+    assert!(report.ari > 0.999, "ARI {}", report.ari);
+    assert!(report.mean_rule_jaccard > 0.999);
+}
+
+#[test]
+fn county_recovery_with_assistant_defaults() {
+    let scenario = county(800, 42);
+    let pair = SnapshotPair::align(scenario.source.clone(), scenario.target.clone()).unwrap();
+    let engine = Charles::from_pair(pair.clone(), "base_salary").unwrap();
+    let result = engine.run().unwrap();
+    let top = result.top().unwrap();
+    assert!(top.scores.accuracy > 0.999, "accuracy {}", top.scores.accuracy);
+    let report = evaluate_recovery(
+        top,
+        &pair,
+        "base_salary",
+        &truth_rules(&scenario),
+        &CharlesConfig::default(),
+    )
+    .unwrap();
+    assert!(report.ari > 0.95, "ARI {}", report.ari);
+    assert!(report.prediction_nmae < 1e-6, "NMAE {}", report.prediction_nmae);
+}
+
+#[test]
+fn billionaires_recovery() {
+    let scenario = billionaires(300, 7);
+    let pair = SnapshotPair::align(scenario.source.clone(), scenario.target.clone()).unwrap();
+    let engine = Charles::from_pair(pair.clone(), "net_worth")
+        .unwrap()
+        .with_config(
+            CharlesConfig::default()
+                .with_max_condition_attrs(2)
+                .with_max_transform_attrs(1),
+        );
+    let result = engine.run().unwrap();
+    let top = result.top().unwrap();
+    assert!(top.scores.accuracy > 0.99, "accuracy {}", top.scores.accuracy);
+    let rendered = top.to_string();
+    assert!(rendered.contains("1.15"), "{rendered}");
+    assert!(rendered.contains("0.92"), "{rendered}");
+}
+
+#[test]
+fn runs_are_deterministic() {
+    let scenario = county(400, 3);
+    let run = || {
+        let pair =
+            SnapshotPair::align(scenario.source.clone(), scenario.target.clone()).unwrap();
+        let result = Charles::from_pair(pair, "base_salary")
+            .unwrap()
+            .run()
+            .unwrap();
+        result
+            .summaries
+            .iter()
+            .map(|s| s.signature())
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn alpha_zero_prefers_simpler_summaries() {
+    let scenario = employees(120, 5);
+    let pair = SnapshotPair::align(scenario.source, scenario.target).unwrap();
+    let top_at = |alpha: f64| {
+        let result = Charles::from_pair(pair.clone(), "bonus")
+            .unwrap()
+            .with_config(CharlesConfig::default().with_alpha(alpha))
+            .run()
+            .unwrap();
+        let top = result.top().unwrap().clone();
+        top
+    };
+    let interpretable = top_at(0.0);
+    let accurate = top_at(1.0);
+    // α=1 maximizes accuracy; α=0 maximizes interpretability.
+    assert!(accurate.scores.accuracy >= interpretable.scores.accuracy - 1e-12);
+    assert!(
+        interpretable.scores.interpretability >= accurate.scores.interpretability - 1e-12
+    );
+    // And the interpretable one should not be bigger than the accurate one.
+    assert!(interpretable.len() <= accurate.len());
+}
+
+#[test]
+fn tree_and_viz_render_for_every_summary() {
+    let scenario = county(300, 9);
+    let pair = SnapshotPair::align(scenario.source, scenario.target).unwrap();
+    let result = Charles::from_pair(pair, "base_salary").unwrap().run().unwrap();
+    for summary in &result.summaries {
+        let tree = LinearModelTree::from_summary(summary);
+        let text = tree.to_string();
+        assert!(!text.is_empty());
+        assert!(tree.leaf_count() >= summary.len());
+        let viz = PartitionViz::from_summary(summary);
+        assert_eq!(viz.rects.len(), summary.len());
+        let vtext = viz.to_string();
+        assert!(vtext.contains('%'));
+    }
+}
+
+#[test]
+fn summary_partitions_are_disjoint_and_in_range() {
+    let scenario = county(500, 21);
+    let n = scenario.len();
+    let pair = SnapshotPair::align(scenario.source, scenario.target).unwrap();
+    let result = Charles::from_pair(pair, "base_salary").unwrap().run().unwrap();
+    for summary in &result.summaries {
+        let mut seen = vec![false; n];
+        for ct in &summary.cts {
+            for &row in &ct.rows {
+                assert!(row < n);
+                assert!(!seen[row], "row {row} covered twice");
+                seen[row] = true;
+            }
+        }
+        assert!(summary.total_coverage() <= 1.0 + 1e-9);
+        assert!(summary.scores.accuracy >= 0.0 && summary.scores.accuracy <= 1.0);
+        assert!(
+            summary.scores.interpretability >= 0.0 && summary.scores.interpretability <= 1.0
+        );
+    }
+}

@@ -1,0 +1,154 @@
+//! Property-based tests over the full pipeline: for *any* small population
+//! evolved by *any* affine policy keyed on a categorical attribute, the
+//! engine must uphold its structural invariants — and when the policy is
+//! exactly representable, recover it with near-perfect accuracy.
+
+use charles::core::{Charles, CharlesConfig};
+use charles::prelude::*;
+use proptest::prelude::*;
+
+/// A generated population plus an affine two-group policy.
+#[derive(Debug, Clone)]
+struct Case {
+    groups: Vec<u8>,    // group id per row (0 or 1)
+    base: Vec<f64>,     // target attribute values
+    scale0: f64,
+    offset0: f64,
+    scale1: f64,
+    offset1: f64,
+}
+
+fn case_strategy() -> impl Strategy<Value = Case> {
+    let row = (0u8..2, 1_000.0f64..100_000.0);
+    (
+        proptest::collection::vec(row, 8..40),
+        0.8f64..1.5,
+        -500.0f64..2_000.0,
+        0.8f64..1.5,
+        -500.0f64..2_000.0,
+    )
+        .prop_map(|(rows, scale0, offset0, scale1, offset1)| {
+            let (groups, base): (Vec<u8>, Vec<f64>) = rows.into_iter().unzip();
+            Case {
+                groups,
+                base,
+                scale0: (scale0 * 100.0).round() / 100.0,
+                offset0: offset0.round(),
+                scale1: (scale1 * 100.0).round() / 100.0,
+                offset1: offset1.round(),
+            }
+        })
+        .prop_filter("both groups present", |c| {
+            c.groups.iter().any(|&g| g == 0) && c.groups.iter().any(|&g| g == 1)
+        })
+}
+
+fn build_pair(case: &Case) -> SnapshotPair {
+    let n = case.groups.len();
+    let names: Vec<String> = (0..n).map(|i| format!("e{i}")).collect();
+    let teams: Vec<&str> = case
+        .groups
+        .iter()
+        .map(|&g| if g == 0 { "A" } else { "B" })
+        .collect();
+    let source = TableBuilder::new("s")
+        .str_col("name", &names)
+        .str_col("team", &teams)
+        .float_col("pay", &case.base)
+        .key("name")
+        .build()
+        .unwrap();
+    let new_pay: Vec<f64> = case
+        .groups
+        .iter()
+        .zip(case.base.iter())
+        .map(|(&g, &p)| {
+            if g == 0 {
+                case.scale0 * p + case.offset0
+            } else {
+                case.scale1 * p + case.offset1
+            }
+        })
+        .collect();
+    let target = TableBuilder::new("t")
+        .str_col("name", &names)
+        .str_col("team", &teams)
+        .float_col("pay", &new_pay)
+        .key("name")
+        .build()
+        .unwrap();
+    SnapshotPair::align(source, target).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn engine_invariants_hold(case in case_strategy()) {
+        let n = case.groups.len();
+        let pair = build_pair(&case);
+        let result = Charles::from_pair(pair, "pay")
+            .unwrap()
+            .with_config(CharlesConfig::default().with_threads(1))
+            .run()
+            .unwrap();
+        prop_assert!(!result.summaries.is_empty());
+        for s in &result.summaries {
+            // Scores in range.
+            prop_assert!((0.0..=1.0).contains(&s.scores.accuracy));
+            prop_assert!((0.0..=1.0).contains(&s.scores.interpretability));
+            prop_assert!((0.0..=1.0).contains(&s.scores.score));
+            // Partitions disjoint, rows in range, coverage bounded.
+            let mut seen = vec![false; n];
+            for ct in &s.cts {
+                prop_assert!(!ct.rows.is_empty());
+                for &row in &ct.rows {
+                    prop_assert!(row < n);
+                    prop_assert!(!seen[row]);
+                    seen[row] = true;
+                }
+                prop_assert!((0.0..=1.0 + 1e-9).contains(&ct.coverage));
+                prop_assert!(ct.mae.is_finite() && ct.mae >= 0.0);
+            }
+            prop_assert!(s.total_coverage() <= 1.0 + 1e-9);
+        }
+        // Ranking is by descending score.
+        for w in result.summaries.windows(2) {
+            prop_assert!(w[0].scores.score >= w[1].scores.score - 1e-12);
+        }
+    }
+
+    #[test]
+    fn representable_policies_recovered_accurately(case in case_strategy()) {
+        // Skip nearly-indistinguishable group behaviours: recovery cannot
+        // separate what is numerically identical.
+        prop_assume!(
+            (case.scale0 - case.scale1).abs() > 0.02
+                || (case.offset0 - case.offset1).abs() > 100.0
+        );
+        // The condition attribute is supplied explicitly (demo steps 4–5
+        // allow the user to pick attributes) and α = 0.9 prioritizes
+        // accuracy: this property isolates the search + scoring layers.
+        // Whether the *assistant* shortlists the attribute unaided, and
+        // whether the exact summary also wins at the default α = 0.5,
+        // depend on statistical identifiability of the draw and are
+        // covered by the scenario tests (E1/E4) — on adversarial draws
+        // (tiny n, 60× value spreads, ragged constants) an almost-exact
+        //-but-rounder summary may legitimately out-rank the exact one at
+        // α = 0.5.
+        let pair = build_pair(&case);
+        let result = Charles::from_pair(pair, "pay")
+            .unwrap()
+            .with_config(CharlesConfig::default().with_alpha(0.9).with_threads(1))
+            .with_condition_attrs(["team"])
+            .run()
+            .unwrap();
+        let top = result.top().unwrap();
+        prop_assert!(
+            top.scores.accuracy > 0.98,
+            "accuracy {} for case {:?}",
+            top.scores.accuracy,
+            case
+        );
+    }
+}

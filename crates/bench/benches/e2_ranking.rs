@@ -12,8 +12,16 @@ fn bench(c: &mut Criterion) {
     let scenario = employees(100, 7);
     let pair = pair_of(&scenario);
     let config = CharlesConfig::default().with_threads(1);
-    let cond = vec!["edu".to_string(), "exp".to_string(), "gen".to_string()];
-    let tran = vec!["bonus".to_string(), "salary".to_string()];
+    let schema = pair.source().schema();
+    let cond: Vec<_> = ["edu", "exp", "gen"]
+        .iter()
+        .map(|a| schema.attr_ref(a).expect("attr"))
+        .collect();
+    let tran_names = vec!["bonus".to_string(), "salary".to_string()];
+    let tran: Vec<_> = tran_names
+        .iter()
+        .map(|a| schema.attr_ref(a).expect("attr"))
+        .collect();
 
     let mut group = c.benchmark_group("e2_ranking");
     group.sample_size(20);
@@ -21,7 +29,7 @@ fn bench(c: &mut Criterion) {
         b.iter(|| black_box(generate_candidates(&cond, &tran, &config).len()))
     });
     group.bench_function("evaluate_and_rank_n200", |b| {
-        let ctx = SearchContext::new(&pair, "bonus", &tran, &config).expect("ctx");
+        let ctx = SearchContext::new(&pair, "bonus", &tran_names, &config).expect("ctx");
         let candidates = generate_candidates(&cond, &tran, &config);
         b.iter(|| {
             let (ranked, stats) = run_search(&ctx, &candidates).expect("search");

@@ -17,10 +17,7 @@ fn bench(c: &mut Criterion) {
             &alpha,
             |b, &alpha| {
                 b.iter(|| {
-                    let engine = engine_for(
-                        &scenario,
-                        CharlesConfig::default().with_alpha(alpha),
-                    );
+                    let engine = engine_for(&scenario, CharlesConfig::default().with_alpha(alpha));
                     black_box(engine.run().expect("run").summaries.len())
                 })
             },

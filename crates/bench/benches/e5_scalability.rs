@@ -18,11 +18,7 @@ fn bench_stages(c: &mut Criterion) {
         let pair = pair_of(&scenario);
         let y_new = pair.target_numeric_aligned("base_salary").expect("aligned");
         let y_old = pair.source().numeric("base_salary").expect("numeric");
-        let residuals: Vec<f64> = y_new
-            .iter()
-            .zip(y_old.iter())
-            .map(|(a, b)| a - b)
-            .collect();
+        let residuals: Vec<f64> = y_new.iter().zip(y_old.iter()).map(|(a, b)| a - b).collect();
         group.throughput(Throughput::Elements(n as u64));
         group.bench_with_input(
             BenchmarkId::new("cluster_residuals_k4", n),
@@ -32,7 +28,11 @@ fn bench_stages(c: &mut Criterion) {
             },
         );
         let labels = cluster_residuals(&residuals, 4, &config).expect("cluster");
-        let cond = vec!["department".to_string(), "grade".to_string()];
+        let schema = pair.source().schema();
+        let cond: Vec<_> = ["department", "grade"]
+            .iter()
+            .map(|a| schema.attr_ref(a).expect("attr"))
+            .collect();
         group.bench_with_input(
             BenchmarkId::new("induce_partitions", n),
             &labels,

@@ -26,8 +26,7 @@ fn bench(c: &mut Criterion) {
             &scenario,
             |b, scenario| {
                 b.iter(|| {
-                    let engine =
-                        engine_for(scenario, CharlesConfig::default());
+                    let engine = engine_for(scenario, CharlesConfig::default());
                     black_box(engine.run().expect("run").summaries.len())
                 })
             },

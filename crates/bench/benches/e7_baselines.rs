@@ -4,8 +4,8 @@
 use charles_bench::pair_of;
 use charles_core::CharlesConfig;
 use charles_diff::{
-    exhaustive_list_baseline, flat_delta_baseline, flat_ratio_baseline,
-    global_regression_baseline, no_change_baseline, update_distance,
+    exhaustive_list_baseline, flat_delta_baseline, flat_ratio_baseline, global_regression_baseline,
+    no_change_baseline, update_distance,
 };
 use charles_synth::county;
 use criterion::{criterion_group, criterion_main, Criterion};

@@ -22,8 +22,7 @@ fn bench(c: &mut Criterion) {
                 b.iter(|| {
                     let engine = engine_for(
                         &scenario,
-                        CharlesConfig::default()
-                            .with_partition_method(method),
+                        CharlesConfig::default().with_partition_method(method),
                     );
                     black_box(engine.run().expect("run").summaries.len())
                 })
@@ -31,19 +30,12 @@ fn bench(c: &mut Criterion) {
         );
     }
     for snap in [true, false] {
-        group.bench_with_input(
-            BenchmarkId::new("snapping", snap),
-            &snap,
-            |b, &snap| {
-                b.iter(|| {
-                    let engine = engine_for(
-                        &scenario,
-                        CharlesConfig::default().with_snapping(snap),
-                    );
-                    black_box(engine.run().expect("run").summaries.len())
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("snapping", snap), &snap, |b, &snap| {
+            b.iter(|| {
+                let engine = engine_for(&scenario, CharlesConfig::default().with_snapping(snap));
+                black_box(engine.run().expect("run").summaries.len())
+            })
+        });
     }
     group.finish();
 }

@@ -1,0 +1,120 @@
+//! A/B benchmark of the candidate-evaluation data plane, emitting
+//! `BENCH_search.json`.
+//!
+//! Two paths evaluate the *same* candidates on the e5 scalability workload
+//! (the county payroll scenario):
+//!
+//! - **naive** — the seed implementation's behaviour: every candidate
+//!   re-extracts its columns from the table (string-keyed lookups plus
+//!   full `Vec<f64>` copies) and refits the global regression
+//!   ([`charles_core::search::evaluate_candidate_naive`]);
+//! - **shared** — the zero-copy plane: one [`SearchContext`] holds
+//!   `Arc`-shared column views and a global-fit memo keyed by interned
+//!   attribute ids; candidates only read.
+//!
+//! Both paths produce identical summaries (asserted here and in the core
+//! test suite); the JSON records the throughput of each plus the speedup,
+//! seeding the perf trajectory for later PRs.
+//!
+//! Run: `cargo run --release -p charles-bench --bin bench_search [rows]`
+
+use charles_bench::pair_of;
+use charles_core::search::{
+    evaluate_candidate, evaluate_candidate_naive, generate_candidates, run_search, SearchContext,
+};
+use charles_core::CharlesConfig;
+use charles_synth::county;
+use std::time::Instant;
+
+fn main() {
+    let rows: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(4_000);
+    let target = "base_salary";
+    let scenario = county(rows, 42);
+    let pair = pair_of(&scenario);
+    let schema = pair.source().schema();
+    let config = CharlesConfig::default().with_threads(1);
+
+    let cond: Vec<_> = ["department", "grade", "division"]
+        .iter()
+        .map(|a| schema.attr_ref(a).expect("county attr"))
+        .collect();
+    let tran_names: Vec<String> = ["base_salary", "overtime_pay"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let tran: Vec<_> = tran_names
+        .iter()
+        .map(|a| schema.attr_ref(a).expect("county attr"))
+        .collect();
+    let candidates = generate_candidates(&cond, &tran, &config);
+    eprintln!(
+        "e5 workload: {rows} rows, {} candidates (c=department/grade/division, t=base_salary/overtime_pay)",
+        candidates.len()
+    );
+
+    // Shared zero-copy plane: one context, candidates only read.
+    let started = Instant::now();
+    let ctx = SearchContext::new(&pair, target, &tran_names, &config).expect("context");
+    let shared: Vec<_> = candidates
+        .iter()
+        .map(|c| evaluate_candidate(&ctx, c).expect("evaluate"))
+        .collect();
+    let shared_secs = started.elapsed().as_secs_f64();
+
+    // Naive plane: per-candidate extraction + refit, as in the seed.
+    let started = Instant::now();
+    let naive: Vec<_> = candidates
+        .iter()
+        .map(|c| evaluate_candidate_naive(&pair, target, c, &config).expect("evaluate"))
+        .collect();
+    let naive_secs = started.elapsed().as_secs_f64();
+
+    // The two planes must agree summary-for-summary.
+    let mut produced = 0usize;
+    for (i, (s, n)) in shared.iter().zip(naive.iter()).enumerate() {
+        match (s, n) {
+            (None, None) => {}
+            (Some(s), Some(n)) => {
+                assert_eq!(
+                    s.signature(),
+                    n.signature(),
+                    "data planes disagree on candidate {i}"
+                );
+                produced += 1;
+            }
+            _ => panic!("data planes disagree on candidate {i} feasibility"),
+        }
+    }
+
+    // End-to-end parallel search wall time on the shared plane, for the
+    // perf trajectory.
+    let started = Instant::now();
+    let par_config = CharlesConfig::default();
+    let par_ctx = SearchContext::new(&pair, target, &tran_names, &par_config).expect("context");
+    let (ranked, stats) = run_search(&par_ctx, &candidates).expect("search");
+    let parallel_secs = started.elapsed().as_secs_f64();
+
+    let n_cands = candidates.len() as f64;
+    let shared_tput = n_cands / shared_secs;
+    let naive_tput = n_cands / naive_secs;
+    let speedup = shared_tput / naive_tput;
+    let json = format!(
+        "{{\n  \"workload\": \"e5_county_scalability\",\n  \"rows\": {rows},\n  \"candidates\": {},\n  \"summaries_produced\": {produced},\n  \"naive_seconds\": {naive_secs:.4},\n  \"shared_seconds\": {shared_secs:.4},\n  \"naive_candidates_per_sec\": {naive_tput:.2},\n  \"shared_candidates_per_sec\": {shared_tput:.2},\n  \"speedup\": {speedup:.2},\n  \"parallel_search_seconds\": {parallel_secs:.4},\n  \"parallel_threads\": {},\n  \"ranked_summaries\": {},\n  \"distinct_summaries\": {}\n}}\n",
+        candidates.len(),
+        par_config.effective_threads(),
+        ranked.len(),
+        stats.distinct,
+    );
+    std::fs::write("BENCH_search.json", &json).expect("write BENCH_search.json");
+    print!("{json}");
+    eprintln!(
+        "speedup (shared vs naive, single-threaded): {speedup:.2}x — wrote BENCH_search.json"
+    );
+    assert!(
+        speedup >= 1.5,
+        "shared data plane must be ≥ 1.5x the naive extraction path, got {speedup:.2}x"
+    );
+}

@@ -38,12 +38,11 @@ pub fn engine_for(scenario: &Scenario, config: CharlesConfig) -> Charles {
 }
 
 /// Run a scenario and evaluate the top summary against ground truth.
-pub fn run_and_evaluate(
-    scenario: &Scenario,
-    config: CharlesConfig,
-) -> (RunResult, RecoveryReport) {
+pub fn run_and_evaluate(scenario: &Scenario, config: CharlesConfig) -> (RunResult, RecoveryReport) {
     let pair = pair_of(scenario);
-    let result = engine_for(scenario, config.clone()).run().expect("engine runs");
+    let result = engine_for(scenario, config.clone())
+        .run()
+        .expect("engine runs");
     let top = result.top().expect("summaries produced");
     let report = evaluate_recovery(
         top,

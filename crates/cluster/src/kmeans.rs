@@ -115,10 +115,7 @@ fn validate(points: &[Vec<f64>], k: usize) -> Result<usize> {
 fn seed_centroids(points: &[Vec<f64>], k: usize, rng: &mut StdRng) -> Vec<Vec<f64>> {
     let mut centroids: Vec<Vec<f64>> = Vec::with_capacity(k);
     centroids.push(points[rng.gen_range(0..points.len())].clone());
-    let mut dists: Vec<f64> = points
-        .iter()
-        .map(|p| sq_dist(p, &centroids[0]))
-        .collect();
+    let mut dists: Vec<f64> = points.iter().map(|p| sq_dist(p, &centroids[0])).collect();
     while centroids.len() < k {
         let total: f64 = dists.iter().sum();
         let next = if total <= 0.0 {
@@ -242,10 +239,16 @@ mod tests {
     fn two_blobs() -> Vec<Vec<f64>> {
         let mut pts = Vec::new();
         for i in 0..20 {
-            pts.push(vec![0.0 + (i % 5) as f64 * 0.01, 0.0 + (i / 5) as f64 * 0.01]);
+            pts.push(vec![
+                0.0 + (i % 5) as f64 * 0.01,
+                0.0 + (i / 5) as f64 * 0.01,
+            ]);
         }
         for i in 0..20 {
-            pts.push(vec![10.0 + (i % 5) as f64 * 0.01, 10.0 + (i / 5) as f64 * 0.01]);
+            pts.push(vec![
+                10.0 + (i % 5) as f64 * 0.01,
+                10.0 + (i / 5) as f64 * 0.01,
+            ]);
         }
         pts
     }

@@ -45,10 +45,7 @@ fn kmeans_1d_sampled(values: &[f64], k: usize) -> Result<KMeansResult> {
     let sub = kmeans_1d_exact(&sample, k.min(sample.len()))?;
     // Centroids are value-ordered; assign by nearest midpoint boundary.
     let centers: Vec<f64> = sub.centroids.iter().map(|c| c[0]).collect();
-    let boundaries: Vec<f64> = centers
-        .windows(2)
-        .map(|w| (w[0] + w[1]) / 2.0)
-        .collect();
+    let boundaries: Vec<f64> = centers.windows(2).map(|w| (w[0] + w[1]) / 2.0).collect();
     let assign = |v: f64| -> usize { boundaries.iter().take_while(|&&b| v >= b).count() };
     let assignments: Vec<usize> = values.iter().map(|&v| assign(v)).collect();
     // Recompute centroids and inertia over the full data.

@@ -76,7 +76,7 @@ proptest! {
         }
         // Every non-noise cluster id is actually used.
         for c in 0..res.n_clusters {
-            prop_assert!(res.labels.iter().any(|&l| l == c as isize));
+            prop_assert!(res.labels.contains(&(c as isize)));
         }
     }
 

@@ -62,7 +62,7 @@ fn category_codes(col: &Column) -> Vec<u32> {
             .iter()
             .enumerate()
             .map(|(i, &c)| {
-                if validity.as_ref().map_or(true, |m| m[i]) {
+                if validity.as_ref().is_none_or(|m| m[i]) {
                     c + 1
                 } else {
                     0
@@ -73,7 +73,7 @@ fn category_codes(col: &Column) -> Vec<u32> {
             .iter()
             .enumerate()
             .map(|(i, &b)| {
-                if validity.as_ref().map_or(true, |m| m[i]) {
+                if validity.as_ref().is_none_or(|m| m[i]) {
                     1 + u32::from(b)
                 } else {
                     0
@@ -276,11 +276,7 @@ pub fn analyze(
     }
     let y_new = pair.target_numeric_aligned(target_attr)?;
     let y_old = source.numeric(target_attr).map_err(CharlesError::from)?;
-    let delta: Vec<f64> = y_new
-        .iter()
-        .zip(y_old.iter())
-        .map(|(n, o)| n - o)
-        .collect();
+    let delta: Vec<f64> = y_new.iter().zip(y_old.iter()).map(|(n, o)| n - o).collect();
     let rel_delta: Vec<f64> = y_new
         .iter()
         .zip(y_old.iter())

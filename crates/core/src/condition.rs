@@ -6,51 +6,56 @@
 //! more normal, larger matched partitions cover more.
 
 use charles_numerics::normality::roundness;
-use charles_relation::{CmpOp, Predicate, Table, Value};
+use charles_relation::{AttrRef, CmpOp, Predicate, Table, Value};
 use std::fmt;
 
 /// One atomic statement about an attribute.
+///
+/// Attributes are carried as [`AttrRef`] handles: engine-built descriptors
+/// hold interned ids, so compiling and evaluating the condition never hashes
+/// an attribute name; descriptors built from bare strings (tests, external
+/// callers) behave identically through the by-name fallback.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Descriptor {
     /// `attr = value` (categorical equality).
     Equals {
-        /// Attribute name.
-        attr: String,
+        /// Attribute handle.
+        attr: AttrRef,
         /// Matched value.
         value: Value,
     },
     /// `attr ≠ value`.
     NotEquals {
-        /// Attribute name.
-        attr: String,
+        /// Attribute handle.
+        attr: AttrRef,
         /// Excluded value.
         value: Value,
     },
     /// `attr ∈ {values}` (categorical membership).
     OneOf {
-        /// Attribute name.
-        attr: String,
+        /// Attribute handle.
+        attr: AttrRef,
         /// Matched values (sorted).
         values: Vec<Value>,
     },
     /// `attr < threshold` (numeric).
     LessThan {
-        /// Attribute name.
-        attr: String,
+        /// Attribute handle.
+        attr: AttrRef,
         /// Exclusive upper bound.
         threshold: f64,
     },
     /// `attr ≥ threshold` (numeric).
     AtLeast {
-        /// Attribute name.
-        attr: String,
+        /// Attribute handle.
+        attr: AttrRef,
         /// Inclusive lower bound.
         threshold: f64,
     },
     /// `lo ≤ attr < hi` (numeric bin).
     InRange {
-        /// Attribute name.
-        attr: String,
+        /// Attribute handle.
+        attr: AttrRef,
         /// Inclusive lower bound.
         lo: f64,
         /// Exclusive upper bound.
@@ -59,8 +64,13 @@ pub enum Descriptor {
 }
 
 impl Descriptor {
-    /// The attribute this descriptor constrains.
+    /// The name of the attribute this descriptor constrains.
     pub fn attr(&self) -> &str {
+        self.attr_ref().name()
+    }
+
+    /// The attribute handle this descriptor constrains.
+    pub fn attr_ref(&self) -> &AttrRef {
         match self {
             Descriptor::Equals { attr, .. }
             | Descriptor::NotEquals { attr, .. }
@@ -111,9 +121,7 @@ impl Descriptor {
             Descriptor::Equals { value, .. } | Descriptor::NotEquals { value, .. } => {
                 value.as_f64().map_or_else(Vec::new, |v| vec![v])
             }
-            Descriptor::OneOf { values, .. } => {
-                values.iter().filter_map(Value::as_f64).collect()
-            }
+            Descriptor::OneOf { values, .. } => values.iter().filter_map(Value::as_f64).collect(),
         }
     }
 

@@ -186,9 +186,7 @@ impl CharlesConfig {
             ));
         }
         if self.max_tree_depth == 0 {
-            return Err(CharlesError::BadConfig(
-                "max_tree_depth must be ≥ 1".into(),
-            ));
+            return Err(CharlesError::BadConfig("max_tree_depth must be ≥ 1".into()));
         }
         if self.accuracy_sharpness <= 0.0 || !self.accuracy_sharpness.is_finite() {
             return Err(CharlesError::BadConfig(format!(
@@ -264,20 +262,32 @@ mod tests {
             .with_max_transform_attrs(0)
             .validate()
             .is_err());
-        assert!(CharlesConfig::default().with_k_range(0, 3).validate().is_err());
-        assert!(CharlesConfig::default().with_k_range(4, 3).validate().is_err());
+        assert!(CharlesConfig::default()
+            .with_k_range(0, 3)
+            .validate()
+            .is_err());
+        assert!(CharlesConfig::default()
+            .with_k_range(4, 3)
+            .validate()
+            .is_err());
         assert!(CharlesConfig::default()
             .with_max_summaries(0)
             .validate()
             .is_err());
-        let mut c = CharlesConfig::default();
-        c.interpretability_weights = [0.5, 0.5, 0.5, 0.5];
+        let c = CharlesConfig {
+            interpretability_weights: [0.5, 0.5, 0.5, 0.5],
+            ..CharlesConfig::default()
+        };
         assert!(c.validate().is_err());
-        let mut c = CharlesConfig::default();
-        c.min_partition_fraction = 1.0;
+        let c = CharlesConfig {
+            min_partition_fraction: 1.0,
+            ..CharlesConfig::default()
+        };
         assert!(c.validate().is_err());
-        let mut c = CharlesConfig::default();
-        c.snap_tolerance = -0.1;
+        let c = CharlesConfig {
+            snap_tolerance: -0.1,
+            ..CharlesConfig::default()
+        };
         assert!(c.validate().is_err());
     }
 

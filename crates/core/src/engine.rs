@@ -246,14 +246,26 @@ impl Charles {
 
     /// Full run: assistant, enumeration, parallel evaluation, ranking
     /// (demo steps 6–8).
+    ///
+    /// Attribute names are interned against the schema here, at the engine
+    /// boundary; everything downstream operates on integer-keyed handles.
     pub fn run(&self) -> Result<RunResult> {
         self.config.validate()?;
         let setup = analyze(&self.pair, &self.target_attr, &self.config)?;
         let (cond, tran) = self.resolve_attrs(&setup)?;
+        let schema = self.pair.source().schema();
+        let cond_refs: Vec<charles_relation::AttrRef> = cond
+            .iter()
+            .map(|a| schema.attr_ref(a))
+            .collect::<charles_relation::Result<_>>()?;
+        let tran_refs: Vec<charles_relation::AttrRef> = tran
+            .iter()
+            .map(|a| schema.attr_ref(a))
+            .collect::<charles_relation::Result<_>>()?;
 
         let started = Instant::now();
         let ctx = SearchContext::new(&self.pair, &self.target_attr, &tran, &self.config)?;
-        let candidates = generate_candidates(&cond, &tran, &self.config);
+        let candidates = generate_candidates(&cond_refs, &tran_refs, &self.config);
         if candidates.is_empty() {
             return Err(CharlesError::NoCandidates(format!(
                 "empty search space (|A_cond|={}, |A_tran|={}, c={}, t={})",
@@ -285,7 +297,9 @@ mod tests {
         TableBuilder::new("2016")
             .str_col(
                 "name",
-                &["Anne", "Bob", "Amber", "Allen", "Cathy", "Tom", "James", "Lucy", "Frank"],
+                &[
+                    "Anne", "Bob", "Amber", "Allen", "Cathy", "Tom", "James", "Lucy", "Frank",
+                ],
             )
             .str_col("gen", &["F", "M", "F", "M", "F", "M", "M", "F", "M"])
             .str_col(
@@ -303,8 +317,8 @@ mod tests {
             .float_col(
                 "bonus",
                 &[
-                    23_000.0, 25_000.0, 16_000.0, 13_000.0, 11_000.0, 15_000.0, 12_000.0,
-                    15_000.0, 21_000.0,
+                    23_000.0, 25_000.0, 16_000.0, 13_000.0, 11_000.0, 15_000.0, 12_000.0, 15_000.0,
+                    21_000.0,
                 ],
             )
             .key("name")
@@ -380,10 +394,7 @@ mod tests {
             top.scores.accuracy
         );
         // Condition candidates never include the target attribute itself.
-        assert!(!top
-            .condition_attrs
-            .iter()
-            .any(|a| a == "bonus"));
+        assert!(!top.condition_attrs.iter().any(|a| a == "bonus"));
     }
 
     #[test]

@@ -20,7 +20,7 @@ fn amount(v: f64) -> String {
         let s = int.to_string();
         let mut grouped = String::new();
         for (i, c) in s.chars().enumerate() {
-            if i > 0 && (s.len() - i) % 3 == 0 {
+            if i > 0 && (s.len() - i).is_multiple_of(3) {
                 grouped.push(',');
             }
             grouped.push(c);
@@ -266,8 +266,14 @@ mod tests {
         let text = explain_summary(&summary);
         let phd_pos = text.find("PhD").unwrap();
         let bs_pos = text.find("BS").unwrap();
-        assert!(phd_pos < bs_pos, "larger partition should come first:\n{text}");
-        assert!(text.starts_with("How \"bonus\" changed (2 rules):"), "{text}");
+        assert!(
+            phd_pos < bs_pos,
+            "larger partition should come first:\n{text}"
+        );
+        assert!(
+            text.starts_with("How \"bonus\" changed (2 rules):"),
+            "{text}"
+        );
     }
 
     #[test]

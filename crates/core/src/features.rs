@@ -54,12 +54,7 @@ impl FeatureSet {
     }
 }
 
-fn push_column(
-    fields: &mut Vec<Field>,
-    columns: &mut Vec<Column>,
-    name: String,
-    values: Vec<f64>,
-) {
+fn push_column(fields: &mut Vec<Field>, columns: &mut Vec<Column>, name: String, values: Vec<f64>) {
     fields.push(Field::new(name, charles_relation::DataType::Float64));
     columns.push(Column::from_f64(values));
 }
@@ -251,8 +246,12 @@ mod tests {
             .build()
             .unwrap();
         let pair = charles_relation::SnapshotPair::align(source, target).unwrap();
-        let (aug_pair, derived) =
-            augment(&pair, &["pay".into(), "hours".into()], FeatureSet::default()).unwrap();
+        let (aug_pair, derived) = augment(
+            &pair,
+            &["pay".into(), "hours".into()],
+            FeatureSet::default(),
+        )
+        .unwrap();
         assert!(derived.contains(&"pay/hours".to_string()));
         let result = Charles::from_pair(aug_pair, "pay")
             .unwrap()

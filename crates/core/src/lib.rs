@@ -90,15 +90,17 @@ pub use condition::{Condition, Descriptor};
 pub use config::{CharlesConfig, PartitionMethod};
 pub use ct::ConditionalTransformation;
 pub use engine::{Charles, RunResult};
+pub use error::{CharlesError, Result};
 pub use explain::{explain_ct, explain_summary};
 pub use features::{augment, augment_table, FeatureSet};
-pub use error::{CharlesError, Result};
 pub use recovery::{
-    adjusted_rand_index, evaluate_recovery, summary_labels, truth_labels, RecoveryReport,
-    TruthRule,
+    adjusted_rand_index, evaluate_recovery, summary_labels, truth_labels, RecoveryReport, TruthRule,
 };
 pub use score::ScoringContext;
-pub use search::{generate_candidates, run_search, Candidate, SearchContext, SearchStats};
+pub use search::{
+    evaluate_candidate, evaluate_candidate_naive, generate_candidates, run_search, Candidate,
+    SearchContext, SearchStats,
+};
 pub use summary::{ChangeSummary, InterpretabilityBreakdown, Scores};
 pub use transform::{Term, Transformation};
 pub use tree::{LinearModelTree, TreeNode};

@@ -20,7 +20,7 @@ use crate::error::Result;
 use charles_cluster::{dbscan, kmeans_1d};
 use charles_numerics::normality::{roundness, snap_candidates};
 use charles_numerics::stats::{mad, median};
-use charles_relation::{Column, Table, Value};
+use charles_relation::{AttrRef, Column, Table, Value};
 use std::collections::HashMap;
 
 /// A discovered partition: an expressible condition plus the rows that
@@ -106,9 +106,7 @@ pub fn cluster_residuals(
             let mut sorted = residuals.to_vec();
             sorted.sort_by(|a, b| a.total_cmp(b));
             // Boundaries at the i/k quantiles.
-            let bounds: Vec<f64> = (1..k)
-                .map(|i| sorted[(i * sorted.len()) / k])
-                .collect();
+            let bounds: Vec<f64> = (1..k).map(|i| sorted[(i * sorted.len()) / k]).collect();
             Ok(residuals
                 .iter()
                 .map(|&r| bounds.iter().take_while(|&&b| r >= b).count())
@@ -204,9 +202,51 @@ fn nice_threshold(below: f64, above: f64) -> f64 {
     best
 }
 
+/// The distinct values of a categorical column over a row subset, each
+/// with its rows (in row order). Dictionary-encoded columns group by
+/// integer code — no string hashing; the string is materialized once per
+/// distinct value for the descriptor. Falls back to value hashing only for
+/// non-dictionary categoricals (booleans). The null group, when present,
+/// carries `Value::Null`.
+fn categorical_groups(col: &Column, rows: &[usize]) -> Vec<(Value, Vec<usize>)> {
+    if let Some(view) = col.codes_view() {
+        const UNSEEN: usize = usize::MAX;
+        let mut slot_of_code = vec![UNSEEN; view.dict_len()];
+        let mut null_slot = UNSEEN;
+        let mut groups: Vec<(Value, Vec<usize>)> = Vec::new();
+        for &r in rows {
+            let slot = match view.code(r) {
+                Some(code) => {
+                    let slot = &mut slot_of_code[code as usize];
+                    if *slot == UNSEEN {
+                        *slot = groups.len();
+                        groups.push((col.get(r), Vec::new()));
+                    }
+                    *slot
+                }
+                None => {
+                    if null_slot == UNSEEN {
+                        null_slot = groups.len();
+                        groups.push((Value::Null, Vec::new()));
+                    }
+                    null_slot
+                }
+            };
+            groups[slot].1.push(r);
+        }
+        groups
+    } else {
+        let mut by_value: HashMap<Value, Vec<usize>> = HashMap::new();
+        for &r in rows {
+            by_value.entry(col.get(r)).or_default().push(r);
+        }
+        by_value.into_iter().collect()
+    }
+}
+
 /// Enumerate candidate splits for one attribute at a node.
 fn splits_for_attr(
-    attr: &str,
+    attr: &AttrRef,
     col: &Column,
     labels: &[usize],
     rows: &[usize],
@@ -251,12 +291,11 @@ fn splits_for_attr(
             if yes.len() < min_leaf || no.len() < min_leaf {
                 continue;
             }
-            let child =
-                (yes.len() as f64 / n) * gini(labels, &yes, n_labels)
-                    + (no.len() as f64 / n) * gini(labels, &no, n_labels);
+            let child = (yes.len() as f64 / n) * gini(labels, &yes, n_labels)
+                + (no.len() as f64 / n) * gini(labels, &no, n_labels);
             out.push(Split {
                 descriptor: Descriptor::LessThan {
-                    attr: attr.to_string(),
+                    attr: attr.clone(),
                     threshold,
                 },
                 yes,
@@ -265,21 +304,17 @@ fn splits_for_attr(
             });
         }
     } else {
-        // Categorical: one-vs-rest equality splits per distinct value.
-        let mut by_value: HashMap<Value, Vec<usize>> = HashMap::new();
-        for &r in rows {
-            by_value.entry(col.get(r)).or_default().push(r);
-        }
-        if by_value.len() < 2 || by_value.len() > 24 {
+        // Categorical: one-vs-rest equality splits per distinct value,
+        // grouped by dictionary code.
+        let mut groups = categorical_groups(col, rows);
+        if groups.len() < 2 || groups.len() > 24 {
             return out; // unsplittable or too high-cardinality
         }
-        let mut values: Vec<&Value> = by_value.keys().collect();
-        values.sort(); // determinism
-        for value in values {
+        groups.sort_by(|a, b| a.0.cmp(&b.0)); // determinism
+        for (value, yes) in groups {
             if value.is_null() {
                 continue;
             }
-            let yes = by_value[value].clone();
             let yes_set: std::collections::HashSet<usize> = yes.iter().copied().collect();
             let no: Vec<usize> = rows
                 .iter()
@@ -289,13 +324,12 @@ fn splits_for_attr(
             if yes.len() < min_leaf || no.len() < min_leaf {
                 continue;
             }
-            let child =
-                (yes.len() as f64 / n) * gini(labels, &yes, n_labels)
-                    + (no.len() as f64 / n) * gini(labels, &no, n_labels);
+            let child = (yes.len() as f64 / n) * gini(labels, &yes, n_labels)
+                + (no.len() as f64 / n) * gini(labels, &no, n_labels);
             out.push(Split {
                 descriptor: Descriptor::Equals {
-                    attr: attr.to_string(),
-                    value: (*value).clone(),
+                    attr: attr.clone(),
+                    value,
                 },
                 yes,
                 no,
@@ -306,9 +340,22 @@ fn splits_for_attr(
     out
 }
 
+/// Resolve a condition attribute to its column: interned ids index
+/// directly; unresolved handles fall back to one name lookup.
+fn column_of<'t>(table: &'t Table, attr: &AttrRef) -> Option<&'t Column> {
+    if let Some(id) = attr.id() {
+        if let Ok(field) = table.schema().field(id.index()) {
+            if field.name() == attr.name() {
+                return Some(table.column_by_id(id));
+            }
+        }
+    }
+    table.column_by_name(attr.name()).ok()
+}
+
 fn best_split(
     table: &Table,
-    cond_attrs: &[String],
+    cond_attrs: &[AttrRef],
     labels: &[usize],
     rows: &[usize],
     n_labels: usize,
@@ -316,14 +363,11 @@ fn best_split(
 ) -> Option<Split> {
     let mut best: Option<Split> = None;
     for attr in cond_attrs {
-        let col = match table.column_by_name(attr) {
-            Ok(c) => c,
-            Err(_) => continue,
+        let Some(col) = column_of(table, attr) else {
+            continue;
         };
         for split in splits_for_attr(attr, col, labels, rows, n_labels, min_leaf) {
-            if split.gain > 1e-12
-                && best.as_ref().is_none_or(|b| split.gain > b.gain)
-            {
+            if split.gain > 1e-12 && best.as_ref().is_none_or(|b| split.gain > b.gain) {
                 best = Some(split);
             }
         }
@@ -342,15 +386,15 @@ fn simplify_path(path: Vec<Descriptor>) -> Vec<Descriptor> {
     let mut not_equals: Vec<Descriptor> = Vec::new();
     let mut lt: BTreeMap<String, f64> = BTreeMap::new();
     let mut ge: BTreeMap<String, f64> = BTreeMap::new();
-    let mut attr_order: Vec<String> = Vec::new();
-    let note_attr = |order: &mut Vec<String>, attr: &str| {
+    let mut attr_order: Vec<AttrRef> = Vec::new();
+    let note_attr = |order: &mut Vec<AttrRef>, attr: &AttrRef| {
         if !order.iter().any(|a| a == attr) {
-            order.push(attr.to_string());
+            order.push(attr.clone());
         }
     };
     for d in path {
+        note_attr(&mut attr_order, d.attr_ref());
         let attr = d.attr().to_string();
-        note_attr(&mut attr_order, &attr);
         match d {
             Descriptor::Equals { .. } => {
                 equals.insert(attr, d);
@@ -371,12 +415,13 @@ fn simplify_path(path: Vec<Descriptor>) -> Vec<Descriptor> {
     }
     let mut out = Vec::new();
     for attr in attr_order {
-        if let Some(eq) = equals.remove(&attr) {
+        let name = attr.name().to_string();
+        if let Some(eq) = equals.remove(&name) {
             out.push(eq);
             // Drop NotEquals on this attribute: implied by equality.
-            not_equals.retain(|d| d.attr() != attr);
+            not_equals.retain(|d| d.attr() != name);
         }
-        match (ge.remove(&attr), lt.remove(&attr)) {
+        match (ge.remove(&name), lt.remove(&name)) {
             (Some(lo), Some(hi)) => out.push(Descriptor::InRange {
                 attr: attr.clone(),
                 lo,
@@ -393,7 +438,7 @@ fn simplify_path(path: Vec<Descriptor>) -> Vec<Descriptor> {
             (None, None) => {}
         }
         let (matching, rest): (Vec<_>, Vec<_>) =
-            not_equals.into_iter().partition(|d| d.attr() == attr);
+            not_equals.into_iter().partition(|d| d.attr() == name);
         out.extend(matching);
         not_equals = rest;
     }
@@ -408,7 +453,7 @@ fn simplify_path(path: Vec<Descriptor>) -> Vec<Descriptor> {
 /// universal partition is returned.
 pub fn induce_partitions(
     table: &Table,
-    cond_attrs: &[String],
+    cond_attrs: &[AttrRef],
     labels: &[usize],
     config: &CharlesConfig,
 ) -> Result<Vec<PartitionSpec>> {
@@ -535,7 +580,7 @@ mod tests {
         let labels = truth_labels();
         let specs = induce_partitions(
             &table,
-            &["edu".to_string(), "exp".to_string()],
+            &["edu".into(), "exp".into()],
             &labels,
             &default_config(),
         )
@@ -576,13 +621,7 @@ mod tests {
     #[test]
     fn constant_labels_single_partition() {
         let table = emp();
-        let specs = induce_partitions(
-            &table,
-            &["edu".to_string()],
-            &[0; 9],
-            &default_config(),
-        )
-        .unwrap();
+        let specs = induce_partitions(&table, &["edu".into()], &[0; 9], &default_config()).unwrap();
         assert_eq!(specs.len(), 1);
         assert!(specs[0].condition.is_universal());
         assert_eq!(specs[0].rows.len(), 9);
@@ -591,8 +630,7 @@ mod tests {
     #[test]
     fn no_condition_attrs_single_partition() {
         let table = emp();
-        let specs =
-            induce_partitions(&table, &[], &truth_labels(), &default_config()).unwrap();
+        let specs = induce_partitions(&table, &[], &truth_labels(), &default_config()).unwrap();
         assert_eq!(specs.len(), 1);
     }
 
@@ -603,13 +641,7 @@ mod tests {
         // inventing noise.
         let table = emp();
         let labels = vec![0, 1, 0, 1, 0, 1, 0, 1, 0];
-        let specs = induce_partitions(
-            &table,
-            &["edu".to_string()],
-            &labels,
-            &default_config(),
-        )
-        .unwrap();
+        let specs = induce_partitions(&table, &["edu".into()], &labels, &default_config()).unwrap();
         let total: usize = specs.iter().map(|s| s.rows.len()).sum();
         assert_eq!(total, 9);
         assert!(specs.len() <= 3);
@@ -624,7 +656,7 @@ mod tests {
         };
         let specs = induce_partitions(
             &table,
-            &["edu".to_string(), "exp".to_string()],
+            &["edu".into(), "exp".into()],
             &truth_labels(),
             &config,
         )

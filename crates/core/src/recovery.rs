@@ -29,7 +29,11 @@ pub fn truth_labels(table: &Table, rules: &[TruthRule]) -> Result<Vec<isize>> {
     let mut labels = vec![-1isize; table.height()];
     for row in table.row_ids() {
         for (i, rule) in rules.iter().enumerate() {
-            if rule.condition.eval(table, row).map_err(crate::error::CharlesError::from)? {
+            if rule
+                .condition
+                .eval(table, row)
+                .map_err(crate::error::CharlesError::from)?
+            {
                 labels[row] = i as isize;
                 break;
             }

@@ -10,10 +10,17 @@ use crate::config::CharlesConfig;
 use crate::ct::ConditionalTransformation;
 use crate::error::Result;
 use crate::summary::{InterpretabilityBreakdown, Scores};
-use charles_relation::Table;
+use crate::transform::Transformation;
+use charles_relation::{AttrId, NumericView, Table};
+use std::collections::HashMap;
 
 /// Everything needed to score candidate summaries against one snapshot
 /// pair. Build once per engine run, reuse across all candidates.
+///
+/// Prediction runs on the same `Arc`-shared [`NumericView`] plane as the
+/// search: every numeric attribute is extracted once at construction, and
+/// applying a transformation reads columns through interned ids — no
+/// string lookups and no column copies per scored candidate.
 #[derive(Debug)]
 pub struct ScoringContext<'a> {
     /// Source snapshot.
@@ -22,9 +29,11 @@ pub struct ScoringContext<'a> {
     pub target_attr: &'a str,
     /// Target-snapshot values of the target attribute, aligned to source
     /// row order.
-    pub y_target: &'a [f64],
+    y_target: NumericView,
     /// Source-snapshot values of the target attribute.
-    pub y_source: &'a [f64],
+    y_source: NumericView,
+    /// Shared views of the source's numeric attributes, keyed by id.
+    views: HashMap<AttrId, NumericView>,
     /// Normalization scale for the L1 distance (mean |target|).
     pub scale: f64,
     /// Engine configuration (α and interpretability weights).
@@ -37,11 +46,46 @@ impl<'a> ScoringContext<'a> {
     /// change, so residual error is judged relative to how much change
     /// there was to explain). Falls back to the mean absolute target value
     /// when nothing changed, then to 1.0 when that is degenerate too.
+    ///
+    /// Extracts a shared view of every null-free numeric column once.
     pub fn new(
         source: &'a Table,
         target_attr: &'a str,
-        y_target: &'a [f64],
-        y_source: &'a [f64],
+        y_target: &[f64],
+        y_source: &[f64],
+        config: &'a CharlesConfig,
+    ) -> Self {
+        let mut views = HashMap::new();
+        for (field, id) in source
+            .schema()
+            .fields()
+            .iter()
+            .zip(source.schema().attr_ids())
+        {
+            if !matches!(field.dtype(), charles_relation::DataType::Utf8) {
+                if let Ok(view) = source.column_by_id(id).numeric_view(field.name()) {
+                    views.insert(id, view);
+                }
+            }
+        }
+        Self::from_views(
+            source,
+            target_attr,
+            NumericView::new(y_target.to_vec()),
+            NumericView::new(y_source.to_vec()),
+            views,
+            config,
+        )
+    }
+
+    /// Create a context over pre-extracted shared views (the search path:
+    /// zero additional extraction).
+    pub fn from_views(
+        source: &'a Table,
+        target_attr: &'a str,
+        y_target: NumericView,
+        y_source: NumericView,
+        views: HashMap<AttrId, NumericView>,
         config: &'a CharlesConfig,
     ) -> Self {
         let n = y_target.len();
@@ -70,9 +114,45 @@ impl<'a> ScoringContext<'a> {
             target_attr,
             y_target,
             y_source,
+            views,
             scale,
             config,
         }
+    }
+
+    /// Target-snapshot values (aligned to source rows).
+    pub fn y_target(&self) -> &[f64] {
+        &self.y_target
+    }
+
+    /// Source-snapshot values of the target attribute.
+    pub fn y_source(&self) -> &[f64] {
+        &self.y_source
+    }
+
+    /// The shared view a term reads: id-indexed when the handle resolves
+    /// to a field of the *same name* in this context's schema (handles
+    /// interned on an identically-shaped schema are accepted), one name
+    /// lookup otherwise (externally built transformations).
+    fn term_view(&self, attr: &charles_relation::AttrRef) -> Result<&NumericView> {
+        let id = match attr.id() {
+            Some(id)
+                if self
+                    .source
+                    .schema()
+                    .field(id.index())
+                    .is_ok_and(|f| f.name() == attr.name()) =>
+            {
+                id
+            }
+            _ => self.source.schema().attr_id(attr.name())?,
+        };
+        self.views.get(&id).ok_or_else(|| {
+            crate::error::CharlesError::BadConfig(format!(
+                "attribute {:?} has no numeric view (null or non-numeric column)",
+                attr.name()
+            ))
+        })
     }
 
     /// Predicted target values after applying `cts` to the source: rows not
@@ -80,11 +160,23 @@ impl<'a> ScoringContext<'a> {
     pub fn predict(&self, cts: &[ConditionalTransformation]) -> Result<Vec<f64>> {
         let mut pred = self.y_source.to_vec();
         for ct in cts {
-            let vals = ct
-                .transformation
-                .apply(self.source, self.target_attr, &ct.rows)?;
-            for (&row, v) in ct.rows.iter().zip(vals) {
-                pred[row] = v;
+            match &ct.transformation {
+                // Identity: covered rows keep their source value, which is
+                // what `pred` already holds.
+                Transformation::Identity => {}
+                Transformation::Linear {
+                    terms, intercept, ..
+                } => {
+                    for &row in &ct.rows {
+                        pred[row] = *intercept;
+                    }
+                    for term in terms {
+                        let view = self.term_view(&term.attr)?;
+                        for &row in &ct.rows {
+                            pred[row] += term.coefficient * view[row];
+                        }
+                    }
+                }
             }
         }
         Ok(pred)

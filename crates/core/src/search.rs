@@ -7,6 +7,19 @@
 //! scoring — and yields one scored [`ChangeSummary`]. The search evaluates
 //! every candidate, deduplicates structurally identical summaries (keeping
 //! the best score), and ranks.
+//!
+//! ## The zero-copy data plane
+//!
+//! [`SearchContext`] is built **once** per engine run and shared by every
+//! worker thread. It extracts each numeric attribute into an `Arc`-backed
+//! [`NumericView`] exactly once (`Float64` columns alias the table's own
+//! storage), precomputes the candidate-independent change signals
+//! (absolute and relative delta), and memoizes the global regression per
+//! transformation subset — candidates sharing `T` but differing in
+//! `(C, k)` reuse one [`LinearFit`]. The per-candidate loop therefore
+//! performs no full-column clones and no string-keyed map lookups: columns
+//! are reached through interned [`AttrId`]s, and partition rows are
+//! re-derived through the relation layer's dictionary-code fast paths.
 
 use crate::combi::bounded_subsets;
 use crate::config::CharlesConfig;
@@ -17,19 +30,19 @@ use crate::score::ScoringContext;
 use crate::snap::snap_fit;
 use crate::summary::ChangeSummary;
 use crate::transform::{Term, Transformation};
-use charles_numerics::ols::{fit_constant, fit_ols, LinearFit};
-use charles_relation::{SnapshotPair, Table};
-use parking_lot::Mutex;
+use charles_numerics::ols::{fit_constant, fit_ols_cols, LinearFit};
+use charles_relation::{AttrId, AttrRef, NumericView, SnapshotPair, Table};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// One point of the search space.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Candidate {
     /// Condition attributes `C` (may be empty: single universal partition).
-    pub cond_attrs: Vec<String>,
+    pub cond_attrs: Vec<AttrRef>,
     /// Transformation attributes `T` (never empty).
-    pub tran_attrs: Vec<String>,
+    pub tran_attrs: Vec<AttrRef>,
     /// Number of residual clusters to request.
     pub k: usize,
 }
@@ -46,24 +59,58 @@ pub struct SearchStats {
 }
 
 /// Everything shared by candidate evaluations for one engine run.
+///
+/// Construction performs exactly one extraction per numeric attribute;
+/// evaluation threads only ever read through shared views.
 pub struct SearchContext<'a> {
     /// The aligned snapshot pair.
     pub pair: &'a SnapshotPair,
     /// Target attribute name.
     pub target_attr: &'a str,
-    /// Target values aligned to source rows.
-    pub y_target: Vec<f64>,
-    /// Source values of the target attribute.
-    pub y_source: Vec<f64>,
+    /// Resolved handle of the target attribute.
+    pub target: AttrRef,
+    /// Target values aligned to source rows (shared view).
+    pub y_target: NumericView,
+    /// Source values of the target attribute (shared view).
+    pub y_source: NumericView,
     /// Source columns for every numeric attribute usable in models,
-    /// extracted once.
-    pub numeric_columns: HashMap<String, Vec<f64>>,
+    /// extracted once and keyed by interned attribute id.
+    pub views: HashMap<AttrId, NumericView>,
     /// Engine configuration.
     pub config: &'a CharlesConfig,
+    /// Absolute change of the target per row (candidate-independent).
+    delta: NumericView,
+    /// Relative change of the target per row (candidate-independent).
+    rel_delta: NumericView,
+    /// Shared scoring context (built once, used by all candidates).
+    scoring: ScoringContext<'a>,
+    /// Global fit per transformation subset (`None` = infeasible), shared
+    /// across worker threads so equal-`T` candidates fit once.
+    fit_memo: Mutex<HashMap<Vec<AttrId>, Arc<Option<LinearFit>>>>,
+    /// Cluster labelings per (change signal, k): the delta signals are
+    /// candidate-independent and residuals depend only on `T`, so the
+    /// dominant per-candidate cost (1-D k-means over all rows) is shared
+    /// across every candidate with the same signal — different condition
+    /// subsets reuse the identical labeling.
+    label_memo: Mutex<HashMap<LabelingKey, Arc<Vec<usize>>>>,
+}
+
+/// Memo key for one clustering request. Clustering depends only on the
+/// signal values and `k`; the signal is identified structurally.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum LabelingKey {
+    /// Residuals of the global fit for a transformation subset.
+    Residual(Vec<AttrId>, usize),
+    /// Absolute change of the target.
+    Delta(usize),
+    /// Relative change of the target.
+    RelDelta(usize),
+    /// GROUP-BY-value labels of one categorical condition attribute.
+    Categorical(AttrId),
 }
 
 impl<'a> SearchContext<'a> {
-    /// Build the shared context (extracts numeric columns once).
+    /// Build the shared context (extracts each numeric column once).
     pub fn new(
         pair: &'a SnapshotPair,
         target_attr: &'a str,
@@ -71,43 +118,155 @@ impl<'a> SearchContext<'a> {
         config: &'a CharlesConfig,
     ) -> Result<Self> {
         let source = pair.source();
-        let y_target = pair.target_numeric_aligned(target_attr)?;
-        let y_source = source.numeric(target_attr)?;
-        let mut numeric_columns = HashMap::new();
+        let schema = source.schema();
+        let target = schema.attr_ref(target_attr)?;
+        let y_target = NumericView::new(pair.target_numeric_aligned(target_attr)?);
+        let y_source = source.numeric_view(target_attr)?;
+        let mut views = HashMap::new();
         for attr in tran_attrs {
-            numeric_columns.insert(attr.clone(), source.numeric(attr)?);
+            let id = schema.attr_id(attr)?;
+            views.insert(id, source.numeric_view_by_id(id)?);
         }
+        // The target's source values are always available (identity CTs and
+        // autoregressive terms read them).
+        views
+            .entry(target.id().expect("attr_ref is resolved"))
+            .or_insert_with(|| y_source.clone());
+
+        let delta: Vec<f64> = y_target
+            .iter()
+            .zip(y_source.iter())
+            .map(|(t, s)| t - s)
+            .collect();
+        let rel_delta: Vec<f64> = y_target
+            .iter()
+            .zip(y_source.iter())
+            .map(|(t, s)| (t - s) / s.abs().max(1.0))
+            .collect();
+
+        let scoring = ScoringContext::from_views(
+            source,
+            target_attr,
+            y_target.clone(),
+            y_source.clone(),
+            views.clone(),
+            config,
+        );
+
         Ok(SearchContext {
             pair,
             target_attr,
+            target,
             y_target,
             y_source,
-            numeric_columns,
+            views,
             config,
+            delta: NumericView::new(delta),
+            rel_delta: NumericView::new(rel_delta),
+            scoring,
+            fit_memo: Mutex::new(HashMap::new()),
+            label_memo: Mutex::new(HashMap::new()),
         })
+    }
+
+    /// Memoized clustering of one change signal.
+    fn labels_for(&self, key: LabelingKey, signal: &[f64], k: usize) -> Result<Arc<Vec<usize>>> {
+        memoized(&self.label_memo, key, || {
+            Ok(Arc::new(cluster_residuals(signal, k, self.config)?))
+        })
+    }
+
+    /// Memoized GROUP-BY-value labeling of one categorical condition
+    /// attribute (`None` when the attribute is numeric, null-containing,
+    /// or outside the cardinality bounds). Negative results are memoized
+    /// as an empty labeling — a real labeling always has ≥ 1 row because
+    /// empty tables bail out before any labeling is requested.
+    fn categorical_labels_for(&self, attr: &AttrRef) -> Result<Option<Arc<Vec<usize>>>> {
+        let Some(id) = attr.id() else {
+            return Ok(categorical_labels(self.source(), attr).map(Arc::new));
+        };
+        let labels = memoized(&self.label_memo, LabelingKey::Categorical(id), || {
+            Ok(Arc::new(
+                categorical_labels(self.source(), attr).unwrap_or_default(),
+            ))
+        })?;
+        Ok((!labels.is_empty()).then_some(labels))
     }
 
     fn source(&self) -> &Table {
         self.pair.source()
     }
 
-    fn scoring(&self) -> ScoringContext<'_> {
-        ScoringContext::new(
-            self.source(),
-            self.target_attr,
-            &self.y_target,
-            &self.y_source,
-            self.config,
-        )
+    /// The shared scoring context.
+    pub fn scoring(&self) -> &ScoringContext<'a> {
+        &self.scoring
     }
 
-    /// Columns for a transformation-attribute subset, in subset order.
-    fn columns_for(&self, tran_attrs: &[String]) -> Vec<&Vec<f64>> {
+    /// Column views for a transformation-attribute subset, in subset order.
+    /// Pure id-indexed lookups — no string hashing, no copies.
+    fn columns_for(&self, tran_attrs: &[AttrRef]) -> Result<Vec<&[f64]>> {
         tran_attrs
             .iter()
-            .map(|a| &self.numeric_columns[a])
+            .map(|a| {
+                let id = a.id().ok_or_else(|| unresolved_attr(a))?;
+                Ok(self
+                    .views
+                    .get(&id)
+                    .ok_or_else(|| missing_view(a))?
+                    .as_slice())
+            })
             .collect()
     }
+
+    /// The memoized global fit for a transformation subset. Candidates with
+    /// the same `T` but different `(C, k)` share one OLS solve.
+    fn global_fit(&self, tran_attrs: &[AttrRef]) -> Result<Arc<Option<LinearFit>>> {
+        let key: Vec<AttrId> = tran_attrs
+            .iter()
+            .map(|a| a.id().ok_or_else(|| unresolved_attr(a)))
+            .collect::<Result<_>>()?;
+        memoized(&self.fit_memo, key, || {
+            let cols = self.columns_for(tran_attrs)?;
+            Ok(Arc::new(fit_ols_cols(&cols, &self.y_target).ok()))
+        })
+    }
+}
+
+/// Double-checked memoization over a mutex-guarded map. The computation
+/// runs outside the lock: concurrent first-comers may race to compute the
+/// same entry, but every computation here is deterministic, so whichever
+/// insertion lands first is identical to the losers — and `or_insert`
+/// guarantees all callers observe the same shared value.
+fn memoized<K, V, F>(memo: &Mutex<HashMap<K, V>>, key: K, compute: F) -> Result<V>
+where
+    K: Eq + std::hash::Hash,
+    V: Clone,
+    F: FnOnce() -> Result<V>,
+{
+    if let Some(hit) = memo.lock().expect("memo poisoned").get(&key) {
+        return Ok(hit.clone());
+    }
+    let value = compute()?;
+    Ok(memo
+        .lock()
+        .expect("memo poisoned")
+        .entry(key)
+        .or_insert(value)
+        .clone())
+}
+
+fn unresolved_attr(attr: &AttrRef) -> CharlesError {
+    CharlesError::BadConfig(format!(
+        "attribute {:?} was not resolved against the schema",
+        attr.name()
+    ))
+}
+
+fn missing_view(attr: &AttrRef) -> CharlesError {
+    CharlesError::BadConfig(format!(
+        "no extracted column view for attribute {:?}",
+        attr.name()
+    ))
 }
 
 /// Enumerate the `(C, T, k)` search space.
@@ -117,8 +276,8 @@ impl<'a> SearchContext<'a> {
 /// summary), plus one candidate per non-empty condition subset and each
 /// `k ≥ 2` in the configured range.
 pub fn generate_candidates(
-    cond_attrs: &[String],
-    tran_attrs: &[String],
+    cond_attrs: &[AttrRef],
+    tran_attrs: &[AttrRef],
     config: &CharlesConfig,
 ) -> Vec<Candidate> {
     let mut out = Vec::new();
@@ -170,11 +329,13 @@ fn partition_mae(cols: &[Vec<f64>], y: &[f64], coefs: &[f64], intercept: f64) ->
 /// so a handful of hand-edited cells cannot drag the recovered policy.
 fn fit_partition(
     ctx: &SearchContext<'_>,
-    tran_attrs: &[String],
+    tran_attrs: &[AttrRef],
     rows: &[usize],
 ) -> Option<(Transformation, f64)> {
     let y: Vec<f64> = rows.iter().map(|&r| ctx.y_target[r]).collect();
-    let full_cols = ctx.columns_for(tran_attrs);
+    let full_cols = ctx.columns_for(tran_attrs).ok()?;
+    // Per-partition row gathers (bounded by the partition size — the only
+    // copies the evaluation makes, and OLS needs contiguous input anyway).
     let cols: Vec<Vec<f64>> = full_cols
         .iter()
         .map(|c| rows.iter().map(|&r| c[r]).collect())
@@ -184,7 +345,7 @@ fn fit_partition(
     // legitimate here: two points determine the affine rule that produced
     // them)? Otherwise fall back to a constant model.
     let mut fit: LinearFit = if rows.len() > cols.len() {
-        match fit_ols(&cols, &y) {
+        match charles_numerics::ols::fit_ols(&cols, &y) {
             Ok(f) => f,
             Err(_) => fit_constant(&y).ok()?,
         }
@@ -210,7 +371,7 @@ fn fit_partition(
                     .map(|c| inliers.iter().map(|&i| c[i]).collect())
                     .collect();
                 let trimmed_y: Vec<f64> = inliers.iter().map(|&i| y[i]).collect();
-                if let Ok(refit) = fit_ols(&trimmed_cols, &trimmed_y) {
+                if let Ok(refit) = charles_numerics::ols::fit_ols(&trimmed_cols, &trimmed_y) {
                     fit = refit;
                     in_cols = trimmed_cols;
                     in_y = trimmed_y;
@@ -256,13 +417,11 @@ fn fit_partition(
         && tran_attrs
             .iter()
             .zip(coefficients.iter())
-            .all(|(attr, &c)| {
-                (attr == ctx.target_attr && c == 1.0) || c == 0.0
-            })
+            .all(|(attr, &c)| (attr.name() == ctx.target_attr && c == 1.0) || c == 0.0)
         && tran_attrs
             .iter()
             .zip(coefficients.iter())
-            .any(|(attr, &c)| attr == ctx.target_attr && c == 1.0);
+            .any(|(attr, &c)| attr.name() == ctx.target_attr && c == 1.0);
     if is_identity {
         return Some((Transformation::Identity, mae));
     }
@@ -281,31 +440,6 @@ fn fit_partition(
     ))
 }
 
-/// The change signals candidate partitions are mined from.
-///
-/// The paper clusters rows by distance from the global regression line.
-/// When the latent groups differ in *slope*, those residuals interleave
-/// groups (the paper's acknowledged "cyclic dependency" between clustering
-/// and pattern sharing), so we additionally mine two direct change signals:
-/// the absolute delta and the relative delta of the target attribute. Each
-/// signal yields one candidate labeling; the best-scoring resulting summary
-/// wins for the candidate.
-fn change_signals(ctx: &SearchContext<'_>, global_residuals: &[f64]) -> Vec<Vec<f64>> {
-    let delta: Vec<f64> = ctx
-        .y_target
-        .iter()
-        .zip(ctx.y_source.iter())
-        .map(|(t, s)| t - s)
-        .collect();
-    let rel_delta: Vec<f64> = ctx
-        .y_target
-        .iter()
-        .zip(ctx.y_source.iter())
-        .map(|(t, s)| (t - s) / s.abs().max(1.0))
-        .collect();
-    vec![global_residuals.to_vec(), delta, rel_delta]
-}
-
 /// Fuse two descriptors over the union of their row sets: complementary
 /// pairs vanish; adjacent numeric intervals concatenate. Returns `None`
 /// when not fusable, `Some(None)` when the pair covers everything (drop
@@ -321,7 +455,7 @@ fn fuse_descriptors(
     if a.attr() != b.attr() {
         return None;
     }
-    let attr = a.attr().to_string();
+    let attr = a.attr_ref().clone();
     // Normalize ordering: try both (a, b) and (b, a).
     let fused = |x: &D, y: &D| -> Option<Option<D>> {
         match (x, y) {
@@ -333,13 +467,16 @@ fn fuse_descriptors(
                 }))
             }
             // `lo ≤ v < m` ∪ `m ≤ v < hi` = `lo ≤ v < hi`
-            (D::InRange { lo, hi, .. }, D::InRange { lo: lo2, hi: hi2, .. }) if hi == lo2 => {
-                Some(Some(D::InRange {
-                    attr: attr.clone(),
-                    lo: *lo,
-                    hi: *hi2,
-                }))
-            }
+            (
+                D::InRange { lo, hi, .. },
+                D::InRange {
+                    lo: lo2, hi: hi2, ..
+                },
+            ) if hi == lo2 => Some(Some(D::InRange {
+                attr: attr.clone(),
+                lo: *lo,
+                hi: *hi2,
+            })),
             // `lo ≤ v < m` ∪ `v ≥ m` = `v ≥ lo`
             (D::InRange { lo, hi, .. }, D::AtLeast { threshold, .. }) if hi == threshold => {
                 Some(Some(D::AtLeast {
@@ -444,24 +581,22 @@ fn merge_equivalent_cts(
     }
 }
 
-/// Dense labels from a categorical column's values (`None` for numeric,
-/// null-containing, or high-cardinality columns).
-fn categorical_labels(table: &Table, attr: &str) -> Option<Vec<usize>> {
-    let col = table.column_by_name(attr).ok()?;
+/// Dense labels from a categorical column's dictionary codes (`None` for
+/// numeric, null-containing, or high-cardinality columns). Grouping runs
+/// on integer codes — no string materialization.
+fn categorical_labels(table: &Table, attr: &AttrRef) -> Option<Vec<usize>> {
+    let col = match attr.id() {
+        Some(id) if id.index() < table.width() => table.column_by_id(id),
+        _ => table.column_by_name(attr.name()).ok()?,
+    };
     if col.dtype().is_numeric() || col.null_count() > 0 {
         return None;
     }
-    let mut ids: HashMap<charles_relation::Value, usize> = HashMap::new();
-    let mut labels = Vec::with_capacity(col.len());
-    for i in 0..col.len() {
-        let next = ids.len();
-        let id = *ids.entry(col.get(i)).or_insert(next);
-        labels.push(id);
-    }
-    if ids.len() < 2 || ids.len() > 24 {
+    let groups = col.group_codes()?;
+    if groups.n_groups() < 2 || groups.n_groups() > 24 {
         return None;
     }
-    Some(labels)
+    Some(groups.labels)
 }
 
 /// Build conditional transformations from one labeling.
@@ -513,37 +648,47 @@ pub fn evaluate_candidate(
     if n == 0 {
         return Ok(None);
     }
-    let cols: Vec<Vec<f64>> = ctx
-        .columns_for(&candidate.tran_attrs)
-        .into_iter()
-        .cloned()
-        .collect();
 
     // Global fit over all rows; its residuals drive partition discovery.
-    let global = match fit_ols(&cols, &ctx.y_target) {
-        Ok(f) => f,
-        Err(_) => return Ok(None),
+    // Shared across all candidates with the same transformation subset.
+    let global = ctx.global_fit(&candidate.tran_attrs)?;
+    let Some(global) = global.as_ref() else {
+        return Ok(None);
     };
 
     let scoring = ctx.scoring();
     let mut best: Option<(ChangeSummary, f64)> = None;
-    let mut seen_labelings: Vec<Vec<usize>> = Vec::new();
-    let mut labelings: Vec<Vec<usize>> = Vec::new();
-    for signal in change_signals(ctx, &global.residuals) {
-        labelings.push(cluster_residuals(&signal, candidate.k, ctx.config)?);
-    }
+    let mut seen_labelings: Vec<Arc<Vec<usize>>> = Vec::new();
+    let mut labelings: Vec<Arc<Vec<usize>>> = Vec::new();
+    // The change signals candidate partitions are mined from: the global
+    // fit's residuals (the paper's method) plus the direct absolute and
+    // relative deltas (precomputed once per run — when latent groups differ
+    // in *slope*, residuals interleave groups, the paper's acknowledged
+    // "cyclic dependency" between clustering and pattern sharing).
+    // Each clustering is memoized: candidates sharing a signal and k (all
+    // condition subsets do) reuse one k-means run.
+    let tkey: Vec<AttrId> = candidate
+        .tran_attrs
+        .iter()
+        .map(|a| a.id().ok_or_else(|| unresolved_attr(a)))
+        .collect::<Result<_>>()?;
+    let k = candidate.k;
+    labelings.push(ctx.labels_for(LabelingKey::Residual(tkey, k), &global.residuals, k)?);
+    labelings.push(ctx.labels_for(LabelingKey::Delta(k), &ctx.delta, k)?);
+    labelings.push(ctx.labels_for(LabelingKey::RelDelta(k), &ctx.rel_delta, k)?);
     // For a single categorical condition attribute, the GROUP-BY-value
     // partitioning is an obvious candidate in its own right: when the
     // latent groups' change behaviours overlap in signal space (similar
     // slopes, wide value ranges), clustering cannot seed them, but a direct
     // per-value split still recovers them exactly.
     if let [attr] = candidate.cond_attrs.as_slice() {
-        if let Some(labels) = categorical_labels(ctx.source(), attr) {
-            labelings.push(labels);
-        }
+        labelings.extend(ctx.categorical_labels_for(attr)?);
     }
     for labels in labelings {
-        if seen_labelings.contains(&labels) {
+        if seen_labelings
+            .iter()
+            .any(|seen| Arc::ptr_eq(seen, &labels) || **seen == *labels)
+        {
             continue; // identical labeling ⇒ identical summary
         }
         let cts = cts_from_labels(ctx, candidate, &labels)?;
@@ -558,8 +703,16 @@ pub fn evaluate_candidate(
                 ChangeSummary {
                     cts,
                     target_attr: ctx.target_attr.to_string(),
-                    condition_attrs: candidate.cond_attrs.clone(),
-                    transform_attrs: candidate.tran_attrs.clone(),
+                    condition_attrs: candidate
+                        .cond_attrs
+                        .iter()
+                        .map(|a| a.name().to_string())
+                        .collect(),
+                    transform_attrs: candidate
+                        .tran_attrs
+                        .iter()
+                        .map(|a| a.name().to_string())
+                        .collect(),
                     scores,
                     breakdown,
                     total_rows: n,
@@ -569,6 +722,42 @@ pub fn evaluate_candidate(
         }
     }
     Ok(best.map(|(summary, _)| summary))
+}
+
+/// Reference ("naive") data plane: rebuild a fresh context for one
+/// candidate, re-extracting every column and refitting the global model —
+/// exactly the per-candidate work the seed implementation did. Kept as an
+/// A/B oracle: `BENCH_search.json` measures the shared data plane against
+/// this path, and the equivalence test in `tests/determinism.rs` asserts
+/// both produce identical summaries.
+pub fn evaluate_candidate_naive(
+    pair: &SnapshotPair,
+    target_attr: &str,
+    candidate: &Candidate,
+    config: &CharlesConfig,
+) -> Result<Option<ChangeSummary>> {
+    let tran_names: Vec<String> = candidate
+        .tran_attrs
+        .iter()
+        .map(|a| a.name().to_string())
+        .collect();
+    let ctx = SearchContext::new(pair, target_attr, &tran_names, config)?;
+    let schema = pair.source().schema();
+    // Re-resolve the candidate against the fresh context's schema.
+    let candidate = Candidate {
+        cond_attrs: candidate
+            .cond_attrs
+            .iter()
+            .map(|a| schema.attr_ref(a.name()))
+            .collect::<charles_relation::Result<_>>()?,
+        tran_attrs: candidate
+            .tran_attrs
+            .iter()
+            .map(|a| schema.attr_ref(a.name()))
+            .collect::<charles_relation::Result<_>>()?,
+        k: candidate.k,
+    };
+    evaluate_candidate(&ctx, &candidate)
 }
 
 /// Evaluate all candidates (in parallel when configured), deduplicate, and
@@ -589,11 +778,11 @@ pub fn run_search(
                 local.push(summary);
             }
         }
-        *results.lock() = local;
+        *results.lock().expect("results mutex poisoned") = local;
     } else {
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             for _ in 0..threads {
-                scope.spawn(|_| {
+                scope.spawn(|| {
                     let mut local = Vec::new();
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
@@ -604,7 +793,7 @@ pub fn run_search(
                             Ok(Some(summary)) => local.push(summary),
                             Ok(None) => {}
                             Err(e) => {
-                                let mut slot = first_error.lock();
+                                let mut slot = first_error.lock().expect("error mutex poisoned");
                                 if slot.is_none() {
                                     *slot = Some(e);
                                 }
@@ -612,17 +801,19 @@ pub fn run_search(
                             }
                         }
                     }
-                    results.lock().extend(local);
+                    results
+                        .lock()
+                        .expect("results mutex poisoned")
+                        .extend(local);
                 });
             }
-        })
-        .expect("search worker panicked");
-        if let Some(e) = first_error.into_inner() {
+        });
+        if let Some(e) = first_error.into_inner().expect("error mutex poisoned") {
             return Err(e);
         }
     }
 
-    let mut all = results.into_inner();
+    let mut all = results.into_inner().expect("results mutex poisoned");
     let evaluated = all.len();
 
     // Deduplicate by structural signature, keeping the best-scoring copy.
@@ -643,9 +834,12 @@ pub fn run_search(
     // *own* previous value reads most naturally: "5% increase on last
     // year's bonus"); then a stable structural key.
     let self_referential = |s: &ChangeSummary| -> bool {
-        s.cts
-            .iter()
-            .any(|ct| ct.transformation.attributes().iter().any(|a| a == ctx.target_attr))
+        s.cts.iter().any(|ct| {
+            ct.transformation
+                .attributes()
+                .iter()
+                .any(|a| a == ctx.target_attr)
+        })
     };
     ranked.sort_by(|a, b| {
         b.scores
@@ -678,7 +872,9 @@ mod tests {
         let source = TableBuilder::new("2016")
             .str_col(
                 "name",
-                &["Anne", "Bob", "Amber", "Allen", "Cathy", "Tom", "James", "Lucy", "Frank"],
+                &[
+                    "Anne", "Bob", "Amber", "Allen", "Cathy", "Tom", "James", "Lucy", "Frank",
+                ],
             )
             .str_col(
                 "edu",
@@ -688,8 +884,8 @@ mod tests {
             .float_col(
                 "bonus",
                 &[
-                    23_000.0, 25_000.0, 16_000.0, 13_000.0, 11_000.0, 15_000.0, 12_000.0,
-                    15_000.0, 21_000.0,
+                    23_000.0, 25_000.0, 16_000.0, 13_000.0, 11_000.0, 15_000.0, 12_000.0, 15_000.0,
+                    21_000.0,
                 ],
             )
             .key("name")
@@ -726,15 +922,24 @@ mod tests {
         SnapshotPair::align(source, target).unwrap()
     }
 
+    /// Resolve attribute names against a pair's source schema.
+    fn refs(pair: &SnapshotPair, names: &[&str]) -> Vec<AttrRef> {
+        names
+            .iter()
+            .map(|n| pair.source().schema().attr_ref(n).unwrap())
+            .collect()
+    }
+
     #[test]
     fn candidate_generation_shape() {
+        let pair = example_pair();
         let config = CharlesConfig::default()
             .with_max_condition_attrs(2)
             .with_max_transform_attrs(1)
             .with_k_range(1, 3);
         let cands = generate_candidates(
-            &["edu".to_string(), "exp".to_string()],
-            &["bonus".to_string()],
+            &refs(&pair, &["edu", "exp"]),
+            &refs(&pair, &["bonus"]),
             &config,
         );
         // T subsets: {bonus}. Global candidate (C=∅, k=1) + 3 C-subsets × 2
@@ -751,8 +956,8 @@ mod tests {
         let tran = vec!["bonus".to_string()];
         let ctx = SearchContext::new(&pair, "bonus", &tran, &config).unwrap();
         let candidate = Candidate {
-            cond_attrs: vec!["edu".to_string(), "exp".to_string()],
-            tran_attrs: tran.clone(),
+            cond_attrs: refs(&pair, &["edu", "exp"]),
+            tran_attrs: refs(&pair, &["bonus"]),
             k: 4,
         };
         let summary = evaluate_candidate(&ctx, &candidate).unwrap().unwrap();
@@ -772,13 +977,53 @@ mod tests {
     }
 
     #[test]
+    fn naive_and_shared_data_planes_agree() {
+        let pair = example_pair();
+        let config = CharlesConfig::default();
+        let tran = vec!["bonus".to_string()];
+        let ctx = SearchContext::new(&pair, "bonus", &tran, &config).unwrap();
+        for candidate in generate_candidates(
+            &refs(&pair, &["edu", "exp"]),
+            &refs(&pair, &["bonus"]),
+            &config,
+        ) {
+            let shared = evaluate_candidate(&ctx, &candidate).unwrap();
+            let naive = evaluate_candidate_naive(&pair, "bonus", &candidate, &config).unwrap();
+            match (shared, naive) {
+                (None, None) => {}
+                (Some(s), Some(n)) => {
+                    assert_eq!(s.signature(), n.signature(), "candidate {candidate:?}");
+                    assert_eq!(s.to_string(), n.to_string());
+                }
+                (s, n) => panic!("planes disagree: {s:?} vs {n:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn global_fit_memo_shares_transformation_subsets() {
+        let pair = example_pair();
+        let config = CharlesConfig::default();
+        let tran = vec!["bonus".to_string()];
+        let ctx = SearchContext::new(&pair, "bonus", &tran, &config).unwrap();
+        let t = refs(&pair, &["bonus"]);
+        let a = ctx.global_fit(&t).unwrap();
+        let b = ctx.global_fit(&t).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "second lookup must hit the memo");
+        assert!(a.is_some());
+    }
+
+    #[test]
     fn search_ranks_true_summary_first() {
         let pair = example_pair();
         let config = CharlesConfig::default();
-        let cond = vec!["edu".to_string(), "exp".to_string()];
         let tran = vec!["bonus".to_string()];
         let ctx = SearchContext::new(&pair, "bonus", &tran, &config).unwrap();
-        let candidates = generate_candidates(&cond, &tran, &config);
+        let candidates = generate_candidates(
+            &refs(&pair, &["edu", "exp"]),
+            &refs(&pair, &["bonus"]),
+            &config,
+        );
         let (ranked, stats) = run_search(&ctx, &candidates).unwrap();
         assert!(!ranked.is_empty());
         assert!(stats.evaluated > 0);
@@ -798,13 +1043,16 @@ mod tests {
     #[test]
     fn sequential_and_parallel_agree() {
         let pair = example_pair();
-        let cond = vec!["edu".to_string(), "exp".to_string()];
-        let tran = vec!["bonus".to_string()];
         let seq_config = CharlesConfig::default().with_threads(1);
         let par_config = CharlesConfig::default().with_threads(4);
+        let tran = vec!["bonus".to_string()];
 
         let ctx_seq = SearchContext::new(&pair, "bonus", &tran, &seq_config).unwrap();
-        let cands = generate_candidates(&cond, &tran, &seq_config);
+        let cands = generate_candidates(
+            &refs(&pair, &["edu", "exp"]),
+            &refs(&pair, &["bonus"]),
+            &seq_config,
+        );
         let (seq, _) = run_search(&ctx_seq, &cands).unwrap();
 
         let ctx_par = SearchContext::new(&pair, "bonus", &tran, &par_config).unwrap();
@@ -827,7 +1075,7 @@ mod tests {
         let config = CharlesConfig::default();
         let tran = vec!["x".to_string()];
         let ctx = SearchContext::new(&pair, "x", &tran, &config).unwrap();
-        let cands = generate_candidates(&[], &tran, &config);
+        let cands = generate_candidates(&[], &refs(&pair, &["x"]), &config);
         let (ranked, _) = run_search(&ctx, &cands).unwrap();
         let top = &ranked[0];
         assert!((top.scores.accuracy - 1.0).abs() < 1e-12);

@@ -43,11 +43,7 @@ fn mae_of(columns: &[Vec<f64>], y: &[f64], coefs: &[f64], intercept: f64) -> f64
 /// Fit the free (unsnapped) columns against the residual target after
 /// subtracting fixed contributions. Returns (coefficients in full order,
 /// intercept) or `None` if the refit fails.
-fn refit_free(
-    columns: &[Vec<f64>],
-    y: &[f64],
-    fixed: &[Option<f64>],
-) -> Option<(Vec<f64>, f64)> {
+fn refit_free(columns: &[Vec<f64>], y: &[f64], fixed: &[Option<f64>]) -> Option<(Vec<f64>, f64)> {
     let n = y.len();
     let mut residual = y.to_vec();
     let mut free_idx = Vec::new();
@@ -108,12 +104,7 @@ fn ordered_candidates(x: f64) -> Vec<f64> {
 /// generated data (base error ≈ 0) a genuinely different constant (1.04 →
 /// 1.05) is rejected, while on noisy data the snap may move constants
 /// freely within the noise floor.
-pub fn snap_fit(
-    columns: &[Vec<f64>],
-    y: &[f64],
-    fit: &LinearFit,
-    tolerance: f64,
-) -> SnappedFit {
+pub fn snap_fit(columns: &[Vec<f64>], y: &[f64], fit: &LinearFit, tolerance: f64) -> SnappedFit {
     let p = fit.coefficients.len();
     debug_assert_eq!(columns.len(), p);
     let scale = charles_numerics::stats::std_dev(y).unwrap_or(1.0);
@@ -202,7 +193,7 @@ mod tests {
         // y = 1.05 x + 1000 exactly: snapping must not disturb it.
         let x: Vec<f64> = vec![23_000.0, 25_000.0, 21_000.0, 16_000.0];
         let y: Vec<f64> = x.iter().map(|v| 1.05 * v + 1000.0).collect();
-        let s = fit_and_snap(&[x.clone()], &y, 0.02);
+        let s = fit_and_snap(std::slice::from_ref(&x), &y, 0.02);
         assert!((s.coefficients[0] - 1.05).abs() < 1e-9, "{:?}", s);
         assert!((s.intercept - 1000.0).abs() < 1e-6);
         assert!(s.mae < 1e-6);
@@ -249,7 +240,7 @@ mod tests {
         // generous tolerance (the budget anchors on the base error, ≈ 0).
         let x: Vec<f64> = (0..30).map(|i| 100.0 + i as f64).collect();
         let y: Vec<f64> = x.iter().map(|v| 1.98 * v + 3.0).collect();
-        let generous = fit_and_snap(&[x.clone()], &y, 0.05);
+        let generous = fit_and_snap(std::slice::from_ref(&x), &y, 0.05);
         assert!(
             (generous.coefficients[0] - 1.98).abs() < 1e-9,
             "{generous:?}"

@@ -88,10 +88,7 @@ impl fmt::Display for ChangeSummary {
         writeln!(
             f,
             "summary for {:?} — score {:.3} (accuracy {:.3}, interpretability {:.3})",
-            self.target_attr,
-            self.scores.score,
-            self.scores.accuracy,
-            self.scores.interpretability
+            self.target_attr, self.scores.score, self.scores.accuracy, self.scores.interpretability
         )?;
         for ct in &self.cts {
             writeln!(f, "  • {ct}   [{:.1}% of rows]", ct.coverage * 100.0)?;

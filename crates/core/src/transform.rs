@@ -7,14 +7,16 @@
 
 use crate::condition::fmt_num;
 use charles_numerics::normality::roundness;
-use charles_relation::{Expr, Table};
+use charles_relation::{AttrRef, Expr, Table};
 use std::fmt;
 
 /// One term of a linear transformation: `coefficient × attribute`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Term {
-    /// Source-snapshot attribute the term reads.
-    pub attr: String,
+    /// Source-snapshot attribute the term reads. Engine-built terms carry
+    /// an interned id, so applying the transformation in the search hot
+    /// path never hashes the attribute name.
+    pub attr: AttrRef,
     /// Multiplicative coefficient.
     pub coefficient: f64,
 }
@@ -82,7 +84,7 @@ impl Transformation {
             } => {
                 let mut out = vec![*intercept; rows.len()];
                 for term in terms {
-                    let col = source.column_by_name(&term.attr)?;
+                    let col = source.column_by_name(term.attr.name())?;
                     for (o, &r) in out.iter_mut().zip(rows.iter()) {
                         let v = col.get_f64(r).ok_or_else(|| {
                             charles_relation::RelationError::Eval(format!(
@@ -138,7 +140,8 @@ impl Transformation {
         match self {
             Transformation::Identity => Vec::new(),
             Transformation::Linear { terms, .. } => {
-                let mut attrs: Vec<String> = terms.iter().map(|t| t.attr.clone()).collect();
+                let mut attrs: Vec<String> =
+                    terms.iter().map(|t| t.attr.name().to_string()).collect();
                 attrs.sort();
                 attrs.dedup();
                 attrs
@@ -155,7 +158,7 @@ impl Transformation {
             } => {
                 let mut expr: Option<Expr> = None;
                 for t in terms {
-                    let term = Expr::lit(t.coefficient).mul(Expr::col(t.attr.clone()));
+                    let term = Expr::lit(t.coefficient).mul(Expr::col(t.attr.name().to_string()));
                     expr = Some(match expr {
                         None => term,
                         Some(e) => e.add(term),
@@ -263,7 +266,10 @@ mod tests {
     #[test]
     fn apply_linear() {
         let out = r1().apply(&emp(), "bonus", &[0, 2]).unwrap();
-        assert_eq!(out, vec![1.05 * 23_000.0 + 1000.0, 1.05 * 13_000.0 + 1000.0]);
+        assert_eq!(
+            out,
+            vec![1.05 * 23_000.0 + 1000.0, 1.05 * 13_000.0 + 1000.0]
+        );
     }
 
     #[test]

@@ -244,7 +244,9 @@ mod tests {
         let tree = LinearModelTree::from_summary(&figure2_summary());
         // Root splits on edu = PhD (the largest partition's first test).
         match &tree.root {
-            TreeNode::Split { descriptor, yes, .. } => {
+            TreeNode::Split {
+                descriptor, yes, ..
+            } => {
                 assert_eq!(descriptor.to_string(), "edu = PhD");
                 assert!(matches!(**yes, TreeNode::Leaf { .. }));
             }
@@ -260,7 +262,10 @@ mod tests {
         let tree = LinearModelTree::from_summary(&figure2_summary());
         let text = tree.to_string();
         assert!(text.contains("edu = PhD?"), "{text}");
-        assert!(text.contains("new_bonus = 1.05 × old_bonus + 1000"), "{text}");
+        assert!(
+            text.contains("new_bonus = 1.05 × old_bonus + 1000"),
+            "{text}"
+        );
         assert!(text.contains("(none)"), "{text}");
         assert!(text.contains("yes →"), "{text}");
         assert!(text.contains("no  →"), "{text}");

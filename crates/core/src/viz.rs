@@ -154,7 +154,11 @@ mod tests {
     #[test]
     fn no_change_flag_propagates() {
         let viz = PartitionViz::from_summary(&summary());
-        let bs = viz.rects.iter().find(|r| r.condition == "edu = BS").unwrap();
+        let bs = viz
+            .rects
+            .iter()
+            .find(|r| r.condition == "edu = BS")
+            .unwrap();
         assert!(bs.no_change);
         assert_eq!(bs.rows, 2);
     }

@@ -1,8 +1,8 @@
 //! Property-based tests for core components: scoring bounds, condition
 //! compilation, constant snapping budgets.
 
-use charles_core::{CharlesConfig, Condition, Descriptor, ScoringContext, Term, Transformation};
 use charles_core::snap::snap_fit;
+use charles_core::{CharlesConfig, Condition, Descriptor, ScoringContext, Term, Transformation};
 use charles_numerics::ols::fit_ols;
 use charles_numerics::stats::{mean, std_dev};
 use charles_relation::{TableBuilder, Value};

@@ -9,7 +9,7 @@
 
 use crate::cell::diff_attr;
 use charles_core::{
-    CharlesConfig, ChangeSummary, Condition, ConditionalTransformation, InterpretabilityBreakdown,
+    ChangeSummary, CharlesConfig, Condition, ConditionalTransformation, InterpretabilityBreakdown,
     Scores, ScoringContext, Term, Transformation,
 };
 use charles_numerics::ols::fit_ols;
@@ -95,7 +95,7 @@ pub fn flat_delta_baseline(
     let t = Transformation::linear(
         target_attr,
         vec![Term {
-            attr: target_attr.to_string(),
+            attr: pair.source().schema().attr_ref(target_attr)?,
             coefficient: 1.0,
         }],
         mean_delta,
@@ -134,7 +134,7 @@ pub fn flat_ratio_baseline(
     let t = Transformation::linear(
         target_attr,
         vec![Term {
-            attr: target_attr.to_string(),
+            attr: pair.source().schema().attr_ref(target_attr)?,
             coefficient: mean_ratio,
         }],
         0.0,
@@ -159,11 +159,11 @@ pub fn global_regression_baseline(
 ) -> charles_core::Result<BaselineReport> {
     let y_target = pair.target_numeric_aligned(target_attr)?;
     let y_source = pair.source().numeric(target_attr)?;
-    let fit = fit_ols(&[y_source.clone()], &y_target)?;
+    let fit = fit_ols(std::slice::from_ref(&y_source), &y_target)?;
     let t = Transformation::linear(
         target_attr,
         vec![Term {
-            attr: target_attr.to_string(),
+            attr: pair.source().schema().attr_ref(target_attr)?,
             coefficient: fit.coefficients[0],
         }],
         fit.intercept,

@@ -2,7 +2,7 @@
 //! that comparator tools (PostgresCompare, OrpheusDB) expose and that
 //! ChARLES summarizes semantically.
 
-use charles_relation::{SnapshotPair, Value};
+use charles_relation::{Column, SnapshotPair, Value};
 
 /// One changed cell.
 #[derive(Debug, Clone, PartialEq)]
@@ -36,27 +36,111 @@ impl std::fmt::Display for CellChange {
     }
 }
 
+/// Per-column changed-row mask, computed on the raw column storage.
+///
+/// Mirrors [`Value::sem_eq`] with `Null → Null` not a change: numeric
+/// columns compare raw `f64`/`i64`s, dictionary columns translate source
+/// codes into the target dictionary **once** and then compare integer
+/// codes — no per-cell [`Value`] materialization for unchanged cells
+/// (the overwhelming majority in real snapshots).
+fn changed_mask(source: &Column, target: &Column, target_row_of: &[usize]) -> Vec<bool> {
+    let n = target_row_of.len();
+    let mut mask = vec![false; n];
+    match (source, target) {
+        (Column::Int64 { values: sv, .. }, Column::Int64 { values: tv, .. }) => {
+            for (row, m) in mask.iter_mut().enumerate() {
+                *m = sv[row] != tv[target_row_of[row]];
+            }
+        }
+        (Column::Float64 { values: sv, .. }, Column::Float64 { values: tv, .. }) => {
+            // sem_eq uses plain `==`: NaN ≠ NaN counts as a change.
+            for (row, m) in mask.iter_mut().enumerate() {
+                *m = sv[row] != tv[target_row_of[row]];
+            }
+        }
+        (Column::Bool { values: sv, .. }, Column::Bool { values: tv, .. }) => {
+            for (row, m) in mask.iter_mut().enumerate() {
+                *m = sv[row] != tv[target_row_of[row]];
+            }
+        }
+        (
+            Column::Utf8 {
+                dict: sd,
+                codes: sc,
+                ..
+            },
+            Column::Utf8 {
+                dict: td,
+                codes: tc,
+                ..
+            },
+        ) => {
+            // Translate each distinct source code into the target's
+            // dictionary once; the row loop is then integer-only. Null rows
+            // carry an un-interned sentinel code (possibly out of
+            // dictionary range): probe with `get` — the null-override pass
+            // below decides those rows regardless.
+            let translation: Vec<Option<u32>> = (0..sd.len() as u32)
+                .map(|code| td.code_of(sd.resolve(code)))
+                .collect();
+            for (row, m) in mask.iter_mut().enumerate() {
+                let translated = translation.get(sc[row] as usize).copied().flatten();
+                *m = translated != Some(tc[target_row_of[row]]);
+            }
+        }
+        // Identical schemas make mixed variants unreachable, but stay
+        // correct if that ever changes.
+        _ => {
+            for (row, m) in mask.iter_mut().enumerate() {
+                *m = !source.get(row).sem_eq(&target.get(target_row_of[row]));
+            }
+        }
+    }
+    // Null handling overrides the raw comparison: null→null is never a
+    // change, null↔value always is.
+    if source.validity_mask().is_some() || target.validity_mask().is_some() {
+        for (row, m) in mask.iter_mut().enumerate() {
+            let old_null = !source.is_valid(row);
+            let new_null = !target.is_valid(target_row_of[row]);
+            *m = match (old_null, new_null) {
+                (true, true) => false,
+                (true, false) | (false, true) => true,
+                (false, false) => *m,
+            };
+        }
+    }
+    mask
+}
+
 /// All changed cells between the snapshots, in (row, column) order.
 ///
 /// `Null → Null` is not a change; any other pair differing under semantic
-/// equality is.
+/// equality is. Comparison runs column-at-a-time on the shared columnar
+/// storage; `Value`s are only materialized for cells that actually
+/// changed.
 pub fn diff_cells(pair: &SnapshotPair) -> charles_relation::Result<Vec<CellChange>> {
     let source = pair.source();
     let target = pair.target();
+    let target_row_of: Vec<usize> = (0..source.height()).map(|r| pair.target_row(r)).collect();
+    let masks: Vec<Vec<bool>> = (0..source.width())
+        .map(|c| {
+            Ok(changed_mask(
+                source.column(c)?,
+                target.column(c)?,
+                &target_row_of,
+            ))
+        })
+        .collect::<charles_relation::Result<_>>()?;
     let mut out = Vec::new();
     for row in source.row_ids() {
-        let trow = pair.target_row(row);
         for (col_idx, field) in source.schema().fields().iter().enumerate() {
-            let old = source.column(col_idx)?.get(row);
-            let new = target.column(col_idx)?.get(trow);
-            let both_null = old.is_null() && new.is_null();
-            if !both_null && !old.sem_eq(&new) {
+            if masks[col_idx][row] {
                 out.push(CellChange {
                     key: pair.key_of(row)?,
                     row,
                     attr: field.name().to_string(),
-                    old,
-                    new,
+                    old: source.column(col_idx)?.get(row),
+                    new: target.column(col_idx)?.get(target_row_of[row]),
                 });
             }
         }
@@ -137,5 +221,32 @@ mod tests {
     fn display_renders() {
         let changes = diff_attr(&pair(), "x").unwrap();
         assert_eq!(changes[0].to_string(), "[c] x: 3.0 → 3.5");
+    }
+
+    #[test]
+    fn all_null_string_column_diffs_without_panicking() {
+        // An all-null source Utf8 column has an empty dictionary while its
+        // rows carry the un-interned sentinel code; the code-translation
+        // fast path must not index the dictionary. Null → value is a
+        // change; null → null is not.
+        use charles_relation::{Column, DataType, Schema, Table, Value};
+        let schema = Schema::from_pairs([("s", DataType::Utf8)]).unwrap();
+        let source = Table::new(
+            schema.clone(),
+            vec![Column::from_values(DataType::Utf8, &[Value::Null, Value::Null]).unwrap()],
+        )
+        .unwrap();
+        let target = Table::new(
+            schema,
+            vec![
+                Column::from_values(DataType::Utf8, &[Value::str("now-set"), Value::Null]).unwrap(),
+            ],
+        )
+        .unwrap();
+        let pair = SnapshotPair::align(source, target).unwrap();
+        let changes = diff_cells(&pair).unwrap();
+        assert_eq!(changes.len(), 1);
+        assert_eq!(changes[0].old, Value::Null);
+        assert_eq!(changes[0].new, Value::str("now-set"));
     }
 }

@@ -84,7 +84,14 @@ mod tests {
             "k",
         )
         .unwrap();
-        assert_eq!(d, UpdateDistance { inserts: 0, deletes: 0, modifications: 1 });
+        assert_eq!(
+            d,
+            UpdateDistance {
+                inserts: 0,
+                deletes: 0,
+                modifications: 1
+            }
+        );
         assert_eq!(d.total(), 1);
     }
 

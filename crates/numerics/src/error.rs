@@ -34,7 +34,10 @@ impl fmt::Display for NumericsError {
             }
             NumericsError::Singular(msg) => write!(f, "singular system: {msg}"),
             NumericsError::InsufficientData { needed, got } => {
-                write!(f, "insufficient data: needed {needed} observations, got {got}")
+                write!(
+                    f,
+                    "insufficient data: needed {needed} observations, got {got}"
+                )
             }
             NumericsError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
         }

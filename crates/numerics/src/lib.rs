@@ -37,6 +37,6 @@ pub use corr::{correlation_ratio, pearson, spearman};
 pub use error::{NumericsError, Result};
 pub use matrix::Matrix;
 pub use normality::{mean_roundness, roundness, snap_candidates};
-pub use ols::{fit_constant, fit_ols, r_squared, LinearFit};
+pub use ols::{fit_constant, fit_ols, fit_ols_cols, r_squared, LinearFit};
 pub use solve::{solve_cholesky, solve_gaussian};
 pub use stats::{mad, mean, mean_abs_diff, median, quantile, ranks, std_dev, variance};

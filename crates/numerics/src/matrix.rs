@@ -149,13 +149,7 @@ impl Matrix {
             });
         }
         Ok((0..self.rows)
-            .map(|i| {
-                self.row(i)
-                    .iter()
-                    .zip(v.iter())
-                    .map(|(&a, &b)| a * b)
-                    .sum()
-            })
+            .map(|i| self.row(i).iter().zip(v.iter()).map(|(&a, &b)| a * b).sum())
             .collect())
     }
 
@@ -253,7 +247,10 @@ mod tests {
         let i = Matrix::identity(2);
         assert_eq!(m.matmul(&i).unwrap(), m);
         let sq = m.matmul(&m).unwrap();
-        assert_eq!(sq, Matrix::from_rows(2, 2, vec![7.0, 10.0, 15.0, 22.0]).unwrap());
+        assert_eq!(
+            sq,
+            Matrix::from_rows(2, 2, vec![7.0, 10.0, 15.0, 22.0]).unwrap()
+        );
     }
 
     #[test]

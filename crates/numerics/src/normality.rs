@@ -13,9 +13,7 @@ pub fn significant_digits(x: f64, max_digits: u32) -> u32 {
         return 1;
     }
     for d in 1..=max_digits {
-        if round_to_significant(x, d) == x
-            || ((round_to_significant(x, d) - x) / x).abs() < 1e-9
-        {
+        if round_to_significant(x, d) == x || ((round_to_significant(x, d) - x) / x).abs() < 1e-9 {
             return d;
         }
     }
@@ -96,7 +94,11 @@ pub fn snap_candidates(x: f64) -> Vec<f64> {
     for d in 1..=3 {
         cands.push(round_to_significant(x, d));
     }
-    let magnitude = if x == 0.0 { 0.0 } else { x.abs().log10().floor() };
+    let magnitude = if x == 0.0 {
+        0.0
+    } else {
+        x.abs().log10().floor()
+    };
     // Human-scale grid steps by magnitude: 1.05 snaps on 0.005/0.01/0.025;
     // 997.3 snaps on 5/10/25/50/...
     let grids: &[f64] = if magnitude < 1.0 {
@@ -180,7 +182,7 @@ mod tests {
             "1.05 missing from {cands:?}"
         );
         let cands = snap_candidates(997.3);
-        assert!(cands.iter().any(|&c| c == 1000.0), "1000 missing from {cands:?}");
+        assert!(cands.contains(&1000.0), "1000 missing from {cands:?}");
         let cands = snap_candidates(0.0397);
         assert!(cands.iter().any(|&c| (c - 0.04).abs() < 1e-12));
     }
@@ -196,7 +198,7 @@ mod tests {
             );
         }
         // Raw value is always available.
-        assert!(cands.iter().any(|&c| c == x));
+        assert!(cands.contains(&x));
     }
 
     #[test]

@@ -40,13 +40,19 @@ impl LinearFit {
 
     /// Predict for columns of predictor data.
     pub fn predict_columns(&self, columns: &[Vec<f64>]) -> Result<Vec<f64>> {
+        let cols: Vec<&[f64]> = columns.iter().map(Vec::as_slice).collect();
+        self.predict_cols(&cols)
+    }
+
+    /// Slice-of-slices variant of [`LinearFit::predict_columns`].
+    pub fn predict_cols(&self, columns: &[&[f64]]) -> Result<Vec<f64>> {
         if columns.len() != self.coefficients.len() {
             return Err(NumericsError::DimensionMismatch {
                 expected: format!("{} predictor columns", self.coefficients.len()),
                 found: format!("{}", columns.len()),
             });
         }
-        let n = columns.first().map_or(0, Vec::len);
+        let n = columns.first().map_or(0, |c| c.len());
         let mut out = vec![self.intercept; n];
         for (c, col) in self.coefficients.iter().zip(columns.iter()) {
             if col.len() != n {
@@ -104,6 +110,14 @@ const RIDGE_LADDER: [f64; 4] = [1e-8, 1e-4, 1e-1, 1.0];
 /// Requires at least `p + 1` observations for `p` predictors (otherwise the
 /// system is underdetermined even with the intercept).
 pub fn fit_ols(columns: &[Vec<f64>], y: &[f64]) -> Result<LinearFit> {
+    let cols: Vec<&[f64]> = columns.iter().map(Vec::as_slice).collect();
+    fit_ols_cols(&cols, y)
+}
+
+/// Slice-of-slices variant of [`fit_ols`] — the zero-copy entry point: the
+/// search hot path hands borrowed column views straight in, without
+/// cloning whole columns per candidate.
+pub fn fit_ols_cols(columns: &[&[f64]], y: &[f64]) -> Result<LinearFit> {
     let n = y.len();
     let p = columns.len();
     for c in columns {
@@ -115,10 +129,16 @@ pub fn fit_ols(columns: &[Vec<f64>], y: &[f64]) -> Result<LinearFit> {
         }
     }
     if n < p + 1 {
-        return Err(NumericsError::InsufficientData { needed: p + 1, got: n });
+        return Err(NumericsError::InsufficientData {
+            needed: p + 1,
+            got: n,
+        });
     }
     if y.iter().any(|v| !v.is_finite())
-        || columns.iter().flatten().any(|v| !v.is_finite())
+        || columns
+            .iter()
+            .flat_map(|c| c.iter())
+            .any(|v| !v.is_finite())
     {
         return Err(NumericsError::InvalidArgument(
             "non-finite value in regression input".to_string(),
@@ -178,7 +198,7 @@ pub fn fit_ols(columns: &[Vec<f64>], y: &[f64]) -> Result<LinearFit> {
         residuals: Vec::new(),
         ridge_lambda: used_lambda,
     };
-    let y_hat = fit.predict_columns(columns)?;
+    let y_hat = fit.predict_cols(columns)?;
     let residuals: Vec<f64> = y.iter().zip(y_hat.iter()).map(|(a, b)| a - b).collect();
     let r2 = r_squared(y, &y_hat);
     Ok(LinearFit {
@@ -271,7 +291,8 @@ mod tests {
         let fit = fit_ols(&[x1.clone(), x2], &y).unwrap();
         assert!(fit.ridge_lambda > 0.0, "expected ridge fallback");
         // The fit should still predict well.
-        let y_hat = fit.predict_columns(&[x1.clone(), x1.iter().map(|v| 2.0 * v).collect()])
+        let y_hat = fit
+            .predict_columns(&[x1.clone(), x1.iter().map(|v| 2.0 * v).collect()])
             .unwrap();
         for (a, b) in y.iter().zip(y_hat.iter()) {
             assert!((a - b).abs() < 0.2, "{a} vs {b}");

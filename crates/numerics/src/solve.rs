@@ -160,8 +160,8 @@ mod tests {
     #[test]
     fn gaussian_solves_general() {
         // Non-symmetric system.
-        let a = Matrix::from_rows(3, 3, vec![0.0, 2.0, 1.0, 1.0, -1.0, 0.0, 3.0, 0.0, -2.0])
-            .unwrap();
+        let a =
+            Matrix::from_rows(3, 3, vec![0.0, 2.0, 1.0, 1.0, -1.0, 0.0, 3.0, 0.0, -2.0]).unwrap();
         let x_true = vec![1.0, 2.0, -1.0];
         let b = a.matvec(&x_true).unwrap();
         let x = solve_gaussian(&a, &b).unwrap();
@@ -176,8 +176,7 @@ mod tests {
 
     #[test]
     fn solvers_agree_on_spd() {
-        let a = Matrix::from_rows(3, 3, vec![6.0, 2.0, 1.0, 2.0, 5.0, 2.0, 1.0, 2.0, 4.0])
-            .unwrap();
+        let a = Matrix::from_rows(3, 3, vec![6.0, 2.0, 1.0, 2.0, 5.0, 2.0, 1.0, 2.0, 4.0]).unwrap();
         let b = vec![1.0, 2.0, 3.0];
         let x1 = solve_cholesky(&a, &b).unwrap();
         let x2 = solve_gaussian(&a, &b).unwrap();

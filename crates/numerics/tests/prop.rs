@@ -19,7 +19,7 @@ proptest! {
         let mx = mean(&xs).unwrap();
         prop_assume!(xs.iter().any(|v| (v - mx).abs() > 1.0));
         let y: Vec<f64> = xs.iter().map(|&x| slope * x + intercept).collect();
-        let fit = fit_ols(&[xs.clone()], &y).unwrap();
+        let fit = fit_ols(std::slice::from_ref(&xs), &y).unwrap();
         let scale = slope.abs().max(1.0);
         prop_assert!(
             (fit.coefficients[0] - slope).abs() < 1e-6 * scale,
@@ -102,7 +102,7 @@ proptest! {
     fn snap_candidates_always_contain_raw(x in -1e9f64..1e9) {
         let cands = snap_candidates(x);
         prop_assert!(!cands.is_empty());
-        prop_assert!(cands.iter().any(|&c| c == x));
+        prop_assert!(cands.contains(&x));
     }
 
     #[test]

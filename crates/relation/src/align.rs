@@ -225,10 +225,7 @@ mod tests {
             .float_col("x", &[1.0])
             .build()
             .unwrap();
-        let t = TableBuilder::new("t")
-            .int_col("x", &[1])
-            .build()
-            .unwrap();
+        let t = TableBuilder::new("t").int_col("x", &[1]).build().unwrap();
         assert!(matches!(
             SnapshotPair::align(s, t).unwrap_err(),
             RelationError::SchemaMismatch(_)

@@ -61,7 +61,7 @@ impl TableBuilder {
     pub fn bool_col(mut self, name: &str, values: &[bool]) -> Self {
         self.fields.push(Field::new(name, DataType::Bool));
         self.columns.push(Column::Bool {
-            values: values.to_vec(),
+            values: std::sync::Arc::new(values.to_vec()),
             validity: None,
         });
         self

@@ -6,9 +6,16 @@
 //! attributes in ChARLES) compact and makes group-by-value operations cheap.
 //! Nulls are tracked with an optional validity mask; the mask is only
 //! materialized when a null is actually present.
+//!
+//! Storage buffers are `Arc`-shared: cloning a column (or taking a
+//! [`crate::view::ColumnView`] over it) is O(1) and aliases the same
+//! backing vectors. Mutation goes through [`Arc::make_mut`], i.e. columns
+//! are copy-on-write — many concurrent readers can scan the same buffers
+//! while a writer evolves its own logical copy.
 
 use crate::error::{RelationError, Result};
 use crate::value::{DataType, Value};
+use crate::view::{CodeGroups, CodesView, ColumnView, NumericView};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -58,38 +65,39 @@ impl StrDict {
     }
 }
 
-/// A single typed column of values.
+/// A single typed column of values with `Arc`-shared (copy-on-write)
+/// storage.
 #[derive(Debug, Clone)]
 pub enum Column {
     /// 64-bit integers with optional validity mask.
     Int64 {
         /// Raw values; entries where the mask is false are meaningless.
-        values: Vec<i64>,
+        values: Arc<Vec<i64>>,
         /// `Some(mask)` iff at least one null exists; `mask[i]` = valid.
-        validity: Option<Vec<bool>>,
+        validity: Option<Arc<Vec<bool>>>,
     },
     /// 64-bit floats with optional validity mask.
     Float64 {
         /// Raw values.
-        values: Vec<f64>,
+        values: Arc<Vec<f64>>,
         /// Validity mask, see [`Column::Int64`].
-        validity: Option<Vec<bool>>,
+        validity: Option<Arc<Vec<bool>>>,
     },
     /// Dictionary-encoded UTF-8 strings.
     Utf8 {
         /// The shared string pool.
-        dict: StrDict,
+        dict: Arc<StrDict>,
         /// Per-row dictionary codes.
-        codes: Vec<u32>,
+        codes: Arc<Vec<u32>>,
         /// Validity mask, see [`Column::Int64`].
-        validity: Option<Vec<bool>>,
+        validity: Option<Arc<Vec<bool>>>,
     },
     /// Booleans with optional validity mask.
     Bool {
         /// Raw values.
-        values: Vec<bool>,
+        values: Arc<Vec<bool>>,
         /// Validity mask, see [`Column::Int64`].
-        validity: Option<Vec<bool>>,
+        validity: Option<Arc<Vec<bool>>>,
     },
 }
 
@@ -98,20 +106,20 @@ impl Column {
     pub fn empty(dtype: DataType) -> Self {
         match dtype {
             DataType::Int64 => Column::Int64 {
-                values: Vec::new(),
+                values: Arc::new(Vec::new()),
                 validity: None,
             },
             DataType::Float64 => Column::Float64 {
-                values: Vec::new(),
+                values: Arc::new(Vec::new()),
                 validity: None,
             },
             DataType::Utf8 => Column::Utf8 {
-                dict: StrDict::new(),
-                codes: Vec::new(),
+                dict: Arc::new(StrDict::new()),
+                codes: Arc::new(Vec::new()),
                 validity: None,
             },
             DataType::Bool => Column::Bool {
-                values: Vec::new(),
+                values: Arc::new(Vec::new()),
                 validity: None,
             },
         }
@@ -129,7 +137,7 @@ impl Column {
     /// Convenience: a non-null Int64 column.
     pub fn from_i64(values: Vec<i64>) -> Self {
         Column::Int64 {
-            values,
+            values: Arc::new(values),
             validity: None,
         }
     }
@@ -137,7 +145,7 @@ impl Column {
     /// Convenience: a non-null Float64 column.
     pub fn from_f64(values: Vec<f64>) -> Self {
         Column::Float64 {
-            values,
+            values: Arc::new(values),
             validity: None,
         }
     }
@@ -147,8 +155,8 @@ impl Column {
         let mut dict = StrDict::new();
         let codes = values.iter().map(|s| dict.intern(s.as_ref())).collect();
         Column::Utf8 {
-            dict,
-            codes,
+            dict: Arc::new(dict),
+            codes: Arc::new(codes),
             validity: None,
         }
     }
@@ -183,13 +191,22 @@ impl Column {
             Column::Int64 { validity, .. }
             | Column::Float64 { validity, .. }
             | Column::Utf8 { validity, .. }
+            | Column::Bool { validity, .. } => validity.as_deref(),
+        }
+    }
+
+    fn validity_arc(&self) -> Option<&Arc<Vec<bool>>> {
+        match self {
+            Column::Int64 { validity, .. }
+            | Column::Float64 { validity, .. }
+            | Column::Utf8 { validity, .. }
             | Column::Bool { validity, .. } => validity.as_ref(),
         }
     }
 
     /// Whether row `i` holds a non-null value.
     pub fn is_valid(&self, i: usize) -> bool {
-        self.validity().map_or(true, |m| m[i])
+        self.validity().is_none_or(|m| m[i])
     }
 
     /// Number of null entries.
@@ -226,31 +243,34 @@ impl Column {
 
     fn push_null(&mut self) {
         let len = self.len();
+        let push_invalid = |validity: &mut Option<Arc<Vec<bool>>>| {
+            Arc::make_mut(validity.get_or_insert_with(|| Arc::new(vec![true; len]))).push(false);
+        };
         match self {
             Column::Int64 { values, validity } => {
-                values.push(0);
-                validity.get_or_insert_with(|| vec![true; len]).push(false);
+                Arc::make_mut(values).push(0);
+                push_invalid(validity);
             }
             Column::Float64 { values, validity } => {
-                values.push(0.0);
-                validity.get_or_insert_with(|| vec![true; len]).push(false);
+                Arc::make_mut(values).push(0.0);
+                push_invalid(validity);
             }
             Column::Utf8 {
                 codes, validity, ..
             } => {
-                codes.push(0);
-                validity.get_or_insert_with(|| vec![true; len]).push(false);
+                Arc::make_mut(codes).push(0);
+                push_invalid(validity);
             }
             Column::Bool { values, validity } => {
-                values.push(false);
-                validity.get_or_insert_with(|| vec![true; len]).push(false);
+                Arc::make_mut(values).push(false);
+                push_invalid(validity);
             }
         }
     }
 
-    fn push_valid_mark(validity: &mut Option<Vec<bool>>) {
+    fn push_valid_mark(validity: &mut Option<Arc<Vec<bool>>>) {
         if let Some(mask) = validity {
-            mask.push(true);
+            Arc::make_mut(mask).push(true);
         }
     }
 
@@ -269,7 +289,7 @@ impl Column {
         match self {
             Column::Int64 { values, validity } => match value {
                 Value::Int(v) => {
-                    values.push(v);
+                    Arc::make_mut(values).push(v);
                     Self::push_valid_mark(validity);
                     Ok(())
                 }
@@ -277,12 +297,12 @@ impl Column {
             },
             Column::Float64 { values, validity } => match value {
                 Value::Float(v) => {
-                    values.push(v);
+                    Arc::make_mut(values).push(v);
                     Self::push_valid_mark(validity);
                     Ok(())
                 }
                 Value::Int(v) => {
-                    values.push(v as f64);
+                    Arc::make_mut(values).push(v as f64);
                     Self::push_valid_mark(validity);
                     Ok(())
                 }
@@ -294,7 +314,8 @@ impl Column {
                 validity,
             } => match value {
                 Value::Str(s) => {
-                    codes.push(dict.intern(&s));
+                    let code = Arc::make_mut(dict).intern(&s);
+                    Arc::make_mut(codes).push(code);
                     Self::push_valid_mark(validity);
                     Ok(())
                 }
@@ -302,7 +323,7 @@ impl Column {
             },
             Column::Bool { values, validity } => match value {
                 Value::Bool(b) => {
-                    values.push(b);
+                    Arc::make_mut(values).push(b);
                     Self::push_valid_mark(validity);
                     Ok(())
                 }
@@ -323,14 +344,15 @@ impl Column {
                 | Column::Float64 { validity, .. }
                 | Column::Utf8 { validity, .. }
                 | Column::Bool { validity, .. } => {
-                    validity.get_or_insert_with(|| vec![true; height])[i] = false;
+                    Arc::make_mut(validity.get_or_insert_with(|| Arc::new(vec![true; height])))
+                        [i] = false;
                 }
             }
             return Ok(());
         }
-        let mark_valid = |validity: &mut Option<Vec<bool>>| {
+        let mark_valid = |validity: &mut Option<Arc<Vec<bool>>>| {
             if let Some(mask) = validity {
-                mask[i] = true;
+                Arc::make_mut(mask)[i] = true;
             }
         };
         let expected = self.dtype();
@@ -340,19 +362,19 @@ impl Column {
         match self {
             Column::Int64 { values, validity } => {
                 if let Value::Int(v) = value {
-                    values[i] = v;
+                    Arc::make_mut(values)[i] = v;
                     mark_valid(validity);
                     return Ok(());
                 }
             }
             Column::Float64 { values, validity } => match value {
                 Value::Float(v) => {
-                    values[i] = v;
+                    Arc::make_mut(values)[i] = v;
                     mark_valid(validity);
                     return Ok(());
                 }
                 Value::Int(v) => {
-                    values[i] = v as f64;
+                    Arc::make_mut(values)[i] = v as f64;
                     mark_valid(validity);
                     return Ok(());
                 }
@@ -364,14 +386,15 @@ impl Column {
                 validity,
             } => {
                 if let Value::Str(s) = value {
-                    codes[i] = dict.intern(&s);
+                    let code = Arc::make_mut(dict).intern(&s);
+                    Arc::make_mut(codes)[i] = code;
                     mark_valid(validity);
                     return Ok(());
                 }
             }
             Column::Bool { values, validity } => {
                 if let Value::Bool(b) = value {
-                    values[i] = b;
+                    Arc::make_mut(values)[i] = b;
                     mark_valid(validity);
                     return Ok(());
                 }
@@ -385,18 +408,19 @@ impl Column {
 
     /// A new column containing rows at `indices` (in that order).
     pub fn take(&self, indices: &[usize]) -> Column {
+        let take_mask = |validity: &Option<Arc<Vec<bool>>>| {
+            validity
+                .as_ref()
+                .map(|m| Arc::new(indices.iter().map(|&i| m[i]).collect()))
+        };
         match self {
             Column::Int64 { values, validity } => Column::Int64 {
-                values: indices.iter().map(|&i| values[i]).collect(),
-                validity: validity
-                    .as_ref()
-                    .map(|m| indices.iter().map(|&i| m[i]).collect()),
+                values: Arc::new(indices.iter().map(|&i| values[i]).collect()),
+                validity: take_mask(validity),
             },
             Column::Float64 { values, validity } => Column::Float64 {
-                values: indices.iter().map(|&i| values[i]).collect(),
-                validity: validity
-                    .as_ref()
-                    .map(|m| indices.iter().map(|&i| m[i]).collect()),
+                values: Arc::new(indices.iter().map(|&i| values[i]).collect()),
+                validity: take_mask(validity),
             },
             Column::Utf8 {
                 dict,
@@ -404,16 +428,12 @@ impl Column {
                 validity,
             } => Column::Utf8 {
                 dict: dict.clone(),
-                codes: indices.iter().map(|&i| codes[i]).collect(),
-                validity: validity
-                    .as_ref()
-                    .map(|m| indices.iter().map(|&i| m[i]).collect()),
+                codes: Arc::new(indices.iter().map(|&i| codes[i]).collect()),
+                validity: take_mask(validity),
             },
             Column::Bool { values, validity } => Column::Bool {
-                values: indices.iter().map(|&i| values[i]).collect(),
-                validity: validity
-                    .as_ref()
-                    .map(|m| indices.iter().map(|&i| m[i]).collect()),
+                values: Arc::new(indices.iter().map(|&i| values[i]).collect()),
+                validity: take_mask(validity),
             },
         }
     }
@@ -428,16 +448,99 @@ impl Column {
         }
         match self {
             Column::Int64 { values, .. } => Ok(values.iter().map(|&v| v as f64).collect()),
-            Column::Float64 { values, .. } => Ok(values.clone()),
-            Column::Bool { values, .. } => Ok(values
-                .iter()
-                .map(|&b| if b { 1.0 } else { 0.0 })
-                .collect()),
+            Column::Float64 { values, .. } => Ok(values.as_ref().clone()),
+            Column::Bool { values, .. } => {
+                Ok(values.iter().map(|&b| if b { 1.0 } else { 0.0 }).collect())
+            }
             Column::Utf8 { .. } => Err(RelationError::TypeMismatch {
                 expected: "numeric".to_string(),
                 found: format!("Utf8 (attribute {attr:?})"),
             }),
         }
+    }
+
+    /// A shared, dense `f64` view of a numeric column. For a null-free
+    /// `Float64` column this is **zero-copy** (the view aliases the
+    /// column's own buffer); `Int64`/`Bool` columns are widened into a
+    /// fresh shared buffer once. Errors mirror [`Column::to_f64_vec`].
+    pub fn numeric_view(&self, attr: &str) -> Result<NumericView> {
+        if self.null_count() > 0 {
+            return Err(RelationError::Eval(format!(
+                "attribute {attr:?} contains nulls; cannot use as numeric input"
+            )));
+        }
+        match self {
+            Column::Float64 { values, .. } => Ok(NumericView::from_arc(values.clone())),
+            Column::Int64 { values, .. } => {
+                Ok(NumericView::new(values.iter().map(|&v| v as f64).collect()))
+            }
+            Column::Bool { values, .. } => Ok(NumericView::new(
+                values.iter().map(|&b| if b { 1.0 } else { 0.0 }).collect(),
+            )),
+            Column::Utf8 { .. } => Err(RelationError::TypeMismatch {
+                expected: "numeric".to_string(),
+                found: format!("Utf8 (attribute {attr:?})"),
+            }),
+        }
+    }
+
+    /// A zero-copy dictionary-code view of a `Utf8` column (`None` for
+    /// other types).
+    pub fn codes_view(&self) -> Option<CodesView> {
+        match self {
+            Column::Utf8 {
+                dict,
+                codes,
+                validity,
+            } => Some(CodesView::new(
+                dict.clone(),
+                codes.clone(),
+                validity.clone(),
+            )),
+            _ => None,
+        }
+    }
+
+    /// A typed zero-copy view of this column: dictionary codes for `Utf8`,
+    /// dense `f64` for numeric and boolean columns (which must be
+    /// null-free — see [`Column::numeric_view`]).
+    pub fn view(&self, attr: &str) -> Result<ColumnView> {
+        match self.codes_view() {
+            Some(codes) => Ok(ColumnView::Codes(codes)),
+            None => Ok(ColumnView::Numeric(self.numeric_view(attr)?)),
+        }
+    }
+
+    /// Group rows directly by dictionary code — no string materialization
+    /// or hashing. Supported for `Utf8` (by code) and `Bool` (false/true)
+    /// columns; `None` for numeric columns. Null rows form their own
+    /// group. Group order is deterministic: first row of appearance.
+    pub fn group_codes(&self) -> Option<CodeGroups> {
+        match self {
+            Column::Utf8 {
+                dict,
+                codes,
+                validity,
+            } => Some(CodeGroups::from_codes(
+                codes,
+                dict.len(),
+                validity.as_deref().map(Vec::as_slice),
+            )),
+            Column::Bool { values, validity } => {
+                let codes: Vec<u32> = values.iter().map(|&b| u32::from(b)).collect();
+                Some(CodeGroups::from_codes(
+                    &codes,
+                    2,
+                    validity.as_deref().map(Vec::as_slice),
+                ))
+            }
+            _ => None,
+        }
+    }
+
+    /// The validity mask shared as an `Arc`, if any null exists.
+    pub fn validity_mask(&self) -> Option<&Arc<Vec<bool>>> {
+        self.validity_arc()
     }
 
     /// Iterate values as `Value`s.
@@ -457,7 +560,7 @@ impl Column {
                 let mut seen = vec![false; dict.len()];
                 let mut n = 0;
                 for (i, &c) in codes.iter().enumerate() {
-                    if validity.as_ref().map_or(true, |m| m[i]) && !seen[c as usize] {
+                    if validity.as_ref().is_none_or(|m| m[i]) && !seen[c as usize] {
                         seen[c as usize] = true;
                         n += 1;
                     }
@@ -577,11 +680,82 @@ mod tests {
 
     #[test]
     fn from_values_builds_typed() {
-        let col =
-            Column::from_values(DataType::Utf8, &[Value::str("x"), Value::Null, Value::str("x")])
-                .unwrap();
+        let col = Column::from_values(
+            DataType::Utf8,
+            &[Value::str("x"), Value::Null, Value::str("x")],
+        )
+        .unwrap();
         assert_eq!(col.dtype(), DataType::Utf8);
         assert_eq!(col.len(), 3);
         assert_eq!(col.null_count(), 1);
+    }
+
+    #[test]
+    fn float_view_is_zero_copy() {
+        let col = Column::from_f64(vec![1.0, 2.0, 3.0]);
+        let view = col.numeric_view("x").unwrap();
+        assert_eq!(&*view, &[1.0, 2.0, 3.0]);
+        if let Column::Float64 { values, .. } = &col {
+            assert!(Arc::ptr_eq(values, view.shared()));
+        } else {
+            unreachable!()
+        }
+        // Cloning the view is O(1) aliasing, not a copy.
+        let clone = view.clone();
+        assert!(Arc::ptr_eq(view.shared(), clone.shared()));
+    }
+
+    #[test]
+    fn int_and_bool_views_widen() {
+        assert_eq!(
+            &*Column::from_i64(vec![2, 3]).numeric_view("x").unwrap(),
+            &[2.0, 3.0]
+        );
+        let col =
+            Column::from_values(DataType::Bool, &[Value::Bool(true), Value::Bool(false)]).unwrap();
+        assert_eq!(&*col.numeric_view("b").unwrap(), &[1.0, 0.0]);
+        assert!(Column::from_strs(&["s"]).numeric_view("s").is_err());
+    }
+
+    #[test]
+    fn copy_on_write_isolates_mutation() {
+        let a = Column::from_f64(vec![1.0, 2.0]);
+        let view = a.numeric_view("x").unwrap();
+        let mut b = a.clone();
+        b.set(0, Value::Float(99.0)).unwrap();
+        // The original column and its outstanding view are untouched.
+        assert_eq!(a.get(0), Value::Float(1.0));
+        assert_eq!(view[0], 1.0);
+        assert_eq!(b.get(0), Value::Float(99.0));
+    }
+
+    #[test]
+    fn group_codes_partitions_rows() {
+        let mut col = Column::from_strs(&["a", "b", "a", "c", "b"]);
+        col.push(Value::Null).unwrap();
+        let groups = col.group_codes().unwrap();
+        assert_eq!(groups.n_groups(), 4); // a, b, c, null
+                                          // First-appearance order, rows in row order.
+        assert_eq!(groups.groups[0].1, vec![0, 2]);
+        assert_eq!(groups.groups[1].1, vec![1, 4]);
+        assert_eq!(groups.groups[2].1, vec![3]);
+        assert_eq!(groups.groups[3].0, None); // null group
+        assert_eq!(groups.groups[3].1, vec![5]);
+        assert_eq!(groups.labels, vec![0, 1, 0, 2, 1, 3]);
+        // Numeric columns have no code grouping.
+        assert!(Column::from_f64(vec![1.0]).group_codes().is_none());
+    }
+
+    #[test]
+    fn group_codes_bool() {
+        let col = Column::from_values(
+            DataType::Bool,
+            &[Value::Bool(true), Value::Bool(false), Value::Bool(true)],
+        )
+        .unwrap();
+        let groups = col.group_codes().unwrap();
+        assert_eq!(groups.n_groups(), 2);
+        assert_eq!(groups.groups[0].1, vec![0, 2]);
+        assert_eq!(groups.groups[1].1, vec![1]);
     }
 }

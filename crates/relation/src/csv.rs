@@ -131,18 +131,21 @@ fn parse_cell(s: &str, dtype: DataType, line: usize) -> Result<Value> {
         return Ok(Value::Null);
     }
     match dtype {
-        DataType::Int64 => s.parse::<i64>().map(Value::Int).map_err(|e| {
-            RelationError::CsvParse {
+        DataType::Int64 => s
+            .parse::<i64>()
+            .map(Value::Int)
+            .map_err(|e| RelationError::CsvParse {
                 line,
                 message: format!("bad integer {s:?}: {e}"),
-            }
-        }),
-        DataType::Float64 => parse_float(s)
-            .map(Value::Float)
-            .ok_or_else(|| RelationError::CsvParse {
-                line,
-                message: format!("bad float {s:?}"),
             }),
+        DataType::Float64 => {
+            parse_float(s)
+                .map(Value::Float)
+                .ok_or_else(|| RelationError::CsvParse {
+                    line,
+                    message: format!("bad float {s:?}"),
+                })
+        }
         DataType::Bool => parse_bool(s)
             .map(Value::Bool)
             .ok_or_else(|| RelationError::CsvParse {

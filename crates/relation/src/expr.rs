@@ -39,26 +39,31 @@ impl Expr {
     }
 
     /// `self + rhs`.
+    #[allow(clippy::should_implement_trait)]
     pub fn add(self, rhs: Expr) -> Self {
         Expr::Add(Box::new(self), Box::new(rhs))
     }
 
     /// `self - rhs`.
+    #[allow(clippy::should_implement_trait)]
     pub fn sub(self, rhs: Expr) -> Self {
         Expr::Sub(Box::new(self), Box::new(rhs))
     }
 
     /// `self * rhs`.
+    #[allow(clippy::should_implement_trait)]
     pub fn mul(self, rhs: Expr) -> Self {
         Expr::Mul(Box::new(self), Box::new(rhs))
     }
 
     /// `self / rhs`.
+    #[allow(clippy::should_implement_trait)]
     pub fn div(self, rhs: Expr) -> Self {
         Expr::Div(Box::new(self), Box::new(rhs))
     }
 
     /// `-self`.
+    #[allow(clippy::should_implement_trait)]
     pub fn neg(self) -> Self {
         Expr::Neg(Box::new(self))
     }

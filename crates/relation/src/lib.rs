@@ -58,6 +58,7 @@ pub mod schema;
 pub mod table;
 pub mod update;
 pub mod value;
+pub mod view;
 
 pub use align::SnapshotPair;
 pub use builder::{RowBuilder, TableBuilder};
@@ -67,7 +68,8 @@ pub use error::{RelationError, Result};
 pub use expr::Expr;
 pub use index::KeyIndex;
 pub use predicate::{CmpOp, Predicate};
-pub use schema::{Field, Schema};
+pub use schema::{AttrId, AttrRef, Field, Schema};
 pub use table::Table;
 pub use update::{apply_updates, ApplyMode, UpdateOutcome, UpdateStatement};
 pub use value::{DataType, Value};
+pub use view::{CodeGroups, CodesView, ColumnView, NumericView};

@@ -5,7 +5,9 @@
 //! comparisons. ChARLES's *condition* language (conjunctions of descriptors,
 //! see `charles-core`) compiles into this representation for evaluation.
 
+use crate::column::Column;
 use crate::error::Result;
+use crate::schema::AttrRef;
 use crate::table::Table;
 use crate::value::Value;
 use std::cmp::Ordering;
@@ -64,8 +66,9 @@ pub enum Predicate {
     False,
     /// `attr OP literal`; null attribute values never match.
     Cmp {
-        /// Attribute name.
-        attr: String,
+        /// Attribute handle (interned id when built by the engine; a bare
+        /// name otherwise — both evaluate identically).
+        attr: AttrRef,
         /// Comparison operator.
         op: CmpOp,
         /// Literal to compare against.
@@ -73,15 +76,15 @@ pub enum Predicate {
     },
     /// `attr ∈ {values}`.
     InSet {
-        /// Attribute name.
-        attr: String,
+        /// Attribute handle.
+        attr: AttrRef,
         /// The allowed values (deduplicated, ordered for determinism).
         values: BTreeSet<Value>,
     },
     /// `lo ≤ attr < hi` (half-open interval, the canonical numeric bin).
     Between {
-        /// Attribute name.
-        attr: String,
+        /// Attribute handle.
+        attr: AttrRef,
         /// Inclusive lower bound.
         lo: Value,
         /// Exclusive upper bound.
@@ -97,7 +100,7 @@ pub enum Predicate {
 
 impl Predicate {
     /// `attr = value`.
-    pub fn eq(attr: impl Into<String>, value: impl Into<Value>) -> Self {
+    pub fn eq(attr: impl Into<AttrRef>, value: impl Into<Value>) -> Self {
         Predicate::Cmp {
             attr: attr.into(),
             op: CmpOp::Eq,
@@ -106,7 +109,7 @@ impl Predicate {
     }
 
     /// `attr OP value`.
-    pub fn cmp(attr: impl Into<String>, op: CmpOp, value: impl Into<Value>) -> Self {
+    pub fn cmp(attr: impl Into<AttrRef>, op: CmpOp, value: impl Into<Value>) -> Self {
         Predicate::Cmp {
             attr: attr.into(),
             op,
@@ -115,7 +118,7 @@ impl Predicate {
     }
 
     /// `attr ∈ set`.
-    pub fn in_set<I, V>(attr: impl Into<String>, values: I) -> Self
+    pub fn in_set<I, V>(attr: impl Into<AttrRef>, values: I) -> Self
     where
         I: IntoIterator<Item = V>,
         V: Into<Value>,
@@ -127,11 +130,7 @@ impl Predicate {
     }
 
     /// `lo ≤ attr < hi`.
-    pub fn between(
-        attr: impl Into<String>,
-        lo: impl Into<Value>,
-        hi: impl Into<Value>,
-    ) -> Self {
+    pub fn between(attr: impl Into<AttrRef>, lo: impl Into<Value>, hi: impl Into<Value>) -> Self {
         Predicate::Between {
             attr: attr.into(),
             lo: lo.into(),
@@ -190,6 +189,21 @@ impl Predicate {
         }
     }
 
+    /// Resolve an attribute handle to a column: interned ids index
+    /// directly (verified against the field name, so a handle resolved on
+    /// an identically-shaped schema is accepted); otherwise one name
+    /// lookup.
+    fn column_of<'t>(table: &'t Table, attr: &AttrRef) -> Result<&'t Column> {
+        if let Some(id) = attr.id() {
+            if let Ok(field) = table.schema().field(id.index()) {
+                if field.name() == attr.name() {
+                    return Ok(table.column_by_id(id));
+                }
+            }
+        }
+        table.column_by_name(attr.name())
+    }
+
     /// Evaluate against one row. Comparisons on null cells are false
     /// (three-valued logic collapsed, as in SQL `WHERE`).
     pub fn eval(&self, table: &Table, row: usize) -> Result<bool> {
@@ -197,7 +211,7 @@ impl Predicate {
             Predicate::True => true,
             Predicate::False => false,
             Predicate::Cmp { attr, op, value } => {
-                let cell = table.column_by_name(attr)?.get(row);
+                let cell = Self::column_of(table, attr)?.get(row);
                 match op {
                     CmpOp::Eq => cell.sem_eq(value),
                     CmpOp::Ne => !cell.is_null() && !cell.sem_eq(value),
@@ -205,11 +219,11 @@ impl Predicate {
                 }
             }
             Predicate::InSet { attr, values } => {
-                let cell = table.column_by_name(attr)?.get(row);
+                let cell = Self::column_of(table, attr)?.get(row);
                 !cell.is_null() && values.iter().any(|v| cell.sem_eq(v))
             }
             Predicate::Between { attr, lo, hi } => {
-                let cell = table.column_by_name(attr)?.get(row);
+                let cell = Self::column_of(table, attr)?.get(row);
                 cell.sem_cmp(lo).is_some_and(|o| o != Ordering::Less)
                     && cell.sem_cmp(hi).is_some_and(|o| o == Ordering::Less)
             }
@@ -234,7 +248,95 @@ impl Predicate {
     }
 
     /// Evaluate against every row, producing a selection mask.
+    ///
+    /// Hot comparison shapes (string equality against a dictionary column,
+    /// numeric comparisons, numeric ranges) are evaluated columnar-wise:
+    /// string literals are resolved to dictionary codes **once** and rows
+    /// compare integer codes or raw `f64`s — no per-row [`Value`]
+    /// materialization. Everything else falls back to row-wise
+    /// [`Predicate::eval`] with identical semantics.
     pub fn eval_mask(&self, table: &Table) -> Result<Vec<bool>> {
+        let n = table.height();
+        match self {
+            Predicate::True => Ok(vec![true; n]),
+            Predicate::False => Ok(vec![false; n]),
+            Predicate::And(parts) => {
+                let mut mask = vec![true; n];
+                for p in parts {
+                    let part = p.eval_mask(table)?;
+                    for (m, v) in mask.iter_mut().zip(part) {
+                        *m = *m && v;
+                    }
+                }
+                Ok(mask)
+            }
+            Predicate::Or(parts) => {
+                let mut mask = vec![false; n];
+                for p in parts {
+                    let part = p.eval_mask(table)?;
+                    for (m, v) in mask.iter_mut().zip(part) {
+                        *m = *m || v;
+                    }
+                }
+                Ok(mask)
+            }
+            Predicate::Not(inner) => {
+                let mut mask = inner.eval_mask(table)?;
+                for m in &mut mask {
+                    *m = !*m;
+                }
+                Ok(mask)
+            }
+            Predicate::Cmp { attr, op, value } => {
+                let col = Self::column_of(table, attr)?;
+                match Self::cmp_mask_columnar(col, *op, value) {
+                    Some(mask) => Ok(mask),
+                    None => self.eval_mask_rowwise(table),
+                }
+            }
+            Predicate::Between { attr, lo, hi } => {
+                let col = Self::column_of(table, attr)?;
+                match (col, lo.as_f64(), hi.as_f64()) {
+                    (Column::Int64 { .. } | Column::Float64 { .. }, Some(lo), Some(hi)) => {
+                        Ok(Self::numeric_mask(col, |v| {
+                            // Mirrors sem_cmp: f64 total order on both ends.
+                            v.total_cmp(&lo) != Ordering::Less && v.total_cmp(&hi) == Ordering::Less
+                        }))
+                    }
+                    _ => self.eval_mask_rowwise(table),
+                }
+            }
+            Predicate::InSet { attr, values } => {
+                let col = Self::column_of(table, attr)?;
+                if let Column::Utf8 { dict, codes, .. } = col {
+                    if values.iter().all(|v| matches!(v, Value::Str(_))) {
+                        // Resolve the whole set to codes once; membership is
+                        // then an integer bitmap probe per row.
+                        let mut member = vec![false; dict.len()];
+                        for v in values {
+                            if let Some(code) = v.as_str().and_then(|s| dict.code_of(s)) {
+                                member[code as usize] = true;
+                            }
+                        }
+                        // Null rows carry an un-interned sentinel code
+                        // (possibly out of dictionary range): probe with
+                        // `get`, and `clear_nulls` removes them anyway.
+                        let mut mask: Vec<bool> = codes
+                            .iter()
+                            .map(|&c| member.get(c as usize).copied().unwrap_or(false))
+                            .collect();
+                        Self::clear_nulls(col, &mut mask);
+                        return Ok(mask);
+                    }
+                }
+                self.eval_mask_rowwise(table)
+            }
+        }
+    }
+
+    /// Row-wise reference evaluation (the semantics the columnar path must
+    /// reproduce exactly).
+    fn eval_mask_rowwise(&self, table: &Table) -> Result<Vec<bool>> {
         let mut mask = Vec::with_capacity(table.height());
         for row in table.row_ids() {
             mask.push(self.eval(table, row)?);
@@ -242,15 +344,81 @@ impl Predicate {
         Ok(mask)
     }
 
-    /// Row ids matching the predicate.
-    pub fn matching_rows(&self, table: &Table) -> Result<Vec<usize>> {
-        let mut rows = Vec::new();
-        for row in table.row_ids() {
-            if self.eval(table, row)? {
-                rows.push(row);
+    /// Null rows never match; clear them in one pass.
+    fn clear_nulls(col: &Column, mask: &mut [bool]) {
+        if let Some(validity) = col.validity_mask() {
+            for (m, &valid) in mask.iter_mut().zip(validity.iter()) {
+                *m = *m && valid;
             }
         }
-        Ok(rows)
+    }
+
+    /// Columnar mask for numeric columns under an `f64` predicate,
+    /// with nulls cleared.
+    fn numeric_mask(col: &Column, pred: impl Fn(f64) -> bool) -> Vec<bool> {
+        let mut mask: Vec<bool> = match col {
+            Column::Int64 { values, .. } => values.iter().map(|&v| pred(v as f64)).collect(),
+            Column::Float64 { values, .. } => values.iter().map(|&v| pred(v)).collect(),
+            _ => unreachable!("numeric_mask on non-numeric column"),
+        };
+        Self::clear_nulls(col, &mut mask);
+        mask
+    }
+
+    /// Columnar evaluation of one comparison, when the (column, literal)
+    /// shape supports it. `None` means "use the row-wise path".
+    fn cmp_mask_columnar(col: &Column, op: CmpOp, value: &Value) -> Option<Vec<bool>> {
+        match (col, value) {
+            // String equality against a dictionary column: one dictionary
+            // probe, then integer comparisons. This is the single hottest
+            // predicate shape in the ChARLES search (`edu = PhD`).
+            (Column::Utf8 { dict, codes, .. }, Value::Str(s))
+                if matches!(op, CmpOp::Eq | CmpOp::Ne) =>
+            {
+                let target = dict.code_of(s);
+                let mut mask: Vec<bool> = match (op, target) {
+                    (CmpOp::Eq, Some(code)) => codes.iter().map(|&c| c == code).collect(),
+                    (CmpOp::Eq, None) => vec![false; codes.len()],
+                    (CmpOp::Ne, Some(code)) => codes.iter().map(|&c| c != code).collect(),
+                    (CmpOp::Ne, None) => vec![true; codes.len()],
+                    _ => unreachable!("guarded to Eq/Ne above"),
+                };
+                Self::clear_nulls(col, &mut mask);
+                Some(mask)
+            }
+            // Exact integer equality keeps i64 precision (sem_eq semantics).
+            (Column::Int64 { values, .. }, Value::Int(lit)) if op == CmpOp::Eq => {
+                let mut mask: Vec<bool> = values.iter().map(|&v| v == *lit).collect();
+                Self::clear_nulls(col, &mut mask);
+                Some(mask)
+            }
+            (Column::Int64 { values, .. }, Value::Int(lit)) if op == CmpOp::Ne => {
+                let mut mask: Vec<bool> = values.iter().map(|&v| v != *lit).collect();
+                Self::clear_nulls(col, &mut mask);
+                Some(mask)
+            }
+            // Numeric columns against numeric literals: raw f64 loops.
+            (Column::Int64 { .. } | Column::Float64 { .. }, Value::Int(_) | Value::Float(_)) => {
+                let lit = value.as_f64()?;
+                Some(match op {
+                    // sem_eq compares with `==`; ordering uses total_cmp.
+                    CmpOp::Eq => Self::numeric_mask(col, |v| v == lit),
+                    CmpOp::Ne => Self::numeric_mask(col, |v| v != lit),
+                    _ => Self::numeric_mask(col, |v| op.test(v.total_cmp(&lit))),
+                })
+            }
+            _ => None,
+        }
+    }
+
+    /// Row ids matching the predicate (columnar where possible).
+    pub fn matching_rows(&self, table: &Table) -> Result<Vec<usize>> {
+        let mask = self.eval_mask(table)?;
+        Ok(mask
+            .into_iter()
+            .enumerate()
+            .filter_map(|(i, m)| m.then_some(i))
+            .collect())
     }
 
     /// Number of atomic comparisons — the paper's "descriptor count", used
@@ -282,7 +450,7 @@ impl Predicate {
             Predicate::Cmp { attr, .. }
             | Predicate::InSet { attr, .. }
             | Predicate::Between { attr, .. } => {
-                out.insert(attr.clone());
+                out.insert(attr.name().to_string());
             }
             Predicate::And(parts) | Predicate::Or(parts) => {
                 for p in parts {
@@ -366,6 +534,28 @@ mod tests {
         let p = Predicate::eq("edu", "MS");
         assert_eq!(p.eval_mask(&t).unwrap(), vec![false, true, true, false]);
         assert_eq!(p.matching_rows(&t).unwrap(), vec![1, 2]);
+    }
+
+    #[test]
+    fn all_null_string_column_matches_nothing() {
+        // An all-null Utf8 column has an *empty* dictionary while its rows
+        // carry the un-interned sentinel code — the columnar set/equality
+        // paths must treat every row as a non-match, not index the
+        // dictionary.
+        use crate::schema::Schema;
+        use crate::value::DataType;
+        let schema = Schema::from_pairs([("s", DataType::Utf8)]).unwrap();
+        let col = crate::column::Column::from_values(DataType::Utf8, &[Value::Null, Value::Null])
+            .unwrap();
+        let t = Table::new(schema, vec![col]).unwrap();
+        for p in [
+            Predicate::in_set("s", ["a"]),
+            Predicate::eq("s", "a"),
+            Predicate::cmp("s", CmpOp::Ne, "a"),
+        ] {
+            assert_eq!(p.eval_mask(&t).unwrap(), vec![false, false], "{p}");
+            assert!(p.matching_rows(&t).unwrap().is_empty(), "{p}");
+        }
     }
 
     #[test]
@@ -472,10 +662,7 @@ mod tests {
                 .to_string(),
             "edu = MS ∧ exp < 3"
         );
-        assert_eq!(
-            Predicate::between("exp", 1, 3).to_string(),
-            "1 ≤ exp < 3"
-        );
+        assert_eq!(Predicate::between("exp", 1, 3).to_string(), "1 ≤ exp < 3");
         assert_eq!(
             Predicate::in_set("edu", ["BS", "MS"]).to_string(),
             "edu ∈ {BS, MS}"
@@ -486,11 +673,7 @@ mod tests {
     fn null_never_matches() {
         use crate::value::{DataType, Value};
         let t = TableBuilder::new("t")
-            .value_col(
-                "x",
-                DataType::Float64,
-                &[Value::Float(1.0), Value::Null],
-            )
+            .value_col("x", DataType::Float64, &[Value::Float(1.0), Value::Null])
             .unwrap()
             .build()
             .unwrap();

@@ -6,24 +6,156 @@ use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
 
+/// A dense interned attribute identifier: the attribute's index in its
+/// [`Schema`]. ChARLES requires the source and target snapshot to share an
+/// identical schema, so one id is valid against both tables of a pair and
+/// everything derived from them — which lets the whole search hot path key
+/// columns by `u32` instead of hashing `String`s.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AttrId(u32);
+
+impl AttrId {
+    /// Sentinel for handles created from a bare name, before resolution
+    /// against a schema (see [`AttrRef::unresolved`]).
+    pub(crate) const UNRESOLVED: AttrId = AttrId(u32::MAX);
+
+    /// The attribute's field index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for AttrId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// An interned attribute handle: the id for integer-keyed lookups plus the
+/// shared display name, so carriers (transformation terms, candidates)
+/// render without a schema in hand.
+///
+/// Equality and ordering compare the *name* — a resolved and an unresolved
+/// handle for the same attribute are interchangeable; the id is a lookup
+/// accelerator, not identity.
+#[derive(Debug, Clone)]
+pub struct AttrRef {
+    id: AttrId,
+    name: Arc<str>,
+}
+
+impl AttrRef {
+    /// A handle with a name but no schema binding. Engine-internal paths
+    /// always resolve; this exists so tests and external callers can build
+    /// transformations from bare strings.
+    pub fn unresolved(name: impl AsRef<str>) -> Self {
+        AttrRef {
+            id: AttrId::UNRESOLVED,
+            name: Arc::from(name.as_ref()),
+        }
+    }
+
+    /// The interned id, if this handle was resolved against a schema.
+    pub fn id(&self) -> Option<AttrId> {
+        (self.id != AttrId::UNRESOLVED).then_some(self.id)
+    }
+
+    /// The attribute name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The shared name.
+    pub fn name_arc(&self) -> &Arc<str> {
+        &self.name
+    }
+}
+
+impl PartialEq for AttrRef {
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name
+    }
+}
+
+impl Eq for AttrRef {}
+
+impl PartialEq<str> for AttrRef {
+    fn eq(&self, other: &str) -> bool {
+        &*self.name == other
+    }
+}
+
+impl PartialEq<&str> for AttrRef {
+    fn eq(&self, other: &&str) -> bool {
+        &*self.name == *other
+    }
+}
+
+impl PartialEq<String> for AttrRef {
+    fn eq(&self, other: &String) -> bool {
+        &*self.name == other.as_str()
+    }
+}
+
+impl PartialOrd for AttrRef {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for AttrRef {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.name.cmp(&other.name)
+    }
+}
+
+impl std::hash::Hash for AttrRef {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.name.hash(state);
+    }
+}
+
+impl fmt::Display for AttrRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+impl From<&str> for AttrRef {
+    fn from(name: &str) -> Self {
+        AttrRef::unresolved(name)
+    }
+}
+
+impl From<String> for AttrRef {
+    fn from(name: String) -> Self {
+        AttrRef::unresolved(name)
+    }
+}
+
 /// A single named, typed field in a schema.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Field {
-    name: String,
+    name: Arc<str>,
     dtype: DataType,
 }
 
 impl Field {
     /// Create a field.
-    pub fn new(name: impl Into<String>, dtype: DataType) -> Self {
+    pub fn new(name: impl AsRef<str>, dtype: DataType) -> Self {
         Field {
-            name: name.into(),
+            name: Arc::from(name.as_ref()),
             dtype,
         }
     }
 
     /// The field name.
     pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The field name as a shared string.
+    pub fn name_arc(&self) -> &Arc<str> {
         &self.name
     }
 
@@ -47,7 +179,7 @@ impl fmt::Display for Field {
 #[derive(Debug, Clone)]
 pub struct Schema {
     fields: Vec<Field>,
-    by_name: HashMap<String, usize>,
+    by_name: HashMap<Arc<str>, usize>,
 }
 
 impl PartialEq for Schema {
@@ -117,6 +249,54 @@ impl Schema {
             .get(name)
             .copied()
             .ok_or_else(|| RelationError::UnknownAttribute(name.to_string()))
+    }
+
+    /// Interned id of a field by name. Ids are dense field indices, valid
+    /// for every table sharing this schema.
+    pub fn attr_id(&self, name: &str) -> Result<AttrId> {
+        Ok(AttrId(self.index_of(name)? as u32))
+    }
+
+    /// Name of an interned attribute.
+    ///
+    /// # Panics
+    /// Panics if `id` did not come from this schema (or an identical one).
+    pub fn attr_name(&self, id: AttrId) -> &str {
+        self.fields[id.index()].name()
+    }
+
+    /// A resolved handle (id + shared name) for a field, by name.
+    pub fn attr_ref(&self, name: &str) -> Result<AttrRef> {
+        let idx = self.index_of(name)?;
+        Ok(AttrRef {
+            id: AttrId(idx as u32),
+            name: self.fields[idx].name.clone(),
+        })
+    }
+
+    /// A resolved handle for an interned id.
+    ///
+    /// # Panics
+    /// Panics if `id` did not come from this schema (or an identical one).
+    pub fn attr_ref_by_id(&self, id: AttrId) -> AttrRef {
+        AttrRef {
+            id,
+            name: self.fields[id.index()].name.clone(),
+        }
+    }
+
+    /// Resolve a handle against this schema: reuses the handle's id when
+    /// bound, otherwise interns its name.
+    pub fn resolve(&self, attr: &AttrRef) -> Result<AttrId> {
+        match attr.id() {
+            Some(id) if id.index() < self.fields.len() => Ok(id),
+            _ => self.attr_id(attr.name()),
+        }
+    }
+
+    /// All attribute ids in field order.
+    pub fn attr_ids(&self) -> impl Iterator<Item = AttrId> {
+        (0..self.fields.len() as u32).map(AttrId)
     }
 
     /// Whether a field with this name exists.
@@ -242,5 +422,34 @@ mod tests {
     fn display_roundtrip() {
         let s = abc();
         assert_eq!(s.to_string(), "Schema[a: Int64, b: Float64, c: Utf8]");
+    }
+
+    #[test]
+    fn attr_interning_roundtrip() {
+        let s = abc();
+        let id = s.attr_id("b").unwrap();
+        assert_eq!(id.index(), 1);
+        assert_eq!(s.attr_name(id), "b");
+        assert!(s.attr_id("zzz").is_err());
+        let ids: Vec<_> = s.attr_ids().collect();
+        assert_eq!(ids.len(), 3);
+        assert_eq!(ids[2].index(), 2);
+    }
+
+    #[test]
+    fn attr_ref_resolution_and_equality() {
+        let s = abc();
+        let resolved = s.attr_ref("c").unwrap();
+        assert_eq!(resolved.id(), Some(s.attr_id("c").unwrap()));
+        assert_eq!(resolved.name(), "c");
+        // The name Arc is shared with the schema, not re-allocated.
+        assert!(Arc::ptr_eq(resolved.name_arc(), s.fields()[2].name_arc()));
+        let unresolved = AttrRef::unresolved("c");
+        assert_eq!(unresolved.id(), None);
+        assert_eq!(resolved, unresolved);
+        assert_eq!(resolved, "c");
+        assert_eq!(s.resolve(&unresolved).unwrap(), s.attr_id("c").unwrap());
+        assert_eq!(s.attr_ref_by_id(s.attr_id("a").unwrap()).name(), "a");
+        assert!(s.resolve(&AttrRef::unresolved("missing")).is_err());
     }
 }

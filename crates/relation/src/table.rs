@@ -145,6 +145,15 @@ impl Table {
         Ok(&self.columns[self.schema.index_of(name)?])
     }
 
+    /// Column by interned id — a direct index, no string hashing.
+    ///
+    /// # Panics
+    /// Panics if `id` did not come from this table's schema (or an
+    /// identical one).
+    pub fn column_by_id(&self, id: crate::schema::AttrId) -> &Column {
+        &self.columns[id.index()]
+    }
+
     /// All columns in schema order.
     pub fn columns(&self) -> &[Column] {
         &self.columns
@@ -187,13 +196,13 @@ impl Table {
         // unchanged (columns must stay equal-length).
         for (col, v) in self.columns.iter().zip(values.iter()) {
             if !v.is_null() {
-                let ok = match (col.dtype(), v) {
-                    (DataType::Int64, Value::Int(_)) => true,
-                    (DataType::Float64, Value::Float(_) | Value::Int(_)) => true,
-                    (DataType::Utf8, Value::Str(_)) => true,
-                    (DataType::Bool, Value::Bool(_)) => true,
-                    _ => false,
-                };
+                let ok = matches!(
+                    (col.dtype(), v),
+                    (DataType::Int64, Value::Int(_))
+                        | (DataType::Float64, Value::Float(_) | Value::Int(_))
+                        | (DataType::Utf8, Value::Str(_))
+                        | (DataType::Bool, Value::Bool(_))
+                );
                 if !ok {
                     return Err(RelationError::TypeMismatch {
                         expected: col.dtype().name().to_string(),
@@ -239,6 +248,24 @@ impl Table {
     /// Numeric column as a dense `f64` vector (regression input fast path).
     pub fn numeric(&self, name: &str) -> Result<Vec<f64>> {
         self.column_by_name(name)?.to_f64_vec(name)
+    }
+
+    /// Shared numeric view of a column by name (zero-copy for null-free
+    /// `Float64` columns; see [`Column::numeric_view`]).
+    pub fn numeric_view(&self, name: &str) -> Result<crate::view::NumericView> {
+        self.column_by_name(name)?.numeric_view(name)
+    }
+
+    /// Shared numeric view of a column by interned id.
+    ///
+    /// # Panics
+    /// Panics if `id` did not come from this table's schema.
+    pub fn numeric_view_by_id(
+        &self,
+        id: crate::schema::AttrId,
+    ) -> Result<crate::view::NumericView> {
+        self.column_by_id(id)
+            .numeric_view(self.schema.attr_name(id))
     }
 
     /// Deep value equality (schema, heights, and every cell; names/keys are
@@ -373,7 +400,11 @@ mod tests {
     #[test]
     fn push_row_is_atomic_on_error() {
         let mut t = sample();
-        let err = t.push_row(vec![Value::str("Zoe"), Value::str("bad"), Value::Float(1.0)]);
+        let err = t.push_row(vec![
+            Value::str("Zoe"),
+            Value::str("bad"),
+            Value::Float(1.0),
+        ]);
         assert!(err.is_err());
         // No partial append happened.
         assert_eq!(t.height(), 3);

@@ -209,11 +209,7 @@ mod tests {
 
     #[test]
     fn non_numeric_target_rejected() {
-        let stmts = vec![UpdateStatement::new(
-            "edu",
-            Expr::lit(1.0),
-            Predicate::True,
-        )];
+        let stmts = vec![UpdateStatement::new("edu", Expr::lit(1.0), Predicate::True)];
         assert!(apply_updates(&emp(), &stmts, ApplyMode::FirstMatch).is_err());
     }
 

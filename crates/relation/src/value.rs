@@ -327,7 +327,7 @@ mod tests {
 
     #[test]
     fn total_order_null_first() {
-        let mut vals = vec![
+        let mut vals = [
             Value::str("z"),
             Value::Int(5),
             Value::Null,

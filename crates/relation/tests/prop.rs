@@ -133,6 +133,66 @@ proptest! {
             prop_assert_eq!(pair.target_row(row), row);
         }
     }
+
+    #[test]
+    fn numeric_view_matches_vec_extraction(table in table_strategy()) {
+        // The zero-copy view layer must agree exactly with the original
+        // `Table::numeric` Vec extraction — same values, same errors.
+        for name in table.schema().names() {
+            match (table.numeric(name), table.numeric_view(name)) {
+                (Ok(vec), Ok(view)) => {
+                    prop_assert_eq!(vec.as_slice(), view.as_slice(), "attr {}", name);
+                    // Cloning the view aliases the same buffer.
+                    let clone = view.clone();
+                    prop_assert!(std::sync::Arc::ptr_eq(view.shared(), clone.shared()));
+                }
+                (Err(_), Err(_)) => {}
+                (vec, view) => {
+                    return Err(proptest::test_runner::TestCaseError::fail(format!(
+                        "extraction paths disagree for {name:?}: vec={vec:?} view={view:?}"
+                    )));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn group_codes_matches_string_grouping(table in table_strategy()) {
+        // Dictionary-code grouping must induce exactly the partition that
+        // grouping by materialized string values induces, nulls included.
+        for (idx, field) in table.schema().fields().iter().enumerate() {
+            let col = table.column(idx).unwrap();
+            let Some(groups) = col.group_codes() else {
+                prop_assert!(field.dtype().is_numeric(), "only numeric columns lack code grouping");
+                continue;
+            };
+            // Reference: first-appearance-ordered grouping by Value.
+            let mut ref_groups: Vec<(Value, Vec<usize>)> = Vec::new();
+            for row in 0..col.len() {
+                let v = col.get(row);
+                match ref_groups.iter_mut().find(|(key, _)| key == &v) {
+                    Some((_, rows)) => rows.push(row),
+                    None => ref_groups.push((v, vec![row])),
+                }
+            }
+            prop_assert_eq!(groups.n_groups(), ref_groups.len(), "attr {}", field.name());
+            for ((code, rows), (value, ref_rows)) in
+                groups.groups.iter().zip(ref_groups.iter())
+            {
+                prop_assert_eq!(rows, ref_rows, "attr {}", field.name());
+                match code {
+                    None => prop_assert!(value.is_null()),
+                    Some(_) => prop_assert!(!value.is_null()),
+                }
+            }
+            // Labels are consistent with groups.
+            for (slot, (_, rows)) in groups.groups.iter().enumerate() {
+                for &r in rows {
+                    prop_assert_eq!(groups.labels[r], slot);
+                }
+            }
+        }
+    }
 }
 
 #[test]

@@ -21,7 +21,11 @@ const DEPARTMENTS: [(&str, &str, [&str; 3], f64); 6] = [
     (
         "POL",
         "Department of Police",
-        ["Patrol Services", "Investigative Services", "Management Services"],
+        [
+            "Patrol Services",
+            "Investigative Services",
+            "Management Services",
+        ],
         72_000.0,
     ),
     (
@@ -33,7 +37,11 @@ const DEPARTMENTS: [(&str, &str, [&str; 3], f64); 6] = [
     (
         "HHS",
         "Department of Health and Human Services",
-        ["Public Health", "Children Youth and Families", "Aging and Disability"],
+        [
+            "Public Health",
+            "Children Youth and Families",
+            "Aging and Disability",
+        ],
         58_000.0,
     ),
     (
@@ -45,7 +53,11 @@ const DEPARTMENTS: [(&str, &str, [&str; 3], f64); 6] = [
     (
         "LIB",
         "Public Libraries",
-        ["Branch Operations", "Collection Management", "Administration"],
+        [
+            "Branch Operations",
+            "Collection Management",
+            "Administration",
+        ],
         48_000.0,
     ),
     (
@@ -79,7 +91,11 @@ pub fn county_table(n: usize, seed: u64) -> Result<Table, RelationError> {
             + rng.gen_range(-2_000.0..2_000.0))
         .round();
         // Public-safety departments accrue far more overtime.
-        let ot_scale = if code == "POL" || code == "FRS" { 0.18 } else { 0.04 };
+        let ot_scale = if code == "POL" || code == "FRS" {
+            0.18
+        } else {
+            0.04
+        };
         let overtime = (salary * ot_scale * rng.gen_range(0.0..2.0)).round();
         // Longevity pay: service-step bonus after 10 years. Service is a
         // latent variable (not in the schema), so longevity is *noisy*
@@ -224,7 +240,7 @@ mod tests {
         let t = county_table(500, 4).unwrap();
         let longevity = t.numeric("longevity_pay").unwrap();
         // Mix of zero (service < 10) and positive step values.
-        assert!(longevity.iter().any(|&l| l == 0.0));
+        assert!(longevity.contains(&0.0));
         assert!(longevity.iter().any(|&l| l > 0.0));
         // All positive values are multiples of the $120 service step.
         for &l in longevity.iter().filter(|&&l| l > 0.0) {

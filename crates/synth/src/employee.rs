@@ -12,7 +12,9 @@ pub fn figure1_source() -> Table {
     TableBuilder::new("salaries-2016")
         .str_col(
             "name",
-            &["Anne", "Bob", "Amber", "Allen", "Cathy", "Tom", "James", "Lucy", "Frank"],
+            &[
+                "Anne", "Bob", "Amber", "Allen", "Cathy", "Tom", "James", "Lucy", "Frank",
+            ],
         )
         .str_col("gen", &["F", "M", "F", "M", "F", "M", "M", "F", "M"])
         .str_col(
@@ -107,10 +109,9 @@ pub fn employee_table(n: usize, seed: u64) -> Result<Table, RelationError> {
             "MS" => 120_000.0,
             _ => 90_000.0,
         };
-        let salary =
-            ((base + 8_000.0 * exp as f64 + rng.gen_range(-10_000.0..10_000.0)) / 1_000.0)
-                .round()
-                * 1_000.0;
+        let salary = ((base + 8_000.0 * exp as f64 + rng.gen_range(-10_000.0..10_000.0)) / 1_000.0)
+            .round()
+            * 1_000.0;
         let bonus = salary * 0.10; // the 2016 flat rate from the paper
         gens.push(gen);
         edus.push(edu);
@@ -160,10 +161,7 @@ mod tests {
         ];
         for (r, &want) in expected.iter().enumerate() {
             let got = s.target.value(r, "bonus").unwrap().as_f64().unwrap();
-            assert!(
-                (got - want).abs() < 1e-6,
-                "row {r}: got {got}, want {want}"
-            );
+            assert!((got - want).abs() < 1e-6, "row {r}: got {got}, want {want}");
         }
         // Cathy and James (BS) unchanged, as the paper highlights.
         assert_eq!(

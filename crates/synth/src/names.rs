@@ -3,9 +3,9 @@
 /// First-name pool (enough variety for readable demos).
 const FIRST: [&str; 40] = [
     "Anne", "Bob", "Amber", "Allen", "Cathy", "Tom", "James", "Lucy", "Frank", "Grace", "Henry",
-    "Ivy", "Jack", "Karen", "Liam", "Mona", "Noah", "Olga", "Pete", "Quinn", "Rosa", "Sam",
-    "Tina", "Umar", "Vera", "Walt", "Xena", "Yuri", "Zoe", "Aaron", "Bella", "Carl", "Dana",
-    "Eli", "Fay", "Gus", "Hana", "Igor", "June", "Kyle",
+    "Ivy", "Jack", "Karen", "Liam", "Mona", "Noah", "Olga", "Pete", "Quinn", "Rosa", "Sam", "Tina",
+    "Umar", "Vera", "Walt", "Xena", "Yuri", "Zoe", "Aaron", "Bella", "Carl", "Dana", "Eli", "Fay",
+    "Gus", "Hana", "Igor", "June", "Kyle",
 ];
 
 /// Surname pool.

@@ -61,7 +61,10 @@ pub fn perturb(
             col.set(row, Value::Float(old * factor))?;
         }
     }
-    Ok(NoiseReport { table: out, touched })
+    Ok(NoiseReport {
+        table: out,
+        touched,
+    })
 }
 
 #[cfg(test)]
@@ -71,7 +74,10 @@ mod tests {
 
     fn t() -> Table {
         TableBuilder::new("t")
-            .float_col("x", &(0..100).map(|i| 1000.0 + i as f64).collect::<Vec<_>>())
+            .float_col(
+                "x",
+                &(0..100).map(|i| 1000.0 + i as f64).collect::<Vec<_>>(),
+            )
             .build()
             .unwrap()
     }

@@ -215,8 +215,14 @@ mod tests {
         let scenario = Scenario::evolve("test", table(), policy).unwrap();
         assert_eq!(scenario.len(), 3);
         assert!(!scenario.is_empty());
-        assert_eq!(scenario.source.value(1, "pay").unwrap(), Value::Float(200.0));
-        assert_eq!(scenario.target.value(1, "pay").unwrap(), Value::Float(250.0));
+        assert_eq!(
+            scenario.source.value(1, "pay").unwrap(),
+            Value::Float(200.0)
+        );
+        assert_eq!(
+            scenario.target.value(1, "pay").unwrap(),
+            Value::Float(250.0)
+        );
         assert_eq!(scenario.target_attr, "pay");
     }
 }

@@ -38,8 +38,7 @@ fn main() {
         stats.change_rate() * 100.0,
         stats.cells_changed
     );
-    let dist = update_distance(&scenario.source, &scenario.target, "name")
-        .expect("same schema");
+    let dist = update_distance(&scenario.source, &scenario.target, "name").expect("same schema");
     println!(
         "update distance (Müller et al.): {} operations\n",
         dist.total()
@@ -88,7 +87,10 @@ fn main() {
     for b in all_baselines(&pair, &scenario.target_attr, &config).expect("baselines run") {
         println!(
             "{:<22} {:>9.3} {:>17.3} {:>8.3} {:>7}",
-            b.name, b.scores.accuracy, b.scores.interpretability, b.scores.score,
+            b.name,
+            b.scores.accuracy,
+            b.scores.interpretability,
+            b.scores.score,
             b.explanation_units
         );
     }

@@ -26,14 +26,18 @@ fn main() {
         .with_max_condition_attrs(3)
         .with_max_transform_attrs(2);
 
-    let engine = Charles::new(scenario.source.clone(), scenario.target.clone(), target_attr)
-        .expect("snapshots align")
-        .with_config(config)
-        // Steps 4–5: the demo user accepts education, experience, and
-        // gender for conditions; previous bonus and salary for
-        // transformations.
-        .with_condition_attrs(["edu", "exp", "gen"])
-        .with_transform_attrs(["bonus", "salary"]);
+    let engine = Charles::new(
+        scenario.source.clone(),
+        scenario.target.clone(),
+        target_attr,
+    )
+    .expect("snapshots align")
+    .with_config(config)
+    // Steps 4–5: the demo user accepts education, experience, and
+    // gender for conditions; previous bonus and salary for
+    // transformations.
+    .with_condition_attrs(["edu", "exp", "gen"])
+    .with_transform_attrs(["bonus", "salary"]);
 
     // Steps 4–5 output: what the assistant itself would have suggested.
     let setup = engine.setup().expect("assistant runs");
@@ -103,14 +107,9 @@ fn main() {
         .into_iter()
         .map(|(condition, expr)| charles::core::TruthRule { condition, expr })
         .collect();
-    let report = charles::core::evaluate_recovery(
-        top,
-        &pair,
-        "bonus",
-        &rules,
-        &CharlesConfig::default(),
-    )
-    .expect("recovery evaluates");
+    let report =
+        charles::core::evaluate_recovery(top, &pair, "bonus", &rules, &CharlesConfig::default())
+            .expect("recovery evaluates");
     println!(
         "recovery vs. ground truth: ARI {:.3}, mean rule Jaccard {:.3}, prediction NMAE {:.5}",
         report.ari, report.mean_rule_jaccard, report.prediction_nmae

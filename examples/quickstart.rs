@@ -14,13 +14,17 @@ fn main() {
             "name",
             &["Anne", "Bob", "Cathy", "Dan", "Eve", "Finn", "Gina", "Hugo"],
         )
-        .str_col("team", &["Core", "Core", "Sales", "Sales", "Core", "Ops", "Ops", "Sales"])
+        .str_col(
+            "team",
+            &[
+                "Core", "Core", "Sales", "Sales", "Core", "Ops", "Ops", "Sales",
+            ],
+        )
         .int_col("level", &[5, 6, 4, 4, 7, 3, 4, 6])
         .float_col(
             "salary",
             &[
-                120_000.0, 135_000.0, 95_000.0, 98_000.0, 150_000.0, 80_000.0, 88_000.0,
-                125_000.0,
+                120_000.0, 135_000.0, 95_000.0, 98_000.0, 150_000.0, 80_000.0, 88_000.0, 125_000.0,
             ],
         )
         .key("name")

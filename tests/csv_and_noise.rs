@@ -35,15 +35,9 @@ fn csv_roundtrip_preserves_recovery() {
 
 fn recovery_ari(noise_fraction: f64, alpha: f64) -> f64 {
     let scenario = employees(300, 23);
-    let noisy_target = perturb(
-        &scenario.target,
-        "bonus",
-        noise_fraction,
-        0.5,
-        99,
-    )
-    .unwrap()
-    .table;
+    let noisy_target = perturb(&scenario.target, "bonus", noise_fraction, 0.5, 99)
+        .unwrap()
+        .table;
     let pair = SnapshotPair::align(scenario.source.clone(), noisy_target).unwrap();
     let result = Charles::from_pair(pair.clone(), "bonus")
         .unwrap()
@@ -90,7 +84,9 @@ fn engine_handles_all_rows_noisy() {
     // Pure noise: no latent policy at all. The engine should still return
     // *some* ranked summaries without panicking, with sane scores.
     let scenario = employees(150, 31);
-    let noisy = perturb(&scenario.source, "bonus", 1.0, 0.3, 7).unwrap().table;
+    let noisy = perturb(&scenario.source, "bonus", 1.0, 0.3, 7)
+        .unwrap()
+        .table;
     let pair = SnapshotPair::align(scenario.source, noisy).unwrap();
     let result = Charles::from_pair(pair, "bonus").unwrap().run().unwrap();
     assert!(!result.summaries.is_empty());

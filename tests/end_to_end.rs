@@ -27,15 +27,24 @@ fn example1_exact_recovery() {
     let result = engine.run().unwrap();
     let top = result.top().unwrap();
 
-    assert!(top.scores.accuracy > 0.999, "accuracy {}", top.scores.accuracy);
+    assert!(
+        top.scores.accuracy > 0.999,
+        "accuracy {}",
+        top.scores.accuracy
+    );
     let rendered = top.to_string();
     assert!(rendered.contains("1.05 × old_bonus + 1000"), "{rendered}");
     assert!(rendered.contains("1.04 × old_bonus + 800"), "{rendered}");
     assert!(rendered.contains("no change"), "{rendered}");
 
-    let report =
-        evaluate_recovery(top, &pair, "bonus", &truth_rules(&scenario), &CharlesConfig::default())
-            .unwrap();
+    let report = evaluate_recovery(
+        top,
+        &pair,
+        "bonus",
+        &truth_rules(&scenario),
+        &CharlesConfig::default(),
+    )
+    .unwrap();
     assert!((report.ari - 1.0).abs() < 1e-9, "ARI {}", report.ari);
     assert!(report.prediction_nmae < 1e-9);
 }
@@ -52,15 +61,24 @@ fn scaled_employees_recover_r3_coefficients() {
         .with_transform_attrs(["bonus", "salary"]);
     let result = engine.run().unwrap();
     let top = result.top().unwrap();
-    assert!(top.scores.accuracy > 0.999, "accuracy {}", top.scores.accuracy);
+    assert!(
+        top.scores.accuracy > 0.999,
+        "accuracy {}",
+        top.scores.accuracy
+    );
     let rendered = top.to_string();
     assert!(rendered.contains("1.05 × old_bonus + 1000"), "{rendered}");
     assert!(rendered.contains("1.04 × old_bonus + 800"), "{rendered}");
     assert!(rendered.contains("1.03 × old_bonus + 400"), "{rendered}");
 
-    let report =
-        evaluate_recovery(top, &pair, "bonus", &truth_rules(&scenario), &CharlesConfig::default())
-            .unwrap();
+    let report = evaluate_recovery(
+        top,
+        &pair,
+        "bonus",
+        &truth_rules(&scenario),
+        &CharlesConfig::default(),
+    )
+    .unwrap();
     assert!(report.ari > 0.999, "ARI {}", report.ari);
     assert!(report.mean_rule_jaccard > 0.999);
 }
@@ -72,7 +90,11 @@ fn county_recovery_with_assistant_defaults() {
     let engine = Charles::from_pair(pair.clone(), "base_salary").unwrap();
     let result = engine.run().unwrap();
     let top = result.top().unwrap();
-    assert!(top.scores.accuracy > 0.999, "accuracy {}", top.scores.accuracy);
+    assert!(
+        top.scores.accuracy > 0.999,
+        "accuracy {}",
+        top.scores.accuracy
+    );
     let report = evaluate_recovery(
         top,
         &pair,
@@ -82,7 +104,11 @@ fn county_recovery_with_assistant_defaults() {
     )
     .unwrap();
     assert!(report.ari > 0.95, "ARI {}", report.ari);
-    assert!(report.prediction_nmae < 1e-6, "NMAE {}", report.prediction_nmae);
+    assert!(
+        report.prediction_nmae < 1e-6,
+        "NMAE {}",
+        report.prediction_nmae
+    );
 }
 
 #[test]
@@ -98,7 +124,11 @@ fn billionaires_recovery() {
         );
     let result = engine.run().unwrap();
     let top = result.top().unwrap();
-    assert!(top.scores.accuracy > 0.99, "accuracy {}", top.scores.accuracy);
+    assert!(
+        top.scores.accuracy > 0.99,
+        "accuracy {}",
+        top.scores.accuracy
+    );
     let rendered = top.to_string();
     assert!(rendered.contains("1.15"), "{rendered}");
     assert!(rendered.contains("0.92"), "{rendered}");
@@ -108,8 +138,7 @@ fn billionaires_recovery() {
 fn runs_are_deterministic() {
     let scenario = county(400, 3);
     let run = || {
-        let pair =
-            SnapshotPair::align(scenario.source.clone(), scenario.target.clone()).unwrap();
+        let pair = SnapshotPair::align(scenario.source.clone(), scenario.target.clone()).unwrap();
         let result = Charles::from_pair(pair, "base_salary")
             .unwrap()
             .run()
@@ -140,9 +169,7 @@ fn alpha_zero_prefers_simpler_summaries() {
     let accurate = top_at(1.0);
     // α=1 maximizes accuracy; α=0 maximizes interpretability.
     assert!(accurate.scores.accuracy >= interpretable.scores.accuracy - 1e-12);
-    assert!(
-        interpretable.scores.interpretability >= accurate.scores.interpretability - 1e-12
-    );
+    assert!(interpretable.scores.interpretability >= accurate.scores.interpretability - 1e-12);
     // And the interpretable one should not be bigger than the accurate one.
     assert!(interpretable.len() <= accurate.len());
 }
@@ -151,7 +178,10 @@ fn alpha_zero_prefers_simpler_summaries() {
 fn tree_and_viz_render_for_every_summary() {
     let scenario = county(300, 9);
     let pair = SnapshotPair::align(scenario.source, scenario.target).unwrap();
-    let result = Charles::from_pair(pair, "base_salary").unwrap().run().unwrap();
+    let result = Charles::from_pair(pair, "base_salary")
+        .unwrap()
+        .run()
+        .unwrap();
     for summary in &result.summaries {
         let tree = LinearModelTree::from_summary(summary);
         let text = tree.to_string();
@@ -169,7 +199,10 @@ fn summary_partitions_are_disjoint_and_in_range() {
     let scenario = county(500, 21);
     let n = scenario.len();
     let pair = SnapshotPair::align(scenario.source, scenario.target).unwrap();
-    let result = Charles::from_pair(pair, "base_salary").unwrap().run().unwrap();
+    let result = Charles::from_pair(pair, "base_salary")
+        .unwrap()
+        .run()
+        .unwrap();
     for summary in &result.summaries {
         let mut seen = vec![false; n];
         for ct in &summary.cts {
@@ -181,8 +214,6 @@ fn summary_partitions_are_disjoint_and_in_range() {
         }
         assert!(summary.total_coverage() <= 1.0 + 1e-9);
         assert!(summary.scores.accuracy >= 0.0 && summary.scores.accuracy <= 1.0);
-        assert!(
-            summary.scores.interpretability >= 0.0 && summary.scores.interpretability <= 1.0
-        );
+        assert!(summary.scores.interpretability >= 0.0 && summary.scores.interpretability <= 1.0);
     }
 }

@@ -10,8 +10,8 @@ use proptest::prelude::*;
 /// A generated population plus an affine two-group policy.
 #[derive(Debug, Clone)]
 struct Case {
-    groups: Vec<u8>,    // group id per row (0 or 1)
-    base: Vec<f64>,     // target attribute values
+    groups: Vec<u8>, // group id per row (0 or 1)
+    base: Vec<f64>,  // target attribute values
     scale0: f64,
     offset0: f64,
     scale1: f64,
@@ -39,7 +39,7 @@ fn case_strategy() -> impl Strategy<Value = Case> {
             }
         })
         .prop_filter("both groups present", |c| {
-            c.groups.iter().any(|&g| g == 0) && c.groups.iter().any(|&g| g == 1)
+            c.groups.contains(&0) && c.groups.contains(&1)
         })
 }
 

@@ -1,0 +1,265 @@
+//! Offline stand-in for the `criterion` benchmarking crate.
+//!
+//! The build environment has no network access, so this workspace vendors
+//! the slice of the criterion API its benches use: `criterion_group!` /
+//! `criterion_main!`, [`Criterion::benchmark_group`], `sample_size`,
+//! `throughput`, `bench_function`, `bench_with_input`, [`BenchmarkId`],
+//! [`Throughput`], and [`Bencher::iter`].
+//!
+//! Measurement is deliberately simple: each benchmark runs a short warm-up,
+//! then `sample_size` timed samples with an adaptively chosen iteration
+//! count, and reports mean ± spread plus throughput. No plots, no state
+//! files — just wall-clock numbers on stdout, which is what the repro
+//! harness consumes.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifier for one benchmark case (function name + parameter).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Just the parameter (used when the group name is enough context).
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            name: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { name: s }
+    }
+}
+
+/// Units of work per iteration, for derived throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Runs one benchmark body repeatedly and records timing.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `f`, called `self.iters` times.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// A group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Declare per-iteration work for throughput reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Benchmark a closure.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id.name);
+        let report = run_benchmark(self.sample_size, &mut f);
+        print_report(&full, &report, self.throughput);
+        self.criterion.reports.push((full, report));
+        self
+    }
+
+    /// Benchmark a closure against one input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// End the group (kept for API parity; groups need no teardown here).
+    pub fn finish(&mut self) {}
+}
+
+/// Timing summary of one benchmark.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Mean wall-clock time per iteration.
+    pub mean: Duration,
+    /// Fastest sample's per-iteration time.
+    pub min: Duration,
+    /// Slowest sample's per-iteration time.
+    pub max: Duration,
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(samples: usize, f: &mut F) -> Report {
+    // Warm-up and iteration-count calibration: aim for ~25 ms per sample,
+    // clamped to [1, 1e6] iterations.
+    let mut bencher = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut bencher);
+    let per_iter = bencher.elapsed.max(Duration::from_nanos(1));
+    let target = Duration::from_millis(25);
+    let iters = (target.as_nanos() / per_iter.as_nanos()).clamp(1, 1_000_000) as u64;
+
+    let mut times: Vec<Duration> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        times.push(b.elapsed / iters as u32);
+    }
+    let total: Duration = times.iter().sum();
+    Report {
+        mean: total / times.len() as u32,
+        min: times.iter().min().copied().unwrap_or_default(),
+        max: times.iter().max().copied().unwrap_or_default(),
+    }
+}
+
+fn print_report(name: &str, report: &Report, throughput: Option<Throughput>) {
+    let tp = match throughput {
+        Some(Throughput::Elements(n)) if report.mean.as_secs_f64() > 0.0 => {
+            format!("  ({:.0} elem/s)", n as f64 / report.mean.as_secs_f64())
+        }
+        Some(Throughput::Bytes(n)) if report.mean.as_secs_f64() > 0.0 => {
+            format!("  ({:.0} B/s)", n as f64 / report.mean.as_secs_f64())
+        }
+        _ => String::new(),
+    };
+    println!(
+        "bench {name:<56} {:>12.3?}  [{:.3?} .. {:.3?}]{tp}",
+        report.mean, report.min, report.max
+    );
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    reports: Vec<(String, Report)>,
+}
+
+impl Criterion {
+    /// Start a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            throughput: None,
+            criterion: self,
+        }
+    }
+
+    /// Benchmark a closure outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let report = run_benchmark(10, &mut f);
+        print_report(&id.name, &report, None);
+        self.reports.push((id.name, report));
+        self
+    }
+
+    /// All reports collected so far (name, timing).
+    pub fn reports(&self) -> &[(String, Report)] {
+        &self.reports
+    }
+}
+
+/// Group benchmark functions under one entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Produce `fn main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(3);
+        group.throughput(Throughput::Elements(10));
+        group.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        group.bench_with_input(BenchmarkId::new("scale", 4), &4u64, |b, &n| {
+            b.iter(|| n * 2)
+        });
+        group.finish();
+        assert_eq!(c.reports().len(), 2);
+        assert!(c.reports()[0].0.contains("smoke/sum"));
+    }
+}

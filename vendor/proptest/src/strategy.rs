@@ -1,0 +1,451 @@
+//! Strategies: deterministic value generators for property tests.
+
+use crate::test_runner::TestRng;
+use rand::Rng;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+/// A generator of test values. Unlike upstream proptest there is no value
+/// tree and no shrinking: `generate` draws one concrete value.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draw one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generate a value, then generate from a strategy derived from it.
+    fn prop_flat_map<U, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        U: Strategy,
+        F: Fn(Self::Value) -> U,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Keep only values satisfying `predicate` (regenerates on mismatch).
+    fn prop_filter<P>(self, reason: &'static str, predicate: P) -> Filter<Self, P>
+    where
+        Self: Sized,
+        P: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            reason,
+            predicate,
+        }
+    }
+
+    /// Type-erase the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, P> {
+    inner: S,
+    reason: &'static str,
+    predicate: P,
+}
+
+impl<S, P> Strategy for Filter<S, P>
+where
+    S: Strategy,
+    P: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..10_000 {
+            let v = self.inner.generate(rng);
+            if (self.predicate)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter exhausted retries: {}", self.reason);
+    }
+}
+
+/// A type-erased strategy.
+pub struct BoxedStrategy<T>(Box<dyn Strategy<Value = T>>);
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.generate(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, U, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, U, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    U: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U::Value;
+    fn generate(&self, rng: &mut TestRng) -> U::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// Strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+#[allow(non_camel_case_types)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Weighted union of same-typed strategies (built by `prop_oneof!`).
+pub struct Union<T> {
+    arms: Vec<(u32, BoxedStrategy<T>)>,
+    total: u32,
+}
+
+impl<T> Union<T> {
+    /// Build from `(weight, strategy)` arms.
+    pub fn new(arms: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+        let total = arms.iter().map(|(w, _)| *w).sum::<u32>().max(1);
+        Union { arms, total }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let mut pick = rng.rng.gen_range(0..self.total);
+        for (w, strat) in &self.arms {
+            if pick < *w {
+                return strat.generate(rng);
+            }
+            pick -= w;
+        }
+        self.arms
+            .last()
+            .expect("prop_oneof! requires at least one arm")
+            .1
+            .generate(rng)
+    }
+}
+
+// --- primitive strategies -------------------------------------------------
+
+macro_rules! int_range_strategy {
+    ($($ty:ty),*) => {$(
+        impl Strategy for Range<$ty> {
+            type Value = $ty;
+            fn generate(&self, rng: &mut TestRng) -> $ty {
+                rng.rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$ty> {
+            type Value = $ty;
+            fn generate(&self, rng: &mut TestRng) -> $ty {
+                rng.rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        rng.rng.gen_range(self.clone())
+    }
+}
+
+impl Strategy for RangeInclusive<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        rng.rng.gen_range(self.clone())
+    }
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// Draw an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.rng.gen()
+    }
+}
+
+impl Arbitrary for i64 {
+    fn arbitrary(rng: &mut TestRng) -> i64 {
+        rng.rng.gen::<u64>() as i64
+    }
+}
+
+impl Arbitrary for u64 {
+    fn arbitrary(rng: &mut TestRng) -> u64 {
+        rng.rng.gen()
+    }
+}
+
+impl Arbitrary for i32 {
+    fn arbitrary(rng: &mut TestRng) -> i32 {
+        rng.rng.gen::<u64>() as i32
+    }
+}
+
+impl Arbitrary for u32 {
+    fn arbitrary(rng: &mut TestRng) -> u32 {
+        rng.rng.gen::<u64>() as u32
+    }
+}
+
+impl Arbitrary for usize {
+    fn arbitrary(rng: &mut TestRng) -> usize {
+        rng.rng.gen::<u64>() as usize
+    }
+}
+
+impl Arbitrary for f64 {
+    /// Finite floats across a wide dynamic range (no NaN/∞ — upstream's
+    /// `any::<f64>()` defaults to non-NaN as well for most uses here).
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        let mantissa: f64 = rng.rng.gen_range(-1.0..1.0);
+        let exponent: i32 = rng.rng.gen_range(-60..60);
+        mantissa * 2.0f64.powi(exponent)
+    }
+}
+
+/// Strategy form of [`Arbitrary`].
+pub struct AnyStrategy<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// `any::<T>()` — the unconstrained strategy for `T`.
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(PhantomData)
+}
+
+// --- composite strategies -------------------------------------------------
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident),+)),+ $(,)?) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )+};
+}
+
+tuple_strategy!((A), (A, B), (A, B, C), (A, B, C, D), (A, B, C, D, E));
+
+/// A `Vec` of strategies generates element-wise (used for per-column
+/// strategies of a generated table shape).
+impl<S: Strategy> Strategy for Vec<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        self.iter().map(|s| s.generate(rng)).collect()
+    }
+}
+
+/// Length bounds for collection strategies.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize, // inclusive
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        SizeRange {
+            lo: r.start,
+            hi: r.end.saturating_sub(1),
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        SizeRange {
+            lo: *r.start(),
+            hi: *r.end(),
+        }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { lo: n, hi: n }
+    }
+}
+
+/// See [`crate::collection::vec`].
+pub struct VecStrategy<S> {
+    pub(crate) element: S,
+    pub(crate) size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = if self.size.hi <= self.size.lo {
+            self.size.lo
+        } else {
+            rng.rng.gen_range(self.size.lo..=self.size.hi)
+        };
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+// --- string pattern strategy ---------------------------------------------
+
+/// `&'static str` acts as a regex-flavoured string strategy. Supported
+/// shape: a single character class with a bounded repetition,
+/// `[chars]{lo,hi}` (ranges like `a-z` work; a trailing `-` is literal).
+/// Any other pattern generates the literal string itself.
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        match parse_class_pattern(self) {
+            Some((chars, lo, hi)) if !chars.is_empty() => {
+                let len = if hi <= lo {
+                    lo
+                } else {
+                    rng.rng.gen_range(lo..=hi)
+                };
+                (0..len)
+                    .map(|_| chars[rng.rng.gen_range(0..chars.len())])
+                    .collect()
+            }
+            _ => (*self).to_string(),
+        }
+    }
+}
+
+/// Parse `[class]{lo,hi}` into (alphabet, lo, hi).
+fn parse_class_pattern(pattern: &str) -> Option<(Vec<char>, usize, usize)> {
+    let rest = pattern.strip_prefix('[')?;
+    let close = rest.find(']')?;
+    let class: Vec<char> = rest[..close].chars().collect();
+    let reps = rest[close + 1..].strip_prefix('{')?.strip_suffix('}')?;
+    let (lo, hi) = match reps.split_once(',') {
+        Some((l, h)) => (l.trim().parse().ok()?, h.trim().parse().ok()?),
+        None => {
+            let n = reps.trim().parse().ok()?;
+            (n, n)
+        }
+    };
+    let mut alphabet = Vec::new();
+    let mut i = 0;
+    while i < class.len() {
+        // A `-` between two chars is a range; elsewhere it is literal.
+        if i + 2 < class.len() && class[i + 1] == '-' {
+            let (a, b) = (class[i], class[i + 2]);
+            if a <= b {
+                for c in a..=b {
+                    alphabet.push(c);
+                }
+                i += 3;
+                continue;
+            }
+        }
+        if class[i] != '\\' {
+            alphabet.push(class[i]);
+        }
+        i += 1;
+    }
+    Some((alphabet, lo, hi))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn class_pattern_parses() {
+        let (chars, lo, hi) = parse_class_pattern("[a-c9 ]{0,12}").unwrap();
+        assert_eq!(chars, vec!['a', 'b', 'c', '9', ' ']);
+        assert_eq!((lo, hi), (0, 12));
+        assert!(parse_class_pattern("plain").is_none());
+    }
+
+    #[test]
+    fn string_strategy_respects_alphabet_and_length() {
+        let mut rng = TestRng::deterministic("string_strategy");
+        let strat = "[ab]{2,4}";
+        for _ in 0..100 {
+            let s = Strategy::generate(&strat, &mut rng);
+            assert!((2..=4).contains(&s.chars().count()), "{s:?}");
+            assert!(s.chars().all(|c| c == 'a' || c == 'b'), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn union_weights_bias_sampling() {
+        let mut rng = TestRng::deterministic("union_weights");
+        let u = crate::prop_oneof![3 => Just(true), 1 => Just(false)];
+        let trues = (0..1000).filter(|_| u.generate(&mut rng)).count();
+        assert!((600..900).contains(&trues), "trues = {trues}");
+    }
+
+    #[test]
+    fn composite_generation_is_deterministic() {
+        let build = || {
+            let mut rng = TestRng::deterministic("composite");
+            let strat = crate::collection::vec((0i64..100).prop_map(|v| v * 2), 1..8);
+            (0..20)
+                .map(|_| strat.generate(&mut rng))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(build(), build());
+    }
+}

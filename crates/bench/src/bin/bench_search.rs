@@ -16,13 +16,19 @@
 //! test suite); the JSON records the throughput of each plus the speedup,
 //! seeding the perf trajectory for later PRs.
 //!
+//! A third section measures the **session** mode: a cold one-shot
+//! `Charles::run` against a warm rerun of the identical query on a
+//! long-lived [`charles_core::Session`] — the interactive reload path.
+//! The binary asserts the warm rerun is ≥ 5× faster with byte-identical
+//! ranked summaries, and records `session_warm_speedup`.
+//!
 //! Run: `cargo run --release -p charles-bench --bin bench_search [rows]`
 
 use charles_bench::pair_of;
 use charles_core::search::{
     evaluate_candidate, evaluate_candidate_naive, generate_candidates, run_search, SearchContext,
 };
-use charles_core::CharlesConfig;
+use charles_core::{Charles, CharlesConfig, Query, Session};
 use charles_synth::county;
 use std::time::Instant;
 
@@ -97,12 +103,50 @@ fn main() {
     let (ranked, stats) = run_search(&par_ctx, &candidates).expect("search");
     let parallel_secs = started.elapsed().as_secs_f64();
 
+    // Session mode: cold one-shot engine vs warm rerun of the identical
+    // query on a long-lived session (the interactive reload path).
+    let query = Query::new(target)
+        .with_condition_attrs(["department", "grade", "division"])
+        .with_transform_attrs(["base_salary", "overtime_pay"]);
+    let started = Instant::now();
+    let cold_engine = Charles::from_pair(pair.clone(), target)
+        .expect("engine")
+        .with_condition_attrs(["department", "grade", "division"])
+        .with_transform_attrs(["base_salary", "overtime_pay"]);
+    let cold_result = cold_engine.run().expect("cold run");
+    let session_cold_secs = started.elapsed().as_secs_f64();
+
+    let session = Session::open(pair.clone()).expect("session");
+    let first = session.run(&query).expect("first session run");
+    let fits_after_first = session.stats().global_fits_computed;
+    let started = Instant::now();
+    let warm_result = session.run(&query).expect("warm session run");
+    let session_warm_secs = started.elapsed().as_secs_f64();
+    let session_warm_speedup = session_cold_secs / session_warm_secs.max(1e-9);
+
+    // Warm rerun must be pure cache hits and byte-identical — to the first
+    // session run and to the cold one-shot engine.
+    assert_eq!(
+        session.stats().global_fits_computed,
+        fits_after_first,
+        "warm rerun performed new global fits"
+    );
+    let render = |s: &[charles_core::ChangeSummary]| -> Vec<String> {
+        s.iter().map(|x| x.to_string()).collect()
+    };
+    assert_eq!(render(&first.summaries), render(&warm_result.summaries));
+    assert_eq!(
+        render(&cold_result.summaries),
+        render(&warm_result.summaries),
+        "session and one-shot engine disagree"
+    );
+
     let n_cands = candidates.len() as f64;
     let shared_tput = n_cands / shared_secs;
     let naive_tput = n_cands / naive_secs;
     let speedup = shared_tput / naive_tput;
     let json = format!(
-        "{{\n  \"workload\": \"e5_county_scalability\",\n  \"rows\": {rows},\n  \"candidates\": {},\n  \"summaries_produced\": {produced},\n  \"naive_seconds\": {naive_secs:.4},\n  \"shared_seconds\": {shared_secs:.4},\n  \"naive_candidates_per_sec\": {naive_tput:.2},\n  \"shared_candidates_per_sec\": {shared_tput:.2},\n  \"speedup\": {speedup:.2},\n  \"parallel_search_seconds\": {parallel_secs:.4},\n  \"parallel_threads\": {},\n  \"ranked_summaries\": {},\n  \"distinct_summaries\": {}\n}}\n",
+        "{{\n  \"workload\": \"e5_county_scalability\",\n  \"rows\": {rows},\n  \"candidates\": {},\n  \"summaries_produced\": {produced},\n  \"naive_seconds\": {naive_secs:.4},\n  \"shared_seconds\": {shared_secs:.4},\n  \"naive_candidates_per_sec\": {naive_tput:.2},\n  \"shared_candidates_per_sec\": {shared_tput:.2},\n  \"speedup\": {speedup:.2},\n  \"parallel_search_seconds\": {parallel_secs:.4},\n  \"parallel_threads\": {},\n  \"ranked_summaries\": {},\n  \"distinct_summaries\": {},\n  \"session_cold_seconds\": {session_cold_secs:.4},\n  \"session_warm_seconds\": {session_warm_secs:.6},\n  \"session_warm_speedup\": {session_warm_speedup:.2}\n}}\n",
         candidates.len(),
         par_config.effective_threads(),
         ranked.len(),
@@ -111,10 +155,15 @@ fn main() {
     std::fs::write("BENCH_search.json", &json).expect("write BENCH_search.json");
     print!("{json}");
     eprintln!(
-        "speedup (shared vs naive, single-threaded): {speedup:.2}x — wrote BENCH_search.json"
+        "speedup (shared vs naive, single-threaded): {speedup:.2}x; \
+         warm session rerun vs cold run: {session_warm_speedup:.2}x — wrote BENCH_search.json"
     );
     assert!(
         speedup >= 1.5,
         "shared data plane must be ≥ 1.5x the naive extraction path, got {speedup:.2}x"
+    );
+    assert!(
+        session_warm_speedup >= 5.0,
+        "warm session rerun must be ≥ 5x a cold run, got {session_warm_speedup:.2}x"
     );
 }

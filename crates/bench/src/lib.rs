@@ -37,6 +37,17 @@ pub fn engine_for(scenario: &Scenario, config: CharlesConfig) -> Charles {
         .with_config(config)
 }
 
+/// Open a long-lived session for a scenario with a given config, plus the
+/// default query asking it the scenario's question.
+pub fn session_for(
+    scenario: &Scenario,
+    config: CharlesConfig,
+) -> (charles_core::Session, charles_core::Query) {
+    let session =
+        charles_core::Session::open_with_config(pair_of(scenario), config).expect("session opens");
+    (session, charles_core::Query::new(&scenario.target_attr))
+}
+
 /// Run a scenario and evaluate the top summary against ground truth.
 pub fn run_and_evaluate(scenario: &Scenario, config: CharlesConfig) -> (RunResult, RecoveryReport) {
     let pair = pair_of(scenario);

@@ -274,8 +274,12 @@ pub fn analyze(
             schema.fields()[target_idx].dtype()
         )));
     }
-    let y_new = pair.target_numeric_aligned(target_attr)?;
-    let y_old = source.numeric(target_attr).map_err(CharlesError::from)?;
+    // Shared views: zero-copy for null-free Float64 columns (and, on
+    // identity-aligned pairs, for the target side too).
+    let y_new = pair.target_numeric_view(target_attr)?;
+    let y_old = source
+        .numeric_view(target_attr)
+        .map_err(CharlesError::from)?;
     let delta: Vec<f64> = y_new.iter().zip(y_old.iter()).map(|(n, o)| n - o).collect();
     let rel_delta: Vec<f64> = y_new
         .iter()

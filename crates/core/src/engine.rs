@@ -11,23 +11,30 @@
 //! let result = Charles::new(v2016, v2017, "bonus").unwrap().run().unwrap();
 //! println!("{}", result.top().unwrap());
 //! ```
+//!
+//! `Charles` is the one-shot facade: one engine, one target, one run. It is
+//! kept (unchanged in API) for compatibility and simple batch jobs, but it
+//! is now a thin wrapper over a private single-query [`Session`] — new code
+//! that asks more than one question of the same snapshot pair (several
+//! targets, α-sweeps, shortlist tweaks) should hold a [`Session`] instead
+//! and reuse its cached data plane across queries.
 
-use crate::assistant::{analyze, SetupReport};
+use crate::assistant::SetupReport;
 use crate::config::CharlesConfig;
-use crate::error::{CharlesError, Result};
-use crate::search::{generate_candidates, run_search, SearchContext, SearchStats};
+use crate::error::Result;
+use crate::search::SearchStats;
+use crate::session::{Query, Session};
 use crate::summary::ChangeSummary;
 use charles_relation::{SnapshotPair, Table};
 use std::fmt;
 use std::time::{Duration, Instant};
 
-/// The engine: owns the aligned pair, the target attribute, configuration,
-/// and optional user overrides of the assistant's shortlists.
+/// The one-shot engine facade: a private [`Session`], the target
+/// attribute, and optional user overrides of the assistant's shortlists.
 #[derive(Debug)]
 pub struct Charles {
-    pair: SnapshotPair,
+    session: Session,
     target_attr: String,
-    config: CharlesConfig,
     condition_attrs_override: Option<Vec<String>>,
     transform_attrs_override: Option<Vec<String>>,
 }
@@ -80,18 +87,11 @@ impl Charles {
 
     /// Create an engine from a pre-aligned pair.
     pub fn from_pair(pair: SnapshotPair, target_attr: &str) -> Result<Self> {
-        let schema = pair.source().schema();
-        let idx = schema.index_of(target_attr)?;
-        if !schema.fields()[idx].dtype().is_numeric() {
-            return Err(CharlesError::BadTargetAttribute(format!(
-                "target attribute {target_attr:?} must be numeric, found {}",
-                schema.fields()[idx].dtype()
-            )));
-        }
+        let session = Session::open(pair)?;
+        session.resolve_target(target_attr)?;
         Ok(Charles {
-            pair,
+            session,
             target_attr: target_attr.to_string(),
-            config: CharlesConfig::default(),
             condition_attrs_override: None,
             transform_attrs_override: None,
         })
@@ -99,7 +99,7 @@ impl Charles {
 
     /// Replace the configuration.
     pub fn with_config(mut self, config: CharlesConfig) -> Self {
-        self.config = config;
+        self.session.set_config(config);
         self
     }
 
@@ -127,7 +127,7 @@ impl Charles {
 
     /// The aligned snapshot pair.
     pub fn pair(&self) -> &SnapshotPair {
-        &self.pair
+        self.session.pair()
     }
 
     /// The target attribute.
@@ -137,79 +137,34 @@ impl Charles {
 
     /// The active configuration.
     pub fn config(&self) -> &CharlesConfig {
-        &self.config
+        self.session.config()
     }
 
     /// Run only the setup assistant (demo steps 4–5).
     pub fn setup(&self) -> Result<SetupReport> {
-        self.config.validate()?;
-        analyze(&self.pair, &self.target_attr, &self.config)
+        Ok((*self.session.setup(&self.target_attr)?).clone())
     }
 
-    /// Resolve the attribute lists this run will search over, after
-    /// overrides; validates that transformation attributes are numeric.
-    fn resolve_attrs(&self, setup: &SetupReport) -> Result<(Vec<String>, Vec<String>)> {
-        let cond = self
-            .condition_attrs_override
-            .clone()
-            .unwrap_or_else(|| setup.condition_attrs());
-        let tran = self
-            .transform_attrs_override
-            .clone()
-            .unwrap_or_else(|| setup.transform_attrs());
-        let schema = self.pair.source().schema();
-        for attr in &cond {
-            schema.index_of(attr)?;
-        }
-        for attr in &tran {
-            let idx = schema.index_of(attr)?;
-            if !schema.fields()[idx].dtype().is_numeric() {
-                return Err(CharlesError::BadConfig(format!(
-                    "transformation attribute {attr:?} must be numeric"
-                )));
-            }
-        }
-        if tran.is_empty() {
-            return Err(CharlesError::NoCandidates(
-                "no usable transformation attributes; the target's previous value \
-                 alone is always available — pass it explicitly"
-                    .to_string(),
-            ));
-        }
-        Ok((cond, tran))
+    /// This engine's question as a session [`Query`].
+    fn query(&self) -> Query {
+        let mut query = Query::new(&self.target_attr);
+        query.condition_attrs = self.condition_attrs_override.clone();
+        query.transform_attrs = self.transform_attrs_override.clone();
+        query
     }
 
     /// Re-score and re-rank an existing run's summaries under a different
     /// α — the demo's slider (step 6) without repeating the search. The
-    /// candidate pool is the previous run's ranked list, so this is
-    /// instantaneous; for a *wider* pool at the new α, run the engine
-    /// again with the new config.
+    /// candidate pool is the previous run's ranked list and the scoring
+    /// plane is the session's cached one, so this touches no column data;
+    /// for a *wider* pool at the new α, run the engine again with the new
+    /// config.
     pub fn rescore(&self, result: &RunResult, alpha: f64) -> Result<RunResult> {
-        let mut config = self.config.clone();
+        let mut config = self.session.config().clone();
         config.alpha = alpha;
-        config.validate()?;
-        let y_target = self.pair.target_numeric_aligned(&self.target_attr)?;
-        let y_source = self.pair.source().numeric(&self.target_attr)?;
-        let scoring = crate::score::ScoringContext::new(
-            self.pair.source(),
-            &self.target_attr,
-            &y_target,
-            &y_source,
-            &config,
-        );
-        let mut summaries = result.summaries.clone();
-        for summary in &mut summaries {
-            let (scores, breakdown) = scoring.score(&summary.cts)?;
-            summary.scores = scores;
-            summary.breakdown = breakdown;
-        }
-        summaries.sort_by(|a, b| {
-            b.scores
-                .score
-                .total_cmp(&a.scores.score)
-                .then(a.cts.len().cmp(&b.cts.len()))
-                .then_with(|| a.signature().cmp(&b.signature()))
-        });
+        let summaries =
+            self.session
+                .rescore_summaries(&self.target_attr, &result.summaries, &config)?;
         Ok(RunResult {
             summaries,
             setup: result.setup.clone(),
@@ -220,7 +175,9 @@ impl Charles {
 
     /// Numeric non-key attributes whose values actually changed between
     /// the snapshots — the candidate *targets* a user would pick in demo
-    /// step 2.
+    /// step 2. Comparison runs through shared [`charles_relation::NumericView`]s
+    /// (zero-copy for null-free `Float64` columns of identity-aligned
+    /// pairs); a [`Session`] caches this as [`Session::targets`].
     pub fn changed_numeric_attributes(pair: &SnapshotPair) -> Result<Vec<String>> {
         let source = pair.source();
         let mut out = Vec::new();
@@ -229,11 +186,11 @@ impl Charles {
             if !field.dtype().is_numeric() || Some(name) == pair.key_attr() {
                 continue;
             }
-            let old = match source.numeric(name) {
+            let old = match source.numeric_view(name) {
                 Ok(v) => v,
                 Err(_) => continue, // nulls: not a usable target
             };
-            let new = match pair.target_numeric_aligned(name) {
+            let new = match pair.target_numeric_view(name) {
                 Ok(v) => v,
                 Err(_) => continue,
             };
@@ -245,41 +202,15 @@ impl Charles {
     }
 
     /// Full run: assistant, enumeration, parallel evaluation, ranking
-    /// (demo steps 6–8).
-    ///
-    /// Attribute names are interned against the schema here, at the engine
-    /// boundary; everything downstream operates on integer-keyed handles.
+    /// (demo steps 6–8). Delegates to the private session; repeated runs
+    /// of the same engine therefore reuse every cached fit and labeling.
     pub fn run(&self) -> Result<RunResult> {
-        self.config.validate()?;
-        let setup = analyze(&self.pair, &self.target_attr, &self.config)?;
-        let (cond, tran) = self.resolve_attrs(&setup)?;
-        let schema = self.pair.source().schema();
-        let cond_refs: Vec<charles_relation::AttrRef> = cond
-            .iter()
-            .map(|a| schema.attr_ref(a))
-            .collect::<charles_relation::Result<_>>()?;
-        let tran_refs: Vec<charles_relation::AttrRef> = tran
-            .iter()
-            .map(|a| schema.attr_ref(a))
-            .collect::<charles_relation::Result<_>>()?;
-
         let started = Instant::now();
-        let ctx = SearchContext::new(&self.pair, &self.target_attr, &tran, &self.config)?;
-        let candidates = generate_candidates(&cond_refs, &tran_refs, &self.config);
-        if candidates.is_empty() {
-            return Err(CharlesError::NoCandidates(format!(
-                "empty search space (|A_cond|={}, |A_tran|={}, c={}, t={})",
-                cond.len(),
-                tran.len(),
-                self.config.max_condition_attrs,
-                self.config.max_transform_attrs
-            )));
-        }
-        let (summaries, stats) = run_search(&ctx, &candidates)?;
+        let result = self.session.run(&self.query())?;
         Ok(RunResult {
-            summaries,
-            setup,
-            stats,
+            summaries: result.summaries,
+            setup: (*result.setup).clone(),
+            stats: result.stats,
             elapsed: started.elapsed(),
         })
     }
@@ -288,6 +219,7 @@ impl Charles {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::error::CharlesError;
     use charles_relation::{
         apply_updates, ApplyMode, CmpOp, Expr, Predicate, TableBuilder, UpdateStatement,
     };

@@ -79,6 +79,7 @@ pub mod recovery;
 pub mod report;
 pub mod score;
 pub mod search;
+pub mod session;
 pub mod snap;
 pub mod summary;
 pub mod transform;
@@ -99,8 +100,9 @@ pub use recovery::{
 pub use score::ScoringContext;
 pub use search::{
     evaluate_candidate, evaluate_candidate_naive, generate_candidates, run_search, Candidate,
-    SearchContext, SearchStats,
+    PlaneCaches, SearchContext, SearchStats,
 };
+pub use session::{Query, QueryResult, Session, SessionStats};
 pub use summary::{ChangeSummary, InterpretabilityBreakdown, Scores};
 pub use transform::{Term, Transformation};
 pub use tree::{LinearModelTree, TreeNode};

@@ -88,27 +88,32 @@ impl<'a> ScoringContext<'a> {
         views: HashMap<AttrId, NumericView>,
         config: &'a CharlesConfig,
     ) -> Self {
-        let n = y_target.len();
-        let scale = if n == 0 {
-            1.0
-        } else {
-            let mean_change = y_target
-                .iter()
-                .zip(y_source.iter())
-                .map(|(t, s)| (t - s).abs())
-                .sum::<f64>()
-                / n as f64;
-            if mean_change > 0.0 {
-                mean_change
-            } else {
-                let m = y_target.iter().map(|v| v.abs()).sum::<f64>() / n as f64;
-                if m > 0.0 {
-                    m
-                } else {
-                    1.0
-                }
-            }
-        };
+        let scale = derive_scale(&y_target, &y_source);
+        Self::from_views_scaled(
+            source,
+            target_attr,
+            y_target,
+            y_source,
+            views,
+            scale,
+            config,
+        )
+    }
+
+    /// Create a context over pre-extracted views **and** a precomputed
+    /// normalization scale (the session path: the scale is a property of
+    /// the target plane and survives across α re-scorings, so rescoring
+    /// touches no column data at all).
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_views_scaled(
+        source: &'a Table,
+        target_attr: &'a str,
+        y_target: NumericView,
+        y_source: NumericView,
+        views: HashMap<AttrId, NumericView>,
+        scale: f64,
+        config: &'a CharlesConfig,
+    ) -> Self {
         ScoringContext {
             source,
             target_attr,
@@ -275,6 +280,30 @@ impl<'a> ScoringContext<'a> {
             },
             b,
         ))
+    }
+}
+
+/// The L1 normalization scale for one target plane: mean absolute change,
+/// falling back to mean absolute target value, then to 1.0 when degenerate.
+pub fn derive_scale(y_target: &[f64], y_source: &[f64]) -> f64 {
+    let n = y_target.len();
+    if n == 0 {
+        return 1.0;
+    }
+    let mean_change = y_target
+        .iter()
+        .zip(y_source.iter())
+        .map(|(t, s)| (t - s).abs())
+        .sum::<f64>()
+        / n as f64;
+    if mean_change > 0.0 {
+        return mean_change;
+    }
+    let m = y_target.iter().map(|v| v.abs()).sum::<f64>() / n as f64;
+    if m > 0.0 {
+        m
+    } else {
+        1.0
     }
 }
 

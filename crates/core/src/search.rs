@@ -33,6 +33,7 @@ use crate::transform::{Term, Transformation};
 use charles_numerics::ols::{fit_constant, fit_ols_cols, LinearFit};
 use charles_relation::{AttrId, AttrRef, NumericView, SnapshotPair, Table};
 use std::collections::HashMap;
+use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
@@ -58,10 +59,86 @@ pub struct SearchStats {
     pub distinct: usize,
 }
 
+/// The memoization plane shared by candidate evaluations — and, through
+/// [`crate::session::Session`], *across* runs.
+///
+/// All keys carry the target attribute's interned id, so one cache instance
+/// can serve multi-target sessions without cross-talk. Entries are valid
+/// for exactly one snapshot pair and one *search-relevant* configuration
+/// (everything except `alpha`, which is part of the candidate key): the
+/// session invalidates the whole plane when its config changes, and runs
+/// carrying a per-query config override get a private fresh instance.
+#[derive(Default)]
+pub struct PlaneCaches {
+    /// Global fit per (target, transformation subset) (`None` =
+    /// infeasible), shared across worker threads so equal-`T` candidates
+    /// fit once.
+    fit_memo: Mutex<HashMap<FitKey, Arc<Option<LinearFit>>>>,
+    /// Cluster labelings per (target, change signal, k): the delta signals
+    /// are candidate-independent and residuals depend only on `T`, so the
+    /// dominant per-candidate cost (1-D k-means over all rows) is shared
+    /// across every candidate with the same signal — different condition
+    /// subsets reuse the identical labeling.
+    label_memo: Mutex<HashMap<LabelKey, Arc<Vec<usize>>>>,
+    /// Fully evaluated candidates per (target, C, T, k, α): a warm rerun of
+    /// an identical query re-ranks cached summaries without re-inducing
+    /// partitions or refitting anything.
+    candidate_memo: Mutex<HashMap<CandidateKey, Arc<Option<ChangeSummary>>>>,
+    /// Number of global OLS fits actually computed (memo misses).
+    fits_computed: AtomicUsize,
+    /// Number of labelings actually computed (clusterings + categorical
+    /// groupings; memo misses).
+    labelings_computed: AtomicUsize,
+    /// Number of candidate evaluations actually computed (memo misses).
+    candidates_computed: AtomicUsize,
+}
+
+impl PlaneCaches {
+    /// Global fits computed so far (memo misses, monotone).
+    pub fn fits_computed(&self) -> usize {
+        self.fits_computed.load(Ordering::Relaxed)
+    }
+
+    /// Labelings computed so far (memo misses, monotone).
+    pub fn labelings_computed(&self) -> usize {
+        self.labelings_computed.load(Ordering::Relaxed)
+    }
+
+    /// Candidate evaluations computed so far (memo misses, monotone).
+    pub fn candidates_computed(&self) -> usize {
+        self.candidates_computed.load(Ordering::Relaxed)
+    }
+}
+
+impl fmt::Debug for PlaneCaches {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PlaneCaches")
+            .field("fits_computed", &self.fits_computed())
+            .field("labelings_computed", &self.labelings_computed())
+            .field("candidates_computed", &self.candidates_computed())
+            .finish_non_exhaustive()
+    }
+}
+
+/// Memo key for one global fit: (target, transformation subset).
+type FitKey = (AttrId, Vec<AttrId>);
+
+/// Memo key for one labeling: (target, structural signal identity).
+type LabelKey = (AttrId, LabelingKey);
+
+/// Memo key identifying one fully evaluated candidate: target, condition
+/// subset, transformation subset, k, and the α its labelings were judged
+/// under (α picks the best labeling *within* a candidate, so it is part of
+/// the evaluation's identity; everything else search-relevant is pinned by
+/// the cache instance).
+type CandidateKey = (AttrId, Vec<AttrId>, Vec<AttrId>, usize, u64);
+
 /// Everything shared by candidate evaluations for one engine run.
 ///
 /// Construction performs exactly one extraction per numeric attribute;
-/// evaluation threads only ever read through shared views.
+/// evaluation threads only ever read through shared views. The memo plane
+/// lives behind an `Arc` so a [`crate::session::Session`] can keep it alive
+/// across runs.
 pub struct SearchContext<'a> {
     /// The aligned snapshot pair.
     pub pair: &'a SnapshotPair,
@@ -69,6 +146,8 @@ pub struct SearchContext<'a> {
     pub target_attr: &'a str,
     /// Resolved handle of the target attribute.
     pub target: AttrRef,
+    /// Interned id of the target attribute (memo-key component).
+    target_id: AttrId,
     /// Target values aligned to source rows (shared view).
     pub y_target: NumericView,
     /// Source values of the target attribute (shared view).
@@ -84,21 +163,20 @@ pub struct SearchContext<'a> {
     rel_delta: NumericView,
     /// Shared scoring context (built once, used by all candidates).
     scoring: ScoringContext<'a>,
-    /// Global fit per transformation subset (`None` = infeasible), shared
-    /// across worker threads so equal-`T` candidates fit once.
-    fit_memo: Mutex<HashMap<Vec<AttrId>, Arc<Option<LinearFit>>>>,
-    /// Cluster labelings per (change signal, k): the delta signals are
-    /// candidate-independent and residuals depend only on `T`, so the
-    /// dominant per-candidate cost (1-D k-means over all rows) is shared
-    /// across every candidate with the same signal — different condition
-    /// subsets reuse the identical labeling.
-    label_memo: Mutex<HashMap<LabelingKey, Arc<Vec<usize>>>>,
+    /// The memo plane (session-owned for warm runs, fresh otherwise).
+    caches: Arc<PlaneCaches>,
+    /// Whether fully evaluated candidates may enter the memo plane.
+    /// Sessions disable this for off-default-α runs: candidate results are
+    /// α-keyed, so caching them for every α a slider visits would grow the
+    /// session-lifetime memo without bound. Fits and labelings are
+    /// α-independent and always memoized.
+    memoize_candidates: bool,
 }
 
 /// Memo key for one clustering request. Clustering depends only on the
 /// signal values and `k`; the signal is identified structurally.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
-enum LabelingKey {
+pub(crate) enum LabelingKey {
     /// Residuals of the global fit for a transformation subset.
     Residual(Vec<AttrId>, usize),
     /// Absolute change of the target.
@@ -110,7 +188,8 @@ enum LabelingKey {
 }
 
 impl<'a> SearchContext<'a> {
-    /// Build the shared context (extracts each numeric column once).
+    /// Build the shared context (extracts each numeric column once) with a
+    /// private, run-local memo plane.
     pub fn new(
         pair: &'a SnapshotPair,
         target_attr: &'a str,
@@ -120,7 +199,7 @@ impl<'a> SearchContext<'a> {
         let source = pair.source();
         let schema = source.schema();
         let target = schema.attr_ref(target_attr)?;
-        let y_target = NumericView::new(pair.target_numeric_aligned(target_attr)?);
+        let y_target = pair.target_numeric_view(target_attr)?;
         let y_source = source.numeric_view(target_attr)?;
         let mut views = HashMap::new();
         for attr in tran_attrs {
@@ -133,45 +212,74 @@ impl<'a> SearchContext<'a> {
             .entry(target.id().expect("attr_ref is resolved"))
             .or_insert_with(|| y_source.clone());
 
-        let delta: Vec<f64> = y_target
-            .iter()
-            .zip(y_source.iter())
-            .map(|(t, s)| t - s)
-            .collect();
-        let rel_delta: Vec<f64> = y_target
-            .iter()
-            .zip(y_source.iter())
-            .map(|(t, s)| (t - s) / s.abs().max(1.0))
-            .collect();
-
-        let scoring = ScoringContext::from_views(
-            source,
-            target_attr,
-            y_target.clone(),
-            y_source.clone(),
-            views.clone(),
-            config,
-        );
-
-        Ok(SearchContext {
+        let (delta, rel_delta) = change_signals(&y_target, &y_source);
+        let scale = crate::score::derive_scale(&y_target, &y_source);
+        Ok(Self::from_plane(
             pair,
             target_attr,
             target,
             y_target,
             y_source,
+            delta,
+            rel_delta,
+            scale,
             views,
             config,
-            delta: NumericView::new(delta),
-            rel_delta: NumericView::new(rel_delta),
+            Arc::new(PlaneCaches::default()),
+            true,
+        ))
+    }
+
+    /// Assemble a context over an already-extracted data plane and a
+    /// (possibly warm, session-owned) memo plane. No column is touched:
+    /// every argument is an `Arc`-shared view.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_plane(
+        pair: &'a SnapshotPair,
+        target_attr: &'a str,
+        target: AttrRef,
+        y_target: NumericView,
+        y_source: NumericView,
+        delta: NumericView,
+        rel_delta: NumericView,
+        scale: f64,
+        views: HashMap<AttrId, NumericView>,
+        config: &'a CharlesConfig,
+        caches: Arc<PlaneCaches>,
+        memoize_candidates: bool,
+    ) -> Self {
+        let scoring = ScoringContext::from_views_scaled(
+            pair.source(),
+            target_attr,
+            y_target.clone(),
+            y_source.clone(),
+            views.clone(),
+            scale,
+            config,
+        );
+        SearchContext {
+            pair,
+            target_attr,
+            target_id: target.id().expect("attr_ref is resolved"),
+            target,
+            y_target,
+            y_source,
+            views,
+            config,
+            delta,
+            rel_delta,
             scoring,
-            fit_memo: Mutex::new(HashMap::new()),
-            label_memo: Mutex::new(HashMap::new()),
-        })
+            caches,
+            memoize_candidates,
+        }
     }
 
     /// Memoized clustering of one change signal.
     fn labels_for(&self, key: LabelingKey, signal: &[f64], k: usize) -> Result<Arc<Vec<usize>>> {
-        memoized(&self.label_memo, key, || {
+        memoized(&self.caches.label_memo, (self.target_id, key), || {
+            self.caches
+                .labelings_computed
+                .fetch_add(1, Ordering::Relaxed);
             Ok(Arc::new(cluster_residuals(signal, k, self.config)?))
         })
     }
@@ -185,11 +293,18 @@ impl<'a> SearchContext<'a> {
         let Some(id) = attr.id() else {
             return Ok(categorical_labels(self.source(), attr).map(Arc::new));
         };
-        let labels = memoized(&self.label_memo, LabelingKey::Categorical(id), || {
-            Ok(Arc::new(
-                categorical_labels(self.source(), attr).unwrap_or_default(),
-            ))
-        })?;
+        let labels = memoized(
+            &self.caches.label_memo,
+            (self.target_id, LabelingKey::Categorical(id)),
+            || {
+                self.caches
+                    .labelings_computed
+                    .fetch_add(1, Ordering::Relaxed);
+                Ok(Arc::new(
+                    categorical_labels(self.source(), attr).unwrap_or_default(),
+                ))
+            },
+        )?;
         Ok((!labels.is_empty()).then_some(labels))
     }
 
@@ -219,17 +334,38 @@ impl<'a> SearchContext<'a> {
     }
 
     /// The memoized global fit for a transformation subset. Candidates with
-    /// the same `T` but different `(C, k)` share one OLS solve.
+    /// the same `T` but different `(C, k)` share one OLS solve — and, on a
+    /// session-owned plane, so do later runs.
     fn global_fit(&self, tran_attrs: &[AttrRef]) -> Result<Arc<Option<LinearFit>>> {
         let key: Vec<AttrId> = tran_attrs
             .iter()
             .map(|a| a.id().ok_or_else(|| unresolved_attr(a)))
             .collect::<Result<_>>()?;
-        memoized(&self.fit_memo, key, || {
+        memoized(&self.caches.fit_memo, (self.target_id, key), || {
+            self.caches.fits_computed.fetch_add(1, Ordering::Relaxed);
             let cols = self.columns_for(tran_attrs)?;
             Ok(Arc::new(fit_ols_cols(&cols, &self.y_target).ok()))
         })
     }
+}
+
+/// The candidate-independent change signals of one target plane: absolute
+/// and relative per-row delta.
+pub(crate) fn change_signals(
+    y_target: &NumericView,
+    y_source: &NumericView,
+) -> (NumericView, NumericView) {
+    let delta: Vec<f64> = y_target
+        .iter()
+        .zip(y_source.iter())
+        .map(|(t, s)| t - s)
+        .collect();
+    let rel_delta: Vec<f64> = y_target
+        .iter()
+        .zip(y_source.iter())
+        .map(|(t, s)| (t - s) / s.abs().max(1.0))
+        .collect();
+    (NumericView::new(delta), NumericView::new(rel_delta))
 }
 
 /// Double-checked memoization over a mutex-guarded map. The computation
@@ -237,7 +373,7 @@ impl<'a> SearchContext<'a> {
 /// same entry, but every computation here is deterministic, so whichever
 /// insertion lands first is identical to the losers — and `or_insert`
 /// guarantees all callers observe the same shared value.
-fn memoized<K, V, F>(memo: &Mutex<HashMap<K, V>>, key: K, compute: F) -> Result<V>
+pub(crate) fn memoized<K, V, F>(memo: &Mutex<HashMap<K, V>>, key: K, compute: F) -> Result<V>
 where
     K: Eq + std::hash::Hash,
     V: Clone,
@@ -640,7 +776,47 @@ fn cts_from_labels(
 
 /// Evaluate one candidate into a scored summary. Returns `Ok(None)` when
 /// the candidate is infeasible (e.g. not enough rows for the global fit).
+///
+/// Results are memoized on the context's [`PlaneCaches`]: re-evaluating an
+/// identical candidate (same target, `C`, `T`, `k`, and α) is a map lookup
+/// plus a summary clone. On a session-owned plane this makes warm reruns of
+/// a whole query O(candidates) map hits.
 pub fn evaluate_candidate(
+    ctx: &SearchContext<'_>,
+    candidate: &Candidate,
+) -> Result<Option<ChangeSummary>> {
+    let ids = |attrs: &[AttrRef]| -> Option<Vec<AttrId>> { attrs.iter().map(|a| a.id()).collect() };
+    let key: Option<CandidateKey> = if !ctx.memoize_candidates {
+        // Off-default-α session runs: compute without touching the memo
+        // (see `SearchContext::memoize_candidates`).
+        None
+    } else {
+        match (ids(&candidate.cond_attrs), ids(&candidate.tran_attrs)) {
+            (Some(cond), Some(tran)) => Some((
+                ctx.target_id,
+                cond,
+                tran,
+                candidate.k,
+                ctx.config.alpha.to_bits(),
+            )),
+            // Unresolved handles (hand-built candidates) bypass the memo.
+            _ => None,
+        }
+    };
+    let Some(key) = key else {
+        return evaluate_candidate_uncached(ctx, candidate);
+    };
+    let cached = memoized(&ctx.caches.candidate_memo, key, || {
+        ctx.caches
+            .candidates_computed
+            .fetch_add(1, Ordering::Relaxed);
+        Ok(Arc::new(evaluate_candidate_uncached(ctx, candidate)?))
+    })?;
+    Ok((*cached).clone())
+}
+
+/// The memo-free candidate evaluation (see [`evaluate_candidate`]).
+fn evaluate_candidate_uncached(
     ctx: &SearchContext<'_>,
     candidate: &Candidate,
 ) -> Result<Option<ChangeSummary>> {

@@ -9,6 +9,7 @@ use crate::error::{RelationError, Result};
 use crate::index::KeyIndex;
 use crate::table::Table;
 use crate::value::Value;
+use crate::view::NumericView;
 
 /// A validated, aligned pair of snapshots.
 #[derive(Debug, Clone)]
@@ -19,6 +20,10 @@ pub struct SnapshotPair {
     /// row `i`.
     target_row_of: Vec<usize>,
     key_attr: Option<String>,
+    /// Whether `target_row_of` is the identity permutation — the common
+    /// case (same row order in both snapshots), where target columns can be
+    /// viewed zero-copy instead of gathered.
+    identity_aligned: bool,
 }
 
 impl SnapshotPair {
@@ -68,11 +73,13 @@ impl SnapshotPair {
             let key = key_col.get(i);
             target_row_of.push(tgt_idx.require(&key)?);
         }
+        let identity_aligned = target_row_of.iter().enumerate().all(|(i, &t)| i == t);
         Ok(SnapshotPair {
             source,
             target,
             target_row_of,
             key_attr: Some(key_attr),
+            identity_aligned,
         })
     }
 
@@ -89,6 +96,7 @@ impl SnapshotPair {
             target,
             target_row_of,
             key_attr: None,
+            identity_aligned: true,
         })
     }
 
@@ -122,6 +130,13 @@ impl SnapshotPair {
         self.target_row_of[source_row]
     }
 
+    /// Whether the alignment is the identity permutation (source row `i`
+    /// pairs with target row `i`). When true, target columns in source
+    /// order are just the target's own columns.
+    pub fn is_identity_aligned(&self) -> bool {
+        self.identity_aligned
+    }
+
     /// The key value of source row `i` (or `Int(i)` for positional pairs).
     pub fn key_of(&self, source_row: usize) -> Result<Value> {
         match &self.key_attr {
@@ -149,6 +164,20 @@ impl SnapshotPair {
         Ok(out)
     }
 
+    /// [`Self::target_numeric_aligned`] as a shared [`NumericView`].
+    ///
+    /// For identity-aligned pairs over null-free `Float64` columns this is
+    /// **zero-copy** — the view aliases the target table's own buffer;
+    /// otherwise the gather happens once and the result is `Arc`-shared.
+    /// This is the pair-level plane accessor long-lived sessions cache.
+    pub fn target_numeric_view(&self, attr: &str) -> Result<NumericView> {
+        if self.identity_aligned {
+            self.target.numeric_view(attr)
+        } else {
+            Ok(NumericView::new(self.target_numeric_aligned(attr)?))
+        }
+    }
+
     /// A new pair restricted to the source rows in `rows` (alignment is
     /// preserved; useful for partition-local work).
     pub fn restrict(&self, rows: &[usize]) -> SnapshotPair {
@@ -160,6 +189,7 @@ impl SnapshotPair {
             target,
             target_row_of: (0..rows.len()).collect(),
             key_attr: self.key_attr.clone(),
+            identity_aligned: true,
         }
     }
 }
@@ -271,6 +301,45 @@ mod tests {
             .unwrap();
         let pair = SnapshotPair::align_on(s, t, "name").unwrap();
         assert_eq!(pair.target_numeric_aligned("x").unwrap(), vec![10.0, 20.0]);
+    }
+
+    #[test]
+    fn identity_alignment_detected() {
+        // Shuffled keys: not identity.
+        let shuffled = SnapshotPair::align(src(), tgt_shuffled()).unwrap();
+        assert!(!shuffled.is_identity_aligned());
+        // Same order: identity, and the view is zero-copy.
+        let same_order = TableBuilder::new("t")
+            .str_col("name", &["Anne", "Bob", "Cathy"])
+            .float_col("bonus", &[25_150.0, 27_250.0, 11_000.0])
+            .key("name")
+            .build()
+            .unwrap();
+        let pair = SnapshotPair::align(src(), same_order).unwrap();
+        assert!(pair.is_identity_aligned());
+        let view = pair.target_numeric_view("bonus").unwrap();
+        let direct = pair.target().numeric_view("bonus").unwrap();
+        assert!(std::sync::Arc::ptr_eq(view.shared(), direct.shared()));
+        // Positional pairs are identity by construction.
+        let s = TableBuilder::new("s")
+            .float_col("x", &[1.0, 2.0])
+            .build()
+            .unwrap();
+        let t = TableBuilder::new("t")
+            .float_col("x", &[10.0, 20.0])
+            .build()
+            .unwrap();
+        assert!(SnapshotPair::align(s, t).unwrap().is_identity_aligned());
+    }
+
+    #[test]
+    fn target_numeric_view_matches_aligned_vec() {
+        let pair = SnapshotPair::align(src(), tgt_shuffled()).unwrap();
+        let view = pair.target_numeric_view("bonus").unwrap();
+        assert_eq!(
+            view.as_slice(),
+            pair.target_numeric_aligned("bonus").unwrap().as_slice()
+        );
     }
 
     #[test]

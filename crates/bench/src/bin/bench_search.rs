@@ -22,7 +22,13 @@
 //! The binary asserts the warm rerun is ≥ 5× faster with byte-identical
 //! ranked summaries, and records `session_warm_speedup`.
 //!
-//! Run: `cargo run --release -p charles-bench --bin bench_search [rows]`
+//! Run: `cargo run --release -p charles-bench --bin bench_search [rows] [threads]`
+//!
+//! The parallel end-to-end section detects available parallelism
+//! (`std::thread::available_parallelism`, cgroup-aware) unless a thread
+//! count is forced via the second argument or `CHARLES_BENCH_THREADS`;
+//! the JSON records the count the search *actually ran with*
+//! ([`charles_core::SearchStats::threads_used`]), not the one requested.
 
 use charles_bench::pair_of;
 use charles_core::search::{
@@ -37,6 +43,12 @@ fn main() {
         .nth(1)
         .and_then(|a| a.parse().ok())
         .unwrap_or(4_000);
+    // 0 = auto-detect (available_parallelism); override by arg or env.
+    let threads: usize = std::env::args()
+        .nth(2)
+        .or_else(|| std::env::var("CHARLES_BENCH_THREADS").ok())
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(0);
     let target = "base_salary";
     let scenario = county(rows, 42);
     let pair = pair_of(&scenario);
@@ -96,12 +108,23 @@ fn main() {
     }
 
     // End-to-end parallel search wall time on the shared plane, for the
-    // perf trajectory.
+    // perf trajectory. `threads = 0` lets the engine detect available
+    // parallelism; the JSON reports what the search actually used.
     let started = Instant::now();
-    let par_config = CharlesConfig::default();
+    let par_config = CharlesConfig::default().with_threads(threads);
     let par_ctx = SearchContext::new(&pair, target, &tran_names, &par_config).expect("context");
     let (ranked, stats) = run_search(&par_ctx, &candidates).expect("search");
     let parallel_secs = started.elapsed().as_secs_f64();
+    eprintln!(
+        "parallel search: {} worker thread(s) (requested {}, detected {})",
+        stats.threads_used,
+        if threads == 0 {
+            "auto".to_string()
+        } else {
+            threads.to_string()
+        },
+        std::thread::available_parallelism().map_or(1, |n| n.get()),
+    );
 
     // Session mode: cold one-shot engine vs warm rerun of the identical
     // query on a long-lived session (the interactive reload path).
@@ -148,7 +171,7 @@ fn main() {
     let json = format!(
         "{{\n  \"workload\": \"e5_county_scalability\",\n  \"rows\": {rows},\n  \"candidates\": {},\n  \"summaries_produced\": {produced},\n  \"naive_seconds\": {naive_secs:.4},\n  \"shared_seconds\": {shared_secs:.4},\n  \"naive_candidates_per_sec\": {naive_tput:.2},\n  \"shared_candidates_per_sec\": {shared_tput:.2},\n  \"speedup\": {speedup:.2},\n  \"parallel_search_seconds\": {parallel_secs:.4},\n  \"parallel_threads\": {},\n  \"ranked_summaries\": {},\n  \"distinct_summaries\": {},\n  \"session_cold_seconds\": {session_cold_secs:.4},\n  \"session_warm_seconds\": {session_warm_secs:.6},\n  \"session_warm_speedup\": {session_warm_speedup:.2}\n}}\n",
         candidates.len(),
-        par_config.effective_threads(),
+        stats.threads_used,
         ranked.len(),
         stats.distinct,
     );

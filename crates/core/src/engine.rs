@@ -355,7 +355,10 @@ mod tests {
     #[test]
     fn non_numeric_target_rejected() {
         let err = Charles::from_pair(fig1_pair(), "edu").unwrap_err();
-        assert!(matches!(err, CharlesError::BadTargetAttribute(_)));
+        assert!(matches!(
+            err,
+            CharlesError::Query(crate::error::QueryError::NonNumericTarget { .. })
+        ));
     }
 
     #[test]

@@ -5,6 +5,52 @@ use charles_numerics::NumericsError;
 use charles_relation::RelationError;
 use std::fmt;
 
+/// A malformed [`crate::Query`], rejected before any search work starts.
+///
+/// Each variant names one specific way a query can be unanswerable, so
+/// callers (interactive UIs, the serving layer) can map the failure to a
+/// precise client-facing message instead of pattern-matching on generic
+/// engine errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryError {
+    /// The target attribute does not exist in the schema.
+    UnknownTarget {
+        /// The requested attribute name.
+        name: String,
+    },
+    /// The target attribute exists but is not numeric.
+    NonNumericTarget {
+        /// The requested attribute name.
+        name: String,
+        /// The attribute's actual data type, rendered.
+        dtype: String,
+    },
+    /// The transformation-attribute shortlist resolved to nothing — no
+    /// linear model can be fitted.
+    EmptyTransformShortlist,
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::UnknownTarget { name } => {
+                write!(f, "unknown target attribute {name:?}")
+            }
+            QueryError::NonNumericTarget { name, dtype } => {
+                write!(
+                    f,
+                    "target attribute {name:?} must be numeric, found {dtype}"
+                )
+            }
+            QueryError::EmptyTransformShortlist => write!(
+                f,
+                "empty transformation-attribute shortlist; the target's previous \
+                 value alone is always available — pass it explicitly"
+            ),
+        }
+    }
+}
+
 /// Errors produced while recovering change summaries.
 #[derive(Debug, Clone, PartialEq)]
 pub enum CharlesError {
@@ -21,6 +67,11 @@ pub enum CharlesError {
     /// No candidate summaries could be generated (e.g. no usable
     /// transformation attributes).
     NoCandidates(String),
+    /// A query was malformed (see [`QueryError`] for the specific reason).
+    Query(QueryError),
+    /// The named dataset is not registered with the
+    /// [`crate::SessionManager`] asked to serve it.
+    UnknownDataset(String),
 }
 
 impl fmt::Display for CharlesError {
@@ -35,6 +86,10 @@ impl fmt::Display for CharlesError {
             CharlesError::BadConfig(msg) => write!(f, "bad configuration: {msg}"),
             CharlesError::NoCandidates(msg) => {
                 write!(f, "no candidate summaries: {msg}")
+            }
+            CharlesError::Query(e) => write!(f, "bad query: {e}"),
+            CharlesError::UnknownDataset(name) => {
+                write!(f, "unknown dataset: {name:?} is not registered")
             }
         }
     }
@@ -69,6 +124,12 @@ impl From<ClusterError> for CharlesError {
     }
 }
 
+impl From<QueryError> for CharlesError {
+    fn from(e: QueryError) -> Self {
+        CharlesError::Query(e)
+    }
+}
+
 /// Convenience result alias for the core crate.
 pub type Result<T> = std::result::Result<T, CharlesError>;
 
@@ -85,5 +146,23 @@ mod tests {
         assert!(e.to_string().contains("numerics"));
         let e = CharlesError::BadConfig("alpha out of range".into());
         assert!(std::error::Error::source(&e).is_none());
+    }
+
+    #[test]
+    fn query_error_variants_render_their_cause() {
+        let e: CharlesError = QueryError::UnknownTarget { name: "pay".into() }.into();
+        assert!(e.to_string().contains("unknown target"), "{e}");
+        assert!(e.to_string().contains("pay"), "{e}");
+        let e: CharlesError = QueryError::NonNumericTarget {
+            name: "edu".into(),
+            dtype: "utf8".into(),
+        }
+        .into();
+        assert!(e.to_string().contains("must be numeric"), "{e}");
+        let e: CharlesError = QueryError::EmptyTransformShortlist.into();
+        assert!(e.to_string().contains("empty transformation"), "{e}");
+        assert!(std::error::Error::source(&e).is_none());
+        let e = CharlesError::UnknownDataset("county".into());
+        assert!(e.to_string().contains("not registered"), "{e}");
     }
 }

@@ -74,6 +74,7 @@ pub mod engine;
 pub mod error;
 pub mod explain;
 pub mod features;
+pub mod manager;
 pub mod partition;
 pub mod recovery;
 pub mod report;
@@ -91,9 +92,10 @@ pub use condition::{Condition, Descriptor};
 pub use config::{CharlesConfig, PartitionMethod};
 pub use ct::ConditionalTransformation;
 pub use engine::{Charles, RunResult};
-pub use error::{CharlesError, Result};
+pub use error::{CharlesError, QueryError, Result};
 pub use explain::{explain_ct, explain_summary};
 pub use features::{augment, augment_table, FeatureSet};
+pub use manager::{DatasetSpec, DatasetStats, ManagerConfig, SessionManager};
 pub use recovery::{
     adjusted_rand_index, evaluate_recovery, summary_labels, truth_labels, RecoveryReport, TruthRule,
 };

@@ -57,6 +57,10 @@ pub struct SearchStats {
     pub evaluated: usize,
     /// Distinct summaries after deduplication.
     pub distinct: usize,
+    /// Worker threads the evaluation actually ran on (after clamping the
+    /// configured count to the candidate count), so benchmarks report the
+    /// parallelism achieved rather than the parallelism requested.
+    pub threads_used: usize,
 }
 
 /// The memoization plane shared by candidate evaluations — and, through
@@ -107,6 +111,37 @@ impl PlaneCaches {
     /// Candidate evaluations computed so far (memo misses, monotone).
     pub fn candidates_computed(&self) -> usize {
         self.candidates_computed.load(Ordering::Relaxed)
+    }
+
+    /// Approximate resident bytes of the memo planes. Fits and labelings
+    /// hold O(rows) buffers (residuals; per-row labels), so on large
+    /// pairs the memos rival the column plane — memory-budgeted owners
+    /// ([`crate::SessionManager`]) must see them. Entry growth is bounded
+    /// by the enumerated search space per target (candidate results are
+    /// additionally memoized only at the session's own α).
+    pub fn approx_bytes(&self) -> usize {
+        let fits: usize = self
+            .fit_memo
+            .lock()
+            .expect("fit memo poisoned")
+            .values()
+            .map(|fit| {
+                fit.as_ref()
+                    .as_ref()
+                    .map_or(16, |f| (f.residuals.len() + f.coefficients.len()) * 8 + 64)
+            })
+            .sum();
+        let labelings: usize = self
+            .label_memo
+            .lock()
+            .expect("label memo poisoned")
+            .values()
+            .map(|labels| labels.len() * 8 + 64)
+            .sum();
+        // Summaries are small structured data (a few CTs of terms and
+        // descriptors); a flat per-entry estimate is plenty here.
+        let candidates = self.candidate_memo.lock().expect("memo poisoned").len() * 512;
+        fits + labelings + candidates
     }
 }
 
@@ -1033,6 +1068,7 @@ pub fn run_search(
             candidates: candidates.len(),
             evaluated,
             distinct,
+            threads_used: threads,
         },
     ))
 }

@@ -52,7 +52,7 @@
 
 use crate::assistant::{analyze, SetupReport};
 use crate::config::CharlesConfig;
-use crate::error::{CharlesError, Result};
+use crate::error::{CharlesError, QueryError, Result};
 use crate::score::{derive_scale, ScoringContext};
 use crate::search::{
     change_signals, generate_candidates, memoized, run_search, PlaneCaches, SearchContext,
@@ -307,6 +307,45 @@ impl Session {
         self.caches = Arc::new(PlaneCaches::default());
     }
 
+    /// Approximate resident bytes of this session's data plane: both
+    /// snapshot tables, every column view and change signal extracted so
+    /// far, and the memo planes (global-fit residuals, labelings,
+    /// candidate results — see [`PlaneCaches::approx_bytes`]). An upper
+    /// bound (`Arc`-aliased buffers count once per holder), intended for
+    /// the [`crate::SessionManager`]'s memory budget rather than
+    /// allocator-exact accounting.
+    pub fn approx_plane_bytes(&self) -> usize {
+        let views: usize = self
+            .views
+            .lock()
+            .expect("view memo poisoned")
+            .values()
+            .map(|v| v.len() * 8)
+            .sum();
+        let aligned: usize = self
+            .aligned
+            .lock()
+            .expect("aligned memo poisoned")
+            .values()
+            .map(|v| v.len() * 8)
+            .sum();
+        // Each plane holds two derived signals (delta, rel_delta) of its
+        // own; y_target/y_source alias the maps above.
+        let planes: usize = self
+            .planes
+            .lock()
+            .expect("plane memo poisoned")
+            .values()
+            .map(|p| 2 * p.delta.len() * 8)
+            .sum();
+        self.pair.source().approx_bytes()
+            + self.pair.target().approx_bytes()
+            + views
+            + aligned
+            + planes
+            + self.caches.approx_bytes()
+    }
+
     /// Work counters so far; see [`SessionStats`].
     pub fn stats(&self) -> SessionStats {
         SessionStats {
@@ -505,16 +544,23 @@ impl Session {
     }
 
     /// Resolve and validate the target attribute (must exist and be
-    /// numeric).
+    /// numeric). Failures are typed [`QueryError`]s: callers can tell an
+    /// unknown name from a non-numeric column without string matching.
     pub(crate) fn resolve_target(&self, target: &str) -> Result<AttrRef> {
         let schema = self.pair.source().schema();
-        let target_ref = schema.attr_ref(target)?;
+        let Ok(target_ref) = schema.attr_ref(target) else {
+            return Err(QueryError::UnknownTarget {
+                name: target.to_string(),
+            }
+            .into());
+        };
         let idx = target_ref.id().expect("attr_ref is resolved").index();
         if !schema.fields()[idx].dtype().is_numeric() {
-            return Err(CharlesError::BadTargetAttribute(format!(
-                "target attribute {target:?} must be numeric, found {}",
-                schema.fields()[idx].dtype()
-            )));
+            return Err(QueryError::NonNumericTarget {
+                name: target.to_string(),
+                dtype: schema.fields()[idx].dtype().to_string(),
+            }
+            .into());
         }
         Ok(target_ref)
     }
@@ -698,11 +744,7 @@ fn resolve_attrs(
         }
     }
     if tran.is_empty() {
-        return Err(CharlesError::NoCandidates(
-            "no usable transformation attributes; the target's previous value \
-             alone is always available — pass it explicitly"
-                .to_string(),
-        ));
+        return Err(QueryError::EmptyTransformShortlist.into());
     }
     Ok((cond, tran))
 }
@@ -913,11 +955,6 @@ mod tests {
     #[test]
     fn bad_queries_rejected() {
         let session = Session::open(fig1_pair()).unwrap();
-        assert!(matches!(
-            session.run(&Query::new("edu")).unwrap_err(),
-            CharlesError::BadTargetAttribute(_)
-        ));
-        assert!(session.run(&Query::new("nope")).is_err());
         assert!(session.run(&Query::new("bonus").with_alpha(2.0)).is_err());
         assert!(session
             .run(&Query::new("bonus").with_condition_attrs(["nonexistent"]))
@@ -928,6 +965,48 @@ mod tests {
                 .unwrap_err(),
             CharlesError::BadConfig(_)
         ));
+    }
+
+    #[test]
+    fn unknown_target_is_typed_query_error() {
+        let session = Session::open(fig1_pair()).unwrap();
+        match session.run(&Query::new("nope")).unwrap_err() {
+            CharlesError::Query(QueryError::UnknownTarget { name }) => {
+                assert_eq!(name, "nope");
+            }
+            other => panic!("expected UnknownTarget, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn non_numeric_target_is_typed_query_error() {
+        let session = Session::open(fig1_pair()).unwrap();
+        match session.run(&Query::new("edu")).unwrap_err() {
+            CharlesError::Query(QueryError::NonNumericTarget { name, dtype }) => {
+                assert_eq!(name, "edu");
+                assert!(!dtype.is_empty());
+            }
+            other => panic!("expected NonNumericTarget, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_transform_shortlist_is_typed_query_error() {
+        let session = Session::open(fig1_pair()).unwrap();
+        let query = Query::new("bonus").with_transform_attrs(Vec::<String>::new());
+        assert!(matches!(
+            session.run(&query).unwrap_err(),
+            CharlesError::Query(QueryError::EmptyTransformShortlist)
+        ));
+    }
+
+    #[test]
+    fn approx_plane_bytes_grows_with_extraction() {
+        let session = Session::open(fig1_pair()).unwrap();
+        let resident = session.approx_plane_bytes();
+        assert!(resident > 0);
+        session.run(&fig1_query()).unwrap();
+        assert!(session.approx_plane_bytes() > resident);
     }
 
     #[test]

@@ -59,6 +59,15 @@ impl StrDict {
         self.values.len()
     }
 
+    /// Approximate resident bytes of the pool (string payloads plus the
+    /// per-entry pointer overhead of the vector and lookup map). Used by
+    /// memory-budgeted caches; not an exact allocator measurement.
+    pub fn approx_bytes(&self) -> usize {
+        let payload: usize = self.values.iter().map(|s| s.len()).sum();
+        // One Arc in `values`, one Arc + u32 in `lookup`, per entry.
+        payload + self.values.len() * (2 * std::mem::size_of::<usize>() + 4)
+    }
+
     /// Whether the dictionary is empty.
     pub fn is_empty(&self) -> bool {
         self.values.is_empty()
@@ -178,6 +187,25 @@ impl Column {
             Column::Float64 { values, .. } => values.len(),
             Column::Utf8 { codes, .. } => codes.len(),
             Column::Bool { values, .. } => values.len(),
+        }
+    }
+
+    /// Approximate resident bytes of the column's storage (values,
+    /// dictionary, and validity mask). `Arc`-shared buffers are counted in
+    /// full by every holder — the estimate is an upper bound intended for
+    /// memory-budgeted caches, not an exact allocator measurement.
+    pub fn approx_bytes(&self) -> usize {
+        let mask_bytes =
+            |validity: &Option<Arc<Vec<bool>>>| validity.as_ref().map_or(0, |m| m.len());
+        match self {
+            Column::Int64 { values, validity } => values.len() * 8 + mask_bytes(validity),
+            Column::Float64 { values, validity } => values.len() * 8 + mask_bytes(validity),
+            Column::Utf8 {
+                dict,
+                codes,
+                validity,
+            } => dict.approx_bytes() + codes.len() * 4 + mask_bytes(validity),
+            Column::Bool { values, validity } => values.len() + mask_bytes(validity),
         }
     }
 

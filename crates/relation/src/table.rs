@@ -130,6 +130,14 @@ impl Table {
         self.columns.len()
     }
 
+    /// Approximate resident bytes of all column storage (see
+    /// [`Column::approx_bytes`]). Shared (`Arc`-aliased) buffers are
+    /// counted once per holder, so the figure is an upper bound — suitable
+    /// for memory-budgeted caches, not allocator-exact.
+    pub fn approx_bytes(&self) -> usize {
+        self.columns.iter().map(Column::approx_bytes).sum()
+    }
+
     /// Column by index.
     pub fn column(&self, index: usize) -> Result<&Column> {
         self.columns

@@ -1,0 +1,121 @@
+//! A tiny blocking HTTP client over raw [`TcpStream`]s — enough to drive
+//! the server from examples, benchmarks, and smoke tests without any
+//! dependency. One request per connection (`Connection: close`).
+
+use std::io::{self, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// A parsed HTTP response: status code plus body text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpResponse {
+    /// Status code from the status line.
+    pub status: u16,
+    /// The response body, decoded as UTF-8.
+    pub body: String,
+}
+
+impl HttpResponse {
+    /// Whether the status is 2xx.
+    pub fn is_success(&self) -> bool {
+        (200..300).contains(&self.status)
+    }
+}
+
+/// Issue one request and read the full response.
+///
+/// `body = Some(json)` sends a `Content-Length` body; `None` sends a bare
+/// request. The connection is closed after the exchange.
+pub fn http_request(
+    addr: impl ToSocketAddrs,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> io::Result<HttpResponse> {
+    let mut stream = TcpStream::connect(addr)?;
+    let payload = body.unwrap_or("");
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: charles\r\nConnection: close\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n{payload}",
+        payload.len(),
+    )?;
+    stream.flush()?;
+
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw)?;
+    parse_response(&raw)
+}
+
+/// Split a raw HTTP/1.x response into status + body (honoring
+/// `Content-Length` when present, else everything after the head).
+pub fn parse_response(raw: &[u8]) -> io::Result<HttpResponse> {
+    let text = std::str::from_utf8(raw)
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-UTF-8 response"))?;
+    let head_end = text
+        .find("\r\n\r\n")
+        .map(|i| (i, i + 4))
+        .or_else(|| text.find("\n\n").map(|i| (i, i + 2)))
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "missing header terminator"))?;
+    let (head, body) = (&text[..head_end.0], &text[head_end.1..]);
+    let status = head
+        .lines()
+        .next()
+        .and_then(|line| line.split_whitespace().nth(1))
+        .and_then(|code| code.parse::<u16>().ok())
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "malformed status line"))?;
+    let body = match head
+        .lines()
+        .find_map(|l| {
+            l.split_once(':')
+                .filter(|(k, _)| k.eq_ignore_ascii_case("content-length"))
+        })
+        .and_then(|(_, v)| v.trim().parse::<usize>().ok())
+    {
+        // `get` (not slicing) so a Content-Length landing inside a
+        // multi-byte UTF-8 character degrades to the whole tail instead
+        // of panicking on a non-boundary index.
+        Some(len) => body.get(..len).unwrap_or(body),
+        _ => body,
+    };
+    Ok(HttpResponse {
+        status,
+        body: body.to_string(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_response_with_content_length() {
+        let raw = b"HTTP/1.1 200 OK\r\nContent-Length: 11\r\n\r\n{\"ok\":true}extra";
+        let response = parse_response(raw).unwrap();
+        assert_eq!(response.status, 200);
+        assert_eq!(response.body, "{\"ok\":true}");
+        assert!(response.is_success());
+    }
+
+    #[test]
+    fn parses_response_without_content_length() {
+        let raw = b"HTTP/1.1 503 Service Unavailable\r\n\r\nbusy";
+        let response = parse_response(raw).unwrap();
+        assert_eq!(response.status, 503);
+        assert_eq!(response.body, "busy");
+        assert!(!response.is_success());
+    }
+
+    #[test]
+    fn content_length_inside_utf8_char_does_not_panic() {
+        // "日本" is 6 bytes; a bogus Content-Length of 4 lands mid-char.
+        let raw = "HTTP/1.1 200 OK\r\nContent-Length: 4\r\n\r\n日本".as_bytes();
+        let response = parse_response(raw).unwrap();
+        assert_eq!(response.status, 200);
+        assert_eq!(response.body, "日本");
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_response(b"not http").is_err());
+        assert!(parse_response(b"HTTP/1.1 abc\r\n\r\n").is_err());
+    }
+}

@@ -14,7 +14,10 @@ pub use charles_synth as synth;
 
 /// Commonly used items in one import.
 pub mod prelude {
-    pub use charles_core::{Charles, CharlesConfig, Query, QueryResult, Session, SessionStats};
+    pub use charles_core::{
+        Charles, CharlesConfig, DatasetSpec, ManagerConfig, Query, QueryError, QueryResult,
+        Session, SessionManager, SessionStats,
+    };
     pub use charles_relation::{
         apply_updates, read_csv, read_csv_path, write_csv, write_csv_path, ApplyMode, CmpOp,
         Column, DataType, Expr, Predicate, Schema, SnapshotPair, Table, TableBuilder,

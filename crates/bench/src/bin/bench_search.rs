@@ -22,7 +22,14 @@
 //! The binary asserts the warm rerun is ≥ 5× faster with byte-identical
 //! ranked summaries, and records `session_warm_speedup`.
 //!
-//! Run: `cargo run --release -p charles-bench --bin bench_search [rows] [threads]`
+//! A fourth section measures the **sharded** mode: a fresh
+//! `Session::open_sharded(n)` (n from `CHARLES_BENCH_SHARDS` or the third
+//! argument, default 2) against a fresh unsharded session on the identical
+//! query. The binary *asserts* the sharded rankings are byte-identical to
+//! the unsharded ones — the sharding exactness contract — and records both
+//! throughputs side by side.
+//!
+//! Run: `cargo run --release -p charles-bench --bin bench_search [rows] [threads] [shards]`
 //!
 //! The parallel end-to-end section detects available parallelism
 //! (`std::thread::available_parallelism`, cgroup-aware) unless a thread
@@ -164,12 +171,53 @@ fn main() {
         "session and one-shot engine disagree"
     );
 
+    // Sharded mode: fresh sharded vs fresh unsharded session, same query.
+    // The exactness contract makes "identical rankings" an assertion, not
+    // a tolerance — see tests/shard_equivalence.rs for the property suite.
+    let shards: usize = std::env::args()
+        .nth(3)
+        .or_else(|| std::env::var("CHARLES_BENCH_SHARDS").ok())
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(2);
+    let started = Instant::now();
+    let unsharded_session = Session::open(pair.clone()).expect("unsharded session");
+    let unsharded_result = unsharded_session.run(&query).expect("unsharded run");
+    let unsharded_secs = started.elapsed().as_secs_f64();
+    let started = Instant::now();
+    let sharded_session = Session::open_sharded(pair.clone(), shards).expect("sharded session");
+    let sharded_result = sharded_session.run(&query).expect("sharded run");
+    let sharded_secs = started.elapsed().as_secs_f64();
+    assert_eq!(
+        render(&sharded_result.summaries),
+        render(&unsharded_result.summaries),
+        "sharded rankings must be byte-identical to unsharded"
+    );
+    let sharded_scores: Vec<u64> = sharded_result
+        .summaries
+        .iter()
+        .map(|s| s.scores.score.to_bits())
+        .collect();
+    let unsharded_scores: Vec<u64> = unsharded_result
+        .summaries
+        .iter()
+        .map(|s| s.scores.score.to_bits())
+        .collect();
+    assert_eq!(
+        sharded_scores, unsharded_scores,
+        "sharded score bits must be identical to unsharded"
+    );
+    let sharded_speedup = unsharded_secs / sharded_secs.max(1e-9);
+    eprintln!(
+        "sharded search ({shards} shards): {sharded_secs:.4}s vs unsharded {unsharded_secs:.4}s \
+         ({sharded_speedup:.2}x), rankings byte-identical"
+    );
+
     let n_cands = candidates.len() as f64;
     let shared_tput = n_cands / shared_secs;
     let naive_tput = n_cands / naive_secs;
     let speedup = shared_tput / naive_tput;
     let json = format!(
-        "{{\n  \"workload\": \"e5_county_scalability\",\n  \"rows\": {rows},\n  \"candidates\": {},\n  \"summaries_produced\": {produced},\n  \"naive_seconds\": {naive_secs:.4},\n  \"shared_seconds\": {shared_secs:.4},\n  \"naive_candidates_per_sec\": {naive_tput:.2},\n  \"shared_candidates_per_sec\": {shared_tput:.2},\n  \"speedup\": {speedup:.2},\n  \"parallel_search_seconds\": {parallel_secs:.4},\n  \"parallel_threads\": {},\n  \"ranked_summaries\": {},\n  \"distinct_summaries\": {},\n  \"session_cold_seconds\": {session_cold_secs:.4},\n  \"session_warm_seconds\": {session_warm_secs:.6},\n  \"session_warm_speedup\": {session_warm_speedup:.2}\n}}\n",
+        "{{\n  \"workload\": \"e5_county_scalability\",\n  \"rows\": {rows},\n  \"candidates\": {},\n  \"summaries_produced\": {produced},\n  \"naive_seconds\": {naive_secs:.4},\n  \"shared_seconds\": {shared_secs:.4},\n  \"naive_candidates_per_sec\": {naive_tput:.2},\n  \"shared_candidates_per_sec\": {shared_tput:.2},\n  \"speedup\": {speedup:.2},\n  \"parallel_search_seconds\": {parallel_secs:.4},\n  \"parallel_threads\": {},\n  \"ranked_summaries\": {},\n  \"distinct_summaries\": {},\n  \"session_cold_seconds\": {session_cold_secs:.4},\n  \"session_warm_seconds\": {session_warm_secs:.6},\n  \"session_warm_speedup\": {session_warm_speedup:.2},\n  \"shards\": {shards},\n  \"unsharded_run_seconds\": {unsharded_secs:.4},\n  \"sharded_run_seconds\": {sharded_secs:.4},\n  \"sharded_vs_unsharded_speedup\": {sharded_speedup:.2},\n  \"sharded_rankings_identical\": true\n}}\n",
         candidates.len(),
         stats.threads_used,
         ranked.len(),

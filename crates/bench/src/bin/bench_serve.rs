@@ -11,8 +11,16 @@
 //!   manager re-reads the CSVs, re-aligns the pair, reopens the session,
 //!   and runs the search from nothing (the "dataset-open + query" cost a
 //!   naive stateless service would pay per request);
-//! - **warm** — the session stays resident, so each request rides the
-//!   fully cached plane (PR 2's warm path) plus the wire overhead.
+//! - **warm** — the session stays resident and the client holds a
+//!   **keep-alive** connection ([`charles_server::HttpClient`]), so each
+//!   request rides the fully cached plane (PR 2's warm path) plus only
+//!   the wire framing — no per-request TCP setup, isolating engine cost
+//!   from connection cost.
+//!
+//! The same CSVs are also registered as a **sharded** dataset
+//! (`DatasetSpec::sharded`, 2 row-range shards) and queried once: its
+//! rankings are asserted byte-identical to the unsharded ones over the
+//! wire — the sharding exactness contract, observed end-to-end.
 //!
 //! Cold and warm rankings are asserted byte-identical (modulo the
 //! `elapsed_ms` timing field), and the binary asserts warm serving is
@@ -21,8 +29,10 @@
 //!
 //! Run: `cargo run --release -p charles-bench --bin bench_serve [--smoke] [rows]`
 
-use charles_core::{ManagerConfig, SessionManager};
-use charles_server::{http_request, Json, Server, ServerConfig, WireQuery, PROTOCOL_VERSION};
+use charles_core::{DatasetSpec, ManagerConfig, SessionManager};
+use charles_server::{
+    http_request, HttpClient, Json, Server, ServerConfig, WireQuery, PROTOCOL_VERSION,
+};
 use charles_synth::county;
 use std::sync::Arc;
 use std::time::Instant;
@@ -51,6 +61,19 @@ fn main() {
         ManagerConfig::default().with_max_sessions(4),
     ));
     manager.register_csv("county", &source_path, &target_path, Some("name".into()));
+    // The same data served sharded: 2 row-range planes behind one name.
+    let shards = 2usize;
+    manager.register(
+        "county_sharded",
+        DatasetSpec::sharded(
+            DatasetSpec::CsvPair {
+                source: source_path.clone(),
+                target: target_path.clone(),
+                key: Some("name".into()),
+            },
+            shards,
+        ),
+    );
     let mut server = Server::start(
         Arc::clone(&manager),
         ServerConfig::default().with_workers(2),
@@ -102,23 +125,56 @@ fn main() {
         );
     }
 
-    // Warm regime: the resident session serves every request.
+    // Warm regime: the resident session serves every request, and the
+    // client reuses ONE keep-alive connection for the whole loop —
+    // engine + framing cost only, no per-request TCP setup.
     let warmup =
         http_request(addr, "POST", "/v1/datasets/county/query", Some(&body)).expect("warmup query");
     assert!(warmup.is_success());
+    let mut client = HttpClient::connect(addr).expect("keep-alive connect");
     let mut warm_total = 0.0f64;
     for i in 0..warm_requests {
         let started = Instant::now();
-        let response = http_request(addr, "POST", "/v1/datasets/county/query", Some(&body))
-            .expect("warm query");
+        let response = client
+            .request("POST", "/v1/datasets/county/query", Some(&body))
+            .expect("warm keep-alive query");
         warm_total += started.elapsed().as_secs_f64();
         assert!(response.is_success(), "warm query {i}: {}", response.body);
+        assert!(
+            !client.is_closed(),
+            "server closed the keep-alive connection mid-bench"
+        );
         assert_eq!(
             rankings(&response.body),
             reference,
             "warm request {i} diverged from the reference ranking"
         );
     }
+
+    // Sharded serving: the 2-shard registration must answer the identical
+    // bytes (modulo timing) over the wire.
+    let sharded_response = client
+        .request("POST", "/v1/datasets/county_sharded/query", Some(&body))
+        .expect("sharded query");
+    assert!(
+        sharded_response.is_success(),
+        "sharded query: {}",
+        sharded_response.body
+    );
+    assert_eq!(
+        rankings(&sharded_response.body),
+        reference,
+        "sharded dataset diverged from the unsharded ranking"
+    );
+    let sharded_stats = client
+        .request("GET", "/v1/datasets/county_sharded/stats", None)
+        .expect("sharded stats");
+    let shards_on_wire = Json::parse(&sharded_stats.body)
+        .expect("stats JSON")
+        .get("shards")
+        .and_then(Json::as_usize)
+        .expect("shards field");
+    assert_eq!(shards_on_wire, shards, "wire must expose the shard count");
 
     let cold_per_req = cold_total / cold_requests as f64;
     let warm_per_req = warm_total / warm_requests as f64;
@@ -128,7 +184,7 @@ fn main() {
 
     let stats = manager.dataset_stats("county").expect("county stats");
     let json = format!(
-        "{{\n  \"workload\": \"e5_county_served\",\n  \"rows\": {rows},\n  \"protocol_version\": {PROTOCOL_VERSION},\n  \"server_workers\": 2,\n  \"smoke\": {smoke},\n  \"cold_requests\": {cold_requests},\n  \"warm_requests\": {warm_requests},\n  \"cold_seconds_per_request\": {cold_per_req:.4},\n  \"warm_seconds_per_request\": {warm_per_req:.6},\n  \"cold_requests_per_sec\": {cold_rps:.2},\n  \"warm_requests_per_sec\": {warm_rps:.2},\n  \"served_warm_speedup\": {speedup:.2},\n  \"identical_rankings\": true,\n  \"dataset_opens\": {},\n  \"dataset_evictions\": {},\n  \"resident_bytes\": {}\n}}\n",
+        "{{\n  \"workload\": \"e5_county_served\",\n  \"rows\": {rows},\n  \"protocol_version\": {PROTOCOL_VERSION},\n  \"server_workers\": 2,\n  \"smoke\": {smoke},\n  \"cold_requests\": {cold_requests},\n  \"warm_requests\": {warm_requests},\n  \"warm_keep_alive\": true,\n  \"cold_seconds_per_request\": {cold_per_req:.4},\n  \"warm_seconds_per_request\": {warm_per_req:.6},\n  \"cold_requests_per_sec\": {cold_rps:.2},\n  \"warm_requests_per_sec\": {warm_rps:.2},\n  \"served_warm_speedup\": {speedup:.2},\n  \"identical_rankings\": true,\n  \"sharded_dataset_shards\": {shards},\n  \"sharded_rankings_identical\": true,\n  \"dataset_opens\": {},\n  \"dataset_evictions\": {},\n  \"resident_bytes\": {}\n}}\n",
         stats.opens, stats.evictions, stats.approx_bytes,
     );
     std::fs::write("BENCH_serve.json", &json).expect("write BENCH_serve.json");

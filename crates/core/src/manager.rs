@@ -85,6 +85,20 @@ pub enum DatasetSpec {
     },
     /// An arbitrary pair factory (synthetic workloads, other formats).
     Provider(Arc<dyn Fn() -> Result<SnapshotPair> + Send + Sync>),
+    /// Any other spec, served **sharded**: the session opens with
+    /// [`Session::open_sharded_with_config`], so every query fans its
+    /// per-row work across `shards` row-range planes behind this one
+    /// dataset name — with answers byte-identical to the unsharded spec
+    /// (see [`Session::open_sharded`] for the contract). Evicting the
+    /// dataset releases all shard planes at once (they live behind the one
+    /// session).
+    Sharded {
+        /// The spec describing the data itself.
+        inner: Box<DatasetSpec>,
+        /// Number of row-range shards (clamped to ≥ 1; nested `Sharded`
+        /// specs are flattened — the outermost count wins).
+        shards: usize,
+    },
 }
 
 impl fmt::Debug for DatasetSpec {
@@ -102,6 +116,11 @@ impl fmt::Debug for DatasetSpec {
                 .field("target_len", &target.len())
                 .finish_non_exhaustive(),
             DatasetSpec::Provider(_) => f.write_str("Provider(..)"),
+            DatasetSpec::Sharded { inner, shards } => f
+                .debug_struct("Sharded")
+                .field("inner", inner)
+                .field("shards", shards)
+                .finish(),
         }
     }
 }
@@ -129,11 +148,24 @@ impl Clone for DatasetSpec {
                 key: key.clone(),
             },
             DatasetSpec::Provider(provider) => DatasetSpec::Provider(Arc::clone(provider)),
+            DatasetSpec::Sharded { inner, shards } => DatasetSpec::Sharded {
+                inner: inner.clone(),
+                shards: *shards,
+            },
         }
     }
 }
 
 impl DatasetSpec {
+    /// Serve `inner` sharded across `shards` row ranges; see
+    /// [`DatasetSpec::Sharded`].
+    pub fn sharded(inner: DatasetSpec, shards: usize) -> DatasetSpec {
+        DatasetSpec::Sharded {
+            inner: Box::new(inner),
+            shards: shards.max(1),
+        }
+    }
+
     /// Materialize the aligned pair this spec describes.
     fn open_pair(&self) -> Result<SnapshotPair> {
         let align = |source: Table, target: Table, key: &Option<String>| match key {
@@ -157,6 +189,25 @@ impl DatasetSpec {
                 key,
             )?),
             DatasetSpec::Provider(provider) => provider(),
+            DatasetSpec::Sharded { inner, .. } => inner.open_pair(),
+        }
+    }
+
+    /// The number of row-range shards this spec's sessions open with
+    /// (1 = unsharded). Nested `Sharded` specs flatten to the outermost.
+    pub fn shard_count(&self) -> usize {
+        match self {
+            DatasetSpec::Sharded { shards, .. } => (*shards).max(1),
+            _ => 1,
+        }
+    }
+
+    /// Open a session over this spec's pair, sharded when the spec says so.
+    fn open_session(&self, config: CharlesConfig) -> Result<Session> {
+        let pair = self.open_pair()?;
+        match self.shard_count() {
+            1 => Session::open_with_config(pair, config),
+            n => Session::open_sharded_with_config(pair, n, config),
         }
     }
 }
@@ -221,6 +272,9 @@ pub struct DatasetStats {
     /// LRU position: how many `open_or_get` calls (across all datasets)
     /// had happened when this one was last used. Larger = more recent.
     pub last_used_tick: u64,
+    /// Row-range shards this dataset's sessions open with (1 = unsharded;
+    /// see [`DatasetSpec::Sharded`]).
+    pub shards: usize,
 }
 
 struct DatasetEntry {
@@ -384,9 +438,8 @@ impl SessionManager {
             target: target.into(),
             key,
         };
-        let pair = spec.open_pair()?;
         let config = self.session_config.clone();
-        let session = Arc::new(Session::open_with_config(pair, config.clone())?);
+        let session = Arc::new(spec.open_session(config.clone())?);
         self.install(name.into(), spec, config, Some(session));
         Ok(())
     }
@@ -446,8 +499,7 @@ impl SessionManager {
         if let Some(session) = self.touch_resident(name)? {
             return Ok(session);
         }
-        let pair = spec.open_pair()?;
-        let session = Arc::new(Session::open_with_config(pair, config)?);
+        let session = Arc::new(spec.open_session(config)?);
         let approx_bytes = session.approx_plane_bytes();
 
         let mut inner = self.inner.lock().expect("manager registry poisoned");
@@ -560,6 +612,7 @@ impl SessionManager {
                 evictions: e.evictions,
                 approx_bytes: e.approx_bytes,
                 last_used_tick: e.last_used_tick,
+                shards: e.spec.shard_count(),
             })
             .collect();
         out.sort_by(|a, b| a.name.cmp(&b.name));
@@ -842,6 +895,48 @@ mod tests {
             assert_eq!(results[i], results[i + 3]);
         }
         assert!(manager.resident_sessions() <= 2);
+    }
+
+    #[test]
+    fn sharded_spec_serves_identical_answers_and_reports_shards() {
+        let manager = SessionManager::new(ManagerConfig::default());
+        manager.register_pair("plain", tiny_pair(1.05));
+        manager.register(
+            "sharded",
+            DatasetSpec::sharded(DatasetSpec::Pair(tiny_pair(1.05)), 3),
+        );
+        let plain = rankings(&manager.open_or_get("plain").unwrap());
+        let sharded_session = manager.open_or_get("sharded").unwrap();
+        assert_eq!(sharded_session.shard_count(), 3);
+        assert_eq!(
+            rankings(&sharded_session),
+            plain,
+            "sharded dataset must answer byte-identically"
+        );
+        let stats = manager.dataset_stats("sharded").unwrap();
+        assert_eq!(stats.shards, 3);
+        assert_eq!(manager.dataset_stats("plain").unwrap().shards, 1);
+
+        // Evicting the sharded dataset releases all shard planes at once:
+        // nothing of it stays resident, and a re-open still agrees.
+        assert!(manager.evict("sharded"));
+        let after = manager.dataset_stats("sharded").unwrap();
+        assert!(!after.resident);
+        assert_eq!(after.approx_bytes, 0);
+        assert_eq!(rankings(&manager.open_or_get("sharded").unwrap()), plain);
+    }
+
+    #[test]
+    fn nested_sharded_spec_flattens() {
+        let spec = DatasetSpec::sharded(
+            DatasetSpec::sharded(DatasetSpec::Pair(tiny_pair(1.05)), 2),
+            5,
+        );
+        assert_eq!(spec.shard_count(), 5, "outermost count wins");
+        assert_eq!(
+            DatasetSpec::sharded(DatasetSpec::Pair(tiny_pair(1.05)), 0).shard_count(),
+            1
+        );
     }
 
     #[test]

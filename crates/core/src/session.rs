@@ -55,12 +55,13 @@ use crate::config::CharlesConfig;
 use crate::error::{CharlesError, QueryError, Result};
 use crate::score::{derive_scale, ScoringContext};
 use crate::search::{
-    change_signals, generate_candidates, memoized, run_search, PlaneCaches, SearchContext,
-    SearchStats,
+    change_signals, change_signals_sharded, generate_candidates, memoized, run_search, PlaneCaches,
+    SearchContext, SearchStats,
 };
 use crate::summary::ChangeSummary;
 use crate::transform::Transformation;
-use charles_relation::{AttrId, AttrRef, NumericView, SnapshotPair};
+use charles_numerics::ols::GRAM_BLOCK_ROWS;
+use charles_relation::{AttrId, AttrRef, NumericView, RowRange, SnapshotPair};
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -255,6 +256,10 @@ pub struct Session {
     /// Global fits, labelings, and evaluated candidates (valid for the
     /// session config; see [`PlaneCaches`]).
     caches: Arc<PlaneCaches>,
+    /// Row-range shards (empty = unsharded). Boundaries sit on the
+    /// canonical Gram block grid so per-shard fit statistics merge
+    /// bit-exactly; see [`Session::open_sharded`].
+    shard_ranges: Vec<RowRange>,
     columns_extracted: AtomicUsize,
     planes_built: AtomicUsize,
     setups_computed: AtomicUsize,
@@ -280,10 +285,61 @@ impl Session {
             planes: Mutex::new(HashMap::new()),
             setups: Mutex::new(HashMap::new()),
             caches: Arc::new(PlaneCaches::default()),
+            shard_ranges: Vec::new(),
             columns_extracted: AtomicUsize::new(0),
             planes_built: AtomicUsize::new(0),
             setups_computed: AtomicUsize::new(0),
         })
+    }
+
+    /// Open a **sharded** session: queries run their per-row heavy lifting
+    /// over `shards` contiguous row ranges, one [`SearchContext`] window
+    /// per shard over the same `Arc`-backed column plane.
+    ///
+    /// ## The exactness contract
+    ///
+    /// Sharding is a *layout* choice, never a semantics choice: every
+    /// query answer — rankings, scores, `sweep_alpha` output — is
+    /// **byte-identical** to the same query on an unsharded
+    /// [`Session::open`] of the same pair, for any shard count (including
+    /// more shards than rows, which leaves trailing shards empty). That
+    /// holds because nothing global is ever approximated per shard:
+    ///
+    /// - **Global fits** are solved from per-shard *sufficient statistics*
+    ///   (per-column moments, then `XᵀX`/`Xᵀy` accumulated on a canonical
+    ///   block grid anchored at row 0) merged in block order — the same
+    ///   floating-point operations in the same order as the unsharded
+    ///   fit, so the coefficients and residuals match to the last bit.
+    /// - **Change signals** (Δ, relative Δ) are elementwise; shards
+    ///   compute their slices and the slices concatenate in row order.
+    /// - **Cluster labelings, condition induction, and scoring** run over
+    ///   the *merged* signals and residuals — global structure is
+    ///   discovered from merged statistics, never stitched from per-shard
+    ///   clusterings.
+    ///
+    /// Shard boundaries are aligned to the fit's block grid
+    /// ([`RowRange::split_aligned`] with `GRAM_BLOCK_ROWS`), which is what
+    /// makes the first point exact. `tests/shard_equivalence.rs` pins the
+    /// contract differentially.
+    pub fn open_sharded(pair: SnapshotPair, shards: usize) -> Result<Self> {
+        Session::open_sharded_with_config(pair, shards, CharlesConfig::default())
+    }
+
+    /// [`Session::open_sharded`] with a custom engine configuration.
+    pub fn open_sharded_with_config(
+        pair: SnapshotPair,
+        shards: usize,
+        config: CharlesConfig,
+    ) -> Result<Self> {
+        let ranges = RowRange::split_aligned(pair.len(), shards.max(1), GRAM_BLOCK_ROWS);
+        let mut session = Session::open_with_config(pair, config)?;
+        session.shard_ranges = ranges;
+        Ok(session)
+    }
+
+    /// How many row-range shards queries fan out over (1 = unsharded).
+    pub fn shard_count(&self) -> usize {
+        self.shard_ranges.len().max(1)
     }
 
     /// The aligned snapshot pair.
@@ -430,7 +486,7 @@ impl Session {
             // Private plane: dies with this run, safe to fill freely.
             (Arc::new(PlaneCaches::default()), true)
         };
-        let ctx = SearchContext::from_plane(
+        let mut ctx = SearchContext::from_plane(
             &self.pair,
             &query.target,
             plane.target.clone(),
@@ -444,6 +500,12 @@ impl Session {
             caches,
             memoize_candidates,
         );
+        if !self.shard_ranges.is_empty() {
+            // Sharded layout: global fits merge per-shard sufficient
+            // statistics (bit-identical to unsharded; see
+            // [`Session::open_sharded`]).
+            ctx = ctx.with_shards(&self.shard_ranges);
+        }
         let candidates = generate_candidates(&cond_refs, &tran_refs, &config);
         if candidates.is_empty() {
             return Err(CharlesError::NoCandidates(format!(
@@ -585,14 +647,20 @@ impl Session {
         })
     }
 
-    /// The per-target change-signal plane, built once per target.
+    /// The per-target change-signal plane, built once per target. On a
+    /// sharded session the signals are computed per shard and concatenated
+    /// (elementwise, so byte-identical to the unsharded computation).
     fn target_plane(&self, target: &AttrRef) -> Result<Arc<TargetPlane>> {
         let id = target.id().expect("attr_ref is resolved");
         memoized(&self.planes, id, || {
             self.planes_built.fetch_add(1, Ordering::Relaxed);
             let y_target = self.aligned_view(target.name(), id)?;
             let y_source = self.source_view(id)?;
-            let (delta, rel_delta) = change_signals(&y_target, &y_source);
+            let (delta, rel_delta) = if self.shard_ranges.is_empty() {
+                change_signals(&y_target, &y_source)
+            } else {
+                change_signals_sharded(&y_target, &y_source, &self.shard_ranges)
+            };
             let scale = derive_scale(&y_target, &y_source);
             Ok(Arc::new(TargetPlane {
                 target: target.clone(),
@@ -1047,6 +1115,116 @@ mod tests {
         let result = session.run(&fig1_query()).unwrap();
         assert!(result.top().unwrap().scores.accuracy > 0.99);
         assert_eq!(session.stats().columns_extracted, cols);
+    }
+
+    #[test]
+    fn sharded_session_matches_unsharded_byte_for_byte() {
+        let oracle = Session::open(fig1_pair()).unwrap();
+        let base = oracle.run(&fig1_query()).unwrap();
+        let render = |r: &QueryResult| -> Vec<String> {
+            r.summaries.iter().map(|s| s.to_string()).collect()
+        };
+        let bits = |r: &QueryResult| -> Vec<u64> {
+            r.summaries
+                .iter()
+                .map(|s| s.scores.score.to_bits())
+                .collect()
+        };
+        // 9 rows < one block: every shard beyond the first is empty, and
+        // the answers must still be identical (the degenerate contract).
+        for shards in [1usize, 2, 3, 7, 64] {
+            let sharded = Session::open_sharded(fig1_pair(), shards).unwrap();
+            assert_eq!(sharded.shard_count(), shards);
+            let result = sharded.run(&fig1_query()).unwrap();
+            assert_eq!(render(&result), render(&base), "shards={shards}");
+            assert_eq!(bits(&result), bits(&base), "shards={shards}");
+            assert_eq!(sharded.targets().unwrap(), oracle.targets().unwrap());
+        }
+    }
+
+    #[test]
+    fn sharded_multi_block_pair_matches_unsharded() {
+        // 300 rows spans 3 canonical Gram blocks, so shard counts 2 and 3
+        // produce genuinely non-empty multi-shard layouts whose merged
+        // sufficient statistics must reproduce the central fit exactly.
+        let n = 300usize;
+        let names: Vec<String> = (0..n).map(|i| format!("e{i}")).collect();
+        let name_refs: Vec<&str> = names.iter().map(String::as_str).collect();
+        let edu: Vec<&str> = (0..n).map(|i| ["PhD", "MS", "BS"][i % 3]).collect();
+        let exp: Vec<i64> = (0..n).map(|i| (i % 7) as i64).collect();
+        let bonus: Vec<f64> = (0..n)
+            .map(|i| 8_000.0 + (i as f64 * 937.0) % 9_000.0)
+            .collect();
+        let source = TableBuilder::new("v1")
+            .str_col("name", &name_refs)
+            .str_col("edu", &edu)
+            .int_col("exp", &exp)
+            .float_col("bonus", &bonus)
+            .key("name")
+            .build()
+            .unwrap();
+        let policy = [
+            UpdateStatement::new(
+                "bonus",
+                Expr::affine("bonus", 1.05, 1000.0),
+                Predicate::eq("edu", "PhD"),
+            ),
+            UpdateStatement::new(
+                "bonus",
+                Expr::affine("bonus", 1.04, 800.0),
+                Predicate::eq("edu", "MS"),
+            ),
+        ];
+        let target = apply_updates(&source, &policy, ApplyMode::FirstMatch)
+            .unwrap()
+            .table;
+        let pair = SnapshotPair::align(source, target).unwrap();
+
+        let query = Query::new("bonus")
+            .with_condition_attrs(["edu", "exp"])
+            .with_transform_attrs(["bonus"]);
+        let oracle = Session::open(pair.clone()).unwrap();
+        let base = oracle.run(&query).unwrap();
+        let render_bits = |r: &QueryResult| -> Vec<(String, u64)> {
+            r.summaries
+                .iter()
+                .map(|s| (s.to_string(), s.scores.score.to_bits()))
+                .collect()
+        };
+        for shards in [2usize, 3, 5] {
+            let sharded = Session::open_sharded(pair.clone(), shards).unwrap();
+            let result = sharded.run(&query).unwrap();
+            assert_eq!(render_bits(&result), render_bits(&base), "shards={shards}");
+        }
+    }
+
+    #[test]
+    fn sharded_sweep_matches_unsharded() {
+        let oracle = Session::open(fig1_pair()).unwrap();
+        let sharded = Session::open_sharded(fig1_pair(), 3).unwrap();
+        let alphas = [0.0, 0.25, 0.5, 0.75, 1.0];
+        let base = oracle.run(&fig1_query()).unwrap();
+        let shard_base = sharded.run(&fig1_query()).unwrap();
+        let a = oracle.sweep_alpha(&base, &alphas).unwrap();
+        let b = sharded.sweep_alpha(&shard_base, &alphas).unwrap();
+        for (x, y) in a.iter().zip(b.iter()) {
+            let xs: Vec<String> = x.summaries.iter().map(|s| s.to_string()).collect();
+            let ys: Vec<String> = y.summaries.iter().map(|s| s.to_string()).collect();
+            assert_eq!(xs, ys, "α={}", x.alpha);
+        }
+    }
+
+    #[test]
+    fn sharded_warm_rerun_is_cached() {
+        let session = Session::open_sharded(fig1_pair(), 2).unwrap();
+        session.run(&fig1_query()).unwrap();
+        let warmed = session.stats();
+        session.run(&fig1_query()).unwrap();
+        assert_eq!(
+            session.stats(),
+            warmed,
+            "sharded warm rerun must be pure hits"
+        );
     }
 
     #[test]

@@ -5,10 +5,35 @@
 //! Cholesky; if the Gram matrix is (near-)singular — common on tiny
 //! partitions or collinear predictors — retries with ridge regularization,
 //! escalating λ until the system solves.
+//!
+//! ## Mergeable sufficient statistics
+//!
+//! The fit is factored through *sufficient statistics* so it can be
+//! computed over row-range **shards** with bit-identical results:
+//!
+//! 1. [`column_moments`] — row count, per-column max-|x|, finiteness.
+//!    Merging ([`ColumnMoments::merge`]) uses only `max`/`+`/`&&`, which
+//!    are exact regardless of how rows were split.
+//! 2. [`gram_partial`] — `XᵀX` and `Xᵀy` of the scaled design, accumulated
+//!    per **canonical block** of [`GRAM_BLOCK_ROWS`] rows. The block grid
+//!    is anchored at absolute row 0 and independent of any sharding, so a
+//!    shard whose boundaries sit on the grid produces exactly the block
+//!    sums the unsharded pass produces. [`fit_from_parts`] folds block
+//!    sums in block order — the same floating-point operations in the same
+//!    order no matter how many shards computed them.
+//!
+//! [`fit_ols_cols`] itself is the one-shard instance of this pipeline,
+//! which is what makes "sharded search is byte-identical to unsharded"
+//! a theorem about this module rather than a tolerance.
 
 use crate::error::{NumericsError, Result};
 use crate::matrix::Matrix;
 use crate::solve::solve_cholesky;
+
+/// Rows per canonical accumulation block of the Gram statistics. Shard
+/// boundaries must be multiples of this (see
+/// `charles_relation::RowRange::split_aligned`) for bit-exact merges.
+pub const GRAM_BLOCK_ROWS: usize = 128;
 
 /// A fitted linear model `y = intercept + Σ coef[i]·x[i]`.
 #[derive(Debug, Clone, PartialEq)]
@@ -117,9 +142,78 @@ pub fn fit_ols(columns: &[Vec<f64>], y: &[f64]) -> Result<LinearFit> {
 /// Slice-of-slices variant of [`fit_ols`] — the zero-copy entry point: the
 /// search hot path hands borrowed column views straight in, without
 /// cloning whole columns per candidate.
+///
+/// Internally this is exactly the sharded pipeline with a single shard:
+/// [`column_moments`] → [`gram_partial`] over the whole range →
+/// [`fit_from_parts`].
 pub fn fit_ols_cols(columns: &[&[f64]], y: &[f64]) -> Result<LinearFit> {
+    let moments = column_moments(columns, y)?;
+    let scales = moments.validated_scales(columns.len())?;
+    let part = gram_partial(columns, y, &scales, 0);
+    fit_from_parts(vec![part], &scales, columns, y)
+}
+
+/// Phase-A sufficient statistics of one row range: row count, per-column
+/// max-|x| (conditioning scales are derived from these), and whether every
+/// value is finite. All three merge exactly: `+` on disjoint counts, `max`
+/// (associative, commutative, 0-identity over absolute values), and `&&`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnMoments {
+    /// Rows covered.
+    pub rows: usize,
+    /// Per-column maximum absolute value over the covered rows.
+    pub max_abs: Vec<f64>,
+    /// Whether every covered value (columns and y) is finite.
+    pub finite: bool,
+}
+
+impl ColumnMoments {
+    /// Merge statistics of disjoint row ranges (order-insensitive: every
+    /// combining operation here is exact).
+    pub fn merge(parts: &[ColumnMoments]) -> ColumnMoments {
+        let p = parts.first().map_or(0, |m| m.max_abs.len());
+        let mut out = ColumnMoments {
+            rows: 0,
+            max_abs: vec![0.0; p],
+            finite: true,
+        };
+        for part in parts {
+            out.rows += part.rows;
+            out.finite &= part.finite;
+            for (m, v) in out.max_abs.iter_mut().zip(part.max_abs.iter()) {
+                *m = m.max(*v);
+            }
+        }
+        out
+    }
+
+    /// Validate the merged statistics exactly as [`fit_ols_cols`] does
+    /// (enough rows, all finite) and derive the conditioning scales
+    /// (max-|x|, with 1.0 for all-zero columns).
+    pub fn validated_scales(&self, p: usize) -> Result<Vec<f64>> {
+        if self.rows < p + 1 {
+            return Err(NumericsError::InsufficientData {
+                needed: p + 1,
+                got: self.rows,
+            });
+        }
+        if !self.finite {
+            return Err(NumericsError::InvalidArgument(
+                "non-finite value in regression input".to_string(),
+            ));
+        }
+        Ok(self
+            .max_abs
+            .iter()
+            .map(|&m| if m > 0.0 { m } else { 1.0 })
+            .collect())
+    }
+}
+
+/// Compute [`ColumnMoments`] over one row range (`columns` and `y` are the
+/// range's slices). Errors on ragged column lengths.
+pub fn column_moments(columns: &[&[f64]], y: &[f64]) -> Result<ColumnMoments> {
     let n = y.len();
-    let p = columns.len();
     for c in columns {
         if c.len() != n {
             return Err(NumericsError::DimensionMismatch {
@@ -128,38 +222,126 @@ pub fn fit_ols_cols(columns: &[&[f64]], y: &[f64]) -> Result<LinearFit> {
             });
         }
     }
-    if n < p + 1 {
-        return Err(NumericsError::InsufficientData {
-            needed: p + 1,
-            got: n,
-        });
-    }
-    if y.iter().any(|v| !v.is_finite())
-        || columns
-            .iter()
-            .flat_map(|c| c.iter())
-            .any(|v| !v.is_finite())
-    {
-        return Err(NumericsError::InvalidArgument(
-            "non-finite value in regression input".to_string(),
-        ));
-    }
+    let max_abs: Vec<f64> = columns
+        .iter()
+        .map(|c| c.iter().fold(0.0f64, |m, v| m.max(v.abs())))
+        .collect();
+    let finite =
+        y.iter().all(|v| v.is_finite()) && columns.iter().all(|c| c.iter().all(|v| v.is_finite()));
+    Ok(ColumnMoments {
+        rows: n,
+        max_abs,
+        finite,
+    })
+}
 
-    // Scale columns to unit max-abs for conditioning; fold scales back into
-    // the returned coefficients. (Salary-scale predictors otherwise push
-    // the Gram matrix towards singularity in f64.)
-    let mut scaled: Vec<Vec<f64>> = Vec::with_capacity(p);
-    let mut scales = Vec::with_capacity(p);
-    for c in columns {
-        let max_abs = c.iter().fold(0.0f64, |m, v| m.max(v.abs()));
-        let s = if max_abs > 0.0 { max_abs } else { 1.0 };
-        scales.push(s);
-        scaled.push(c.iter().map(|v| v / s).collect());
-    }
+/// One canonical block's share of the normal equations: `XᵀX` (row-major,
+/// `d × d` with `d = p + 1` for the intercept) and `Xᵀy` of the scaled
+/// design over up to [`GRAM_BLOCK_ROWS`] rows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GramBlock {
+    xtx: Vec<f64>,
+    xty: Vec<f64>,
+}
 
-    let x = Matrix::design(&scaled, true)?;
-    let gram = x.gram();
-    let xty = x.t_matvec(y)?;
+/// Phase-B sufficient statistics of one row range: its canonical blocks,
+/// tagged with the absolute index of the first one.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GramPartial {
+    /// Absolute block index (`range.start / GRAM_BLOCK_ROWS`) of
+    /// `blocks[0]`.
+    pub first_block: usize,
+    blocks: Vec<GramBlock>,
+}
+
+/// Accumulate the blocked Gram statistics of one row range. The range must
+/// start on the canonical grid: `first_block` is its absolute start row
+/// divided by [`GRAM_BLOCK_ROWS`]. Within each block, rows accumulate in
+/// row order — identical work whether the caller is a shard or the full
+/// unsharded pass.
+pub fn gram_partial(
+    columns: &[&[f64]],
+    y: &[f64],
+    scales: &[f64],
+    first_block: usize,
+) -> GramPartial {
+    let n = y.len();
+    let d = columns.len() + 1;
+    let mut blocks = Vec::with_capacity(n.div_ceil(GRAM_BLOCK_ROWS));
+    let mut x_row = vec![0.0f64; d];
+    let mut lo = 0usize;
+    while lo < n {
+        let hi = (lo + GRAM_BLOCK_ROWS).min(n);
+        let mut block = GramBlock {
+            xtx: vec![0.0; d * d],
+            xty: vec![0.0; d],
+        };
+        for r in lo..hi {
+            x_row[0] = 1.0;
+            for (slot, (c, &s)) in x_row[1..].iter_mut().zip(columns.iter().zip(scales.iter())) {
+                *slot = c[r] / s;
+            }
+            // Upper triangle only; mirrored once after the global fold.
+            for i in 0..d {
+                let a = x_row[i];
+                if a == 0.0 {
+                    continue;
+                }
+                let row = &mut block.xtx[i * d..(i + 1) * d];
+                for j in i..d {
+                    row[j] += a * x_row[j];
+                }
+            }
+            let yr = y[r];
+            if yr != 0.0 {
+                for (o, &a) in block.xty.iter_mut().zip(x_row.iter()) {
+                    *o += a * yr;
+                }
+            }
+        }
+        blocks.push(block);
+        lo = hi;
+    }
+    GramPartial {
+        first_block,
+        blocks,
+    }
+}
+
+/// Solve the merged normal equations and finish the fit: fold every block
+/// in absolute block order (parts are sorted here, so hand them over in any
+/// order), Cholesky with the ridge ladder, unscale the coefficients, and
+/// compute residuals/R² over the full columns.
+///
+/// `columns`/`y` are the **full** (unsharded) data — residual computation
+/// is elementwise, so it needs no blocking to stay exact.
+pub fn fit_from_parts(
+    mut parts: Vec<GramPartial>,
+    scales: &[f64],
+    columns: &[&[f64]],
+    y: &[f64],
+) -> Result<LinearFit> {
+    let d = columns.len() + 1;
+    parts.sort_by_key(|p| p.first_block);
+    let mut xtx = vec![0.0f64; d * d];
+    let mut xty = vec![0.0f64; d];
+    for part in &parts {
+        for block in &part.blocks {
+            for (acc, v) in xtx.iter_mut().zip(block.xtx.iter()) {
+                *acc += v;
+            }
+            for (acc, v) in xty.iter_mut().zip(block.xty.iter()) {
+                *acc += v;
+            }
+        }
+    }
+    // Mirror the upper triangle.
+    for i in 0..d {
+        for j in 0..i {
+            xtx[i * d + j] = xtx[j * d + i];
+        }
+    }
+    let gram = Matrix::from_rows(d, d, xtx)?;
 
     let mut beta: Option<Vec<f64>> = None;
     let mut used_lambda = 0.0;
@@ -345,6 +527,95 @@ mod tests {
         };
         assert_eq!(fit.mean_abs_error(), 0.0);
         assert_eq!(fit.max_abs_error(), 0.0);
+    }
+
+    /// Deterministic pseudo-random data without external crates.
+    fn lcg_data(n: usize, seed: u64) -> Vec<f64> {
+        let mut state = seed | 1;
+        (0..n)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                ((state >> 11) as f64 / (1u64 << 53) as f64) * 2_000.0 - 1_000.0
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sharded_sufficient_statistics_are_bit_identical() {
+        // Splitting the rows at any set of block-aligned boundaries and
+        // merging the per-shard statistics must reproduce the unsharded
+        // fit to the last bit — coefficients, residuals, R², λ.
+        for n in [5usize, 127, 128, 129, 400, 1000] {
+            let x1 = lcg_data(n, 7);
+            let x2 = lcg_data(n, 99);
+            let y: Vec<f64> = x1
+                .iter()
+                .zip(x2.iter())
+                .zip(lcg_data(n, 5).iter())
+                .map(|((a, b), e)| 1.05 * a - 3.0 * b + 40.0 + 0.01 * e)
+                .collect();
+            let cols: Vec<&[f64]> = vec![&x1, &x2];
+            let central = fit_ols_cols(&cols, &y).unwrap();
+
+            for shards in [1usize, 2, 3, 7, 64] {
+                // Block-aligned boundaries, mirroring RowRange::split_aligned.
+                let n_blocks = n.div_ceil(GRAM_BLOCK_ROWS);
+                let bounds: Vec<(usize, usize)> = (0..shards)
+                    .map(|i| {
+                        let lo = (i * n_blocks / shards) * GRAM_BLOCK_ROWS;
+                        let hi = (((i + 1) * n_blocks / shards) * GRAM_BLOCK_ROWS).min(n);
+                        (lo.min(n), hi.max(lo.min(n)))
+                    })
+                    .collect();
+                let moments: Vec<ColumnMoments> = bounds
+                    .iter()
+                    .map(|&(lo, hi)| {
+                        let sliced: Vec<&[f64]> = cols.iter().map(|c| &c[lo..hi]).collect();
+                        column_moments(&sliced, &y[lo..hi]).unwrap()
+                    })
+                    .collect();
+                let merged = ColumnMoments::merge(&moments);
+                assert_eq!(merged.rows, n);
+                let scales = merged.validated_scales(cols.len()).unwrap();
+                let parts: Vec<GramPartial> = bounds
+                    .iter()
+                    .map(|&(lo, hi)| {
+                        let sliced: Vec<&[f64]> = cols.iter().map(|c| &c[lo..hi]).collect();
+                        gram_partial(&sliced, &y[lo..hi], &scales, lo / GRAM_BLOCK_ROWS)
+                    })
+                    .collect();
+                let sharded = fit_from_parts(parts, &scales, &cols, &y).unwrap();
+
+                assert_eq!(sharded.intercept.to_bits(), central.intercept.to_bits());
+                for (a, b) in sharded.coefficients.iter().zip(central.coefficients.iter()) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "n={n} shards={shards}");
+                }
+                for (a, b) in sharded.residuals.iter().zip(central.residuals.iter()) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "n={n} shards={shards}");
+                }
+                assert_eq!(sharded.r_squared.to_bits(), central.r_squared.to_bits());
+                assert_eq!(sharded.ridge_lambda, central.ridge_lambda);
+            }
+        }
+    }
+
+    #[test]
+    fn merged_moments_reproduce_validation_errors() {
+        // Merged statistics must fail in exactly the cases the central
+        // path fails: too few rows, non-finite values.
+        let short = column_moments(&[&[1.0][..]], &[2.0]).unwrap();
+        assert!(matches!(
+            ColumnMoments::merge(&[short])
+                .validated_scales(1)
+                .unwrap_err(),
+            NumericsError::InsufficientData { needed: 2, got: 1 }
+        ));
+        let a = column_moments(&[&[1.0, 2.0][..]], &[1.0, 2.0]).unwrap();
+        let b = column_moments(&[&[f64::NAN][..]], &[3.0]).unwrap();
+        assert!(!b.finite);
+        assert!(ColumnMoments::merge(&[a, b]).validated_scales(1).is_err());
     }
 
     #[test]

@@ -7,6 +7,12 @@
 //! per run and every reader — on any thread — scans the identical buffers.
 //! Cloning a view never copies data.
 //!
+//! Views also carry a *window*: [`NumericView::slice`] and
+//! [`CodesView::slice`] narrow a view to a [`RowRange`] without touching
+//! the shared buffer, which is what makes row-range **sharding** of the
+//! search nearly free — a shard is just a set of windows over the same
+//! `Arc`-backed columns.
+//!
 //! [`CodeGroups`] is the group-by companion: rows grouped directly by
 //! dictionary code, with no string materialization or hashing in the loop.
 
@@ -14,42 +20,124 @@ use crate::column::StrDict;
 use std::ops::Deref;
 use std::sync::Arc;
 
-/// A dense, null-free `f64` view of a column, shared via `Arc`.
+/// A half-open range of row indices `[start, end)` — the currency of
+/// row-range sharding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RowRange {
+    /// First row of the range.
+    pub start: usize,
+    /// One past the last row of the range.
+    pub end: usize,
+}
+
+impl RowRange {
+    /// The range `[start, end)`. An inverted pair collapses to empty.
+    pub fn new(start: usize, end: usize) -> Self {
+        RowRange {
+            start,
+            end: end.max(start),
+        }
+    }
+
+    /// Number of rows in the range.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the range holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.start >= self.end
+    }
+
+    /// Split `[0, n_rows)` into `n_shards` contiguous ranges whose
+    /// boundaries (except the final `n_rows`) are multiples of `align`.
+    ///
+    /// Alignment is what lets shard-local *blocked* reductions merge
+    /// bit-exactly: when every boundary sits on the reduction's block
+    /// grid, no block straddles two shards, so the merged fold visits the
+    /// identical block sums in the identical order regardless of shard
+    /// count. Whole blocks are distributed near-equally; with more shards
+    /// than blocks the trailing ranges are empty (`[n, n)`), which callers
+    /// must tolerate — an empty shard simply contributes nothing.
+    pub fn split_aligned(n_rows: usize, n_shards: usize, align: usize) -> Vec<RowRange> {
+        let n_shards = n_shards.max(1);
+        let align = align.max(1);
+        let n_blocks = n_rows.div_ceil(align);
+        (0..n_shards)
+            .map(|i| {
+                let lo_block = i * n_blocks / n_shards;
+                let hi_block = (i + 1) * n_blocks / n_shards;
+                RowRange::new(
+                    (lo_block * align).min(n_rows),
+                    (hi_block * align).min(n_rows),
+                )
+            })
+            .collect()
+    }
+}
+
+/// A dense, null-free `f64` view of a column, shared via `Arc` — possibly
+/// a [`RowRange`] window into the buffer.
 ///
 /// Dereferences to `&[f64]`, so it drops into any slice-based numeric code.
 #[derive(Debug, Clone)]
 pub struct NumericView {
     values: Arc<Vec<f64>>,
+    offset: usize,
+    len: usize,
 }
 
 impl NumericView {
-    /// Wrap freshly computed values.
+    /// Wrap freshly computed values (a full-buffer window).
     pub fn new(values: Vec<f64>) -> Self {
+        NumericView::from_arc(Arc::new(values))
+    }
+
+    /// Share an existing buffer (zero-copy, full-buffer window).
+    pub fn from_arc(values: Arc<Vec<f64>>) -> Self {
+        let len = values.len();
         NumericView {
-            values: Arc::new(values),
+            values,
+            offset: 0,
+            len,
         }
     }
 
-    /// Share an existing buffer (zero-copy).
-    pub fn from_arc(values: Arc<Vec<f64>>) -> Self {
-        NumericView { values }
-    }
-
     /// The underlying shared buffer (for aliasing checks and re-wrapping).
+    /// Note this is the *whole* buffer: a sliced view shares the same
+    /// allocation as its parent — compare [`NumericView::range`] too when
+    /// identity of the window matters.
     pub fn shared(&self) -> &Arc<Vec<f64>> {
         &self.values
     }
 
+    /// The window this view exposes, in buffer coordinates.
+    pub fn range(&self) -> RowRange {
+        RowRange::new(self.offset, self.offset + self.len)
+    }
+
+    /// A zero-copy sub-window: `range` is interpreted relative to this
+    /// view (so slicing composes), clamped to its bounds.
+    pub fn slice(&self, range: RowRange) -> NumericView {
+        let start = range.start.min(self.len);
+        let end = range.end.min(self.len).max(start);
+        NumericView {
+            values: Arc::clone(&self.values),
+            offset: self.offset + start,
+            len: end - start,
+        }
+    }
+
     /// The values as a plain slice.
     pub fn as_slice(&self) -> &[f64] {
-        &self.values
+        &self.values[self.offset..self.offset + self.len]
     }
 }
 
 impl Deref for NumericView {
     type Target = [f64];
     fn deref(&self) -> &[f64] {
-        &self.values
+        self.as_slice()
     }
 }
 
@@ -60,45 +148,67 @@ impl From<Vec<f64>> for NumericView {
 }
 
 /// A zero-copy view of a dictionary-encoded string column: shared
-/// dictionary, shared per-row codes, shared validity.
+/// dictionary, shared per-row codes, shared validity — possibly a
+/// [`RowRange`] window.
 #[derive(Debug, Clone)]
 pub struct CodesView {
     dict: Arc<StrDict>,
     codes: Arc<Vec<u32>>,
     validity: Option<Arc<Vec<bool>>>,
+    offset: usize,
+    len: usize,
 }
 
 impl CodesView {
     /// Assemble from shared parts (used by `Column::codes_view`).
     pub fn new(dict: Arc<StrDict>, codes: Arc<Vec<u32>>, validity: Option<Arc<Vec<bool>>>) -> Self {
+        let len = codes.len();
         CodesView {
             dict,
             codes,
             validity,
+            offset: 0,
+            len,
         }
     }
 
-    /// Number of rows.
+    /// Number of rows in the window.
     pub fn len(&self) -> usize {
-        self.codes.len()
+        self.len
     }
 
     /// Whether the view has no rows.
     pub fn is_empty(&self) -> bool {
-        self.codes.is_empty()
+        self.len == 0
     }
 
-    /// The dictionary code at row `i`, or `None` for a null.
-    pub fn code(&self, i: usize) -> Option<u32> {
-        match &self.validity {
-            Some(mask) if !mask[i] => None,
-            _ => Some(self.codes[i]),
+    /// A zero-copy sub-window over the same dictionary, codes, and
+    /// validity; `range` is relative to this view and clamped.
+    pub fn slice(&self, range: RowRange) -> CodesView {
+        let start = range.start.min(self.len);
+        let end = range.end.min(self.len).max(start);
+        CodesView {
+            dict: Arc::clone(&self.dict),
+            codes: Arc::clone(&self.codes),
+            validity: self.validity.clone(),
+            offset: self.offset + start,
+            len: end - start,
         }
     }
 
-    /// The raw code buffer (entries at null rows are meaningless).
+    /// The dictionary code at row `i` (window-relative), or `None` for a
+    /// null.
+    pub fn code(&self, i: usize) -> Option<u32> {
+        match &self.validity {
+            Some(mask) if !mask[self.offset + i] => None,
+            _ => Some(self.codes[self.offset + i]),
+        }
+    }
+
+    /// The raw code buffer of the window (entries at null rows are
+    /// meaningless).
     pub fn codes(&self) -> &[u32] {
-        &self.codes
+        &self.codes[self.offset..self.offset + self.len]
     }
 
     /// Resolve a code to its string.
@@ -117,12 +227,16 @@ impl CodesView {
         self.dict.len()
     }
 
-    /// Group rows by dictionary code; see [`CodeGroups::from_codes`].
+    /// Group the window's rows by dictionary code; see
+    /// [`CodeGroups::from_codes`]. Row indices in the result are
+    /// window-relative.
     pub fn group_codes(&self) -> CodeGroups {
         CodeGroups::from_codes(
-            &self.codes,
+            self.codes(),
             self.dict.len(),
-            self.validity.as_deref().map(Vec::as_slice),
+            self.validity
+                .as_deref()
+                .map(|v| &v[self.offset..self.offset + self.len]),
         )
     }
 }
@@ -263,6 +377,68 @@ mod tests {
         let cat = Column::from_strs(&["a"]).view("c").unwrap();
         assert!(cat.as_codes().is_some());
         assert!(cat.as_numeric().is_none());
+    }
+
+    #[test]
+    fn numeric_slice_is_zero_copy_window() {
+        let view = NumericView::new(vec![1.0, 2.0, 3.0, 4.0, 5.0]);
+        let mid = view.slice(RowRange::new(1, 4));
+        assert_eq!(mid.as_slice(), &[2.0, 3.0, 4.0]);
+        assert!(Arc::ptr_eq(view.shared(), mid.shared()));
+        assert_eq!(mid.range(), RowRange::new(1, 4));
+        // Slicing composes relative to the window.
+        let inner = mid.slice(RowRange::new(1, 2));
+        assert_eq!(inner.as_slice(), &[3.0]);
+        assert_eq!(inner.range(), RowRange::new(2, 3));
+        // Out-of-bounds requests clamp instead of panicking.
+        assert_eq!(view.slice(RowRange::new(3, 99)).as_slice(), &[4.0, 5.0]);
+        assert!(view.slice(RowRange::new(9, 12)).is_empty());
+        assert!(view.slice(RowRange::new(2, 2)).is_empty());
+    }
+
+    #[test]
+    fn codes_slice_matches_full_view() {
+        let mut col = Column::from_strs(&["x", "y", "x", "z"]);
+        col.push(Value::Null).unwrap();
+        let view = col.codes_view().unwrap();
+        let tail = view.slice(RowRange::new(2, 5));
+        assert_eq!(tail.len(), 3);
+        assert_eq!(tail.code(0), view.code(2));
+        assert_eq!(tail.code(1), view.code(3));
+        assert_eq!(tail.code(2), None, "null row survives slicing");
+        assert_eq!(tail.codes(), &view.codes()[2..]);
+        // Window grouping equals grouping the window's rows directly.
+        let grouped = tail.group_codes();
+        assert_eq!(grouped.n_groups(), 3); // x, z, null
+        assert!(grouped.has_null_group());
+        assert_eq!(grouped.labels.len(), 3);
+    }
+
+    #[test]
+    fn row_range_split_aligned_covers_and_aligns() {
+        for (rows, shards, align) in [
+            (1000usize, 3usize, 128usize),
+            (1000, 7, 128),
+            (1000, 1, 128),
+            (100, 4, 128), // fewer blocks than shards → empty shards
+            (0, 3, 128),   // empty table
+            (257, 2, 128),
+            (5, 3, 1),
+        ] {
+            let ranges = RowRange::split_aligned(rows, shards, align);
+            assert_eq!(ranges.len(), shards.max(1));
+            // Contiguous cover of [0, rows).
+            assert_eq!(ranges.first().unwrap().start, 0);
+            assert_eq!(ranges.last().unwrap().end, rows);
+            for w in ranges.windows(2) {
+                assert_eq!(w[0].end, w[1].start, "ranges must be contiguous");
+            }
+            // Interior boundaries sit on the block grid.
+            for r in &ranges {
+                assert!(r.start % align == 0, "{rows}/{shards}/{align}: {r:?}");
+                assert!(r.end % align == 0 || r.end == rows);
+            }
+        }
     }
 
     #[test]

@@ -1,8 +1,15 @@
 //! A tiny blocking HTTP client over raw [`TcpStream`]s — enough to drive
 //! the server from examples, benchmarks, and smoke tests without any
-//! dependency. One request per connection (`Connection: close`).
+//! dependency.
+//!
+//! Two modes: [`http_request`] opens one connection per request
+//! (`Connection: close` — the cold-path baseline), while [`HttpClient`]
+//! holds a **keep-alive** connection and frames responses by
+//! `Content-Length`, so sequential requests ride one TCP stream — the
+//! mode `bench_serve` uses to measure engine cost without per-request
+//! connection setup.
 
-use std::io::{self, Read, Write};
+use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 
 /// A parsed HTTP response: status code plus body text.
@@ -43,6 +50,120 @@ pub fn http_request(
     let mut raw = Vec::new();
     stream.read_to_end(&mut raw)?;
     parse_response(&raw)
+}
+
+/// A blocking keep-alive HTTP client: one connection, many requests.
+///
+/// Responses are framed by `Content-Length` (which this server always
+/// sends), so the stream stays aligned between requests. When the server
+/// answers `Connection: close` (e.g. during shutdown) the client marks
+/// itself closed and later requests fail fast with
+/// [`io::ErrorKind::NotConnected`].
+pub struct HttpClient {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    closed: bool,
+}
+
+impl HttpClient {
+    /// Connect to the server. Nagle's algorithm is disabled: a keep-alive
+    /// exchange is strictly request→response, so batching small writes
+    /// only buys 40 ms delayed-ACK stalls, not throughput.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<HttpClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let writer = stream.try_clone()?;
+        Ok(HttpClient {
+            reader: BufReader::new(stream),
+            writer,
+            closed: false,
+        })
+    }
+
+    /// Bound how long a read may block (e.g. while probing whether the
+    /// server closed an idle connection).
+    pub fn set_read_timeout(&self, timeout: Option<std::time::Duration>) -> io::Result<()> {
+        self.reader.get_ref().set_read_timeout(timeout)
+    }
+
+    /// Whether the server has signalled (or performed) a close.
+    pub fn is_closed(&self) -> bool {
+        self.closed
+    }
+
+    /// Issue one request on the shared connection and read one framed
+    /// response.
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> io::Result<HttpResponse> {
+        if self.closed {
+            return Err(io::Error::new(
+                io::ErrorKind::NotConnected,
+                "server closed the keep-alive connection",
+            ));
+        }
+        let payload = body.unwrap_or("");
+        // One buffer, one write: head + body must not straddle TCP
+        // segments that Nagle could hold back mid-request.
+        let request = format!(
+            "{method} {path} HTTP/1.1\r\nHost: charles\r\nConnection: keep-alive\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n{payload}",
+            payload.len(),
+        );
+        self.writer.write_all(request.as_bytes())?;
+        self.writer.flush()?;
+        self.read_response()
+    }
+
+    /// Read one response head + `Content-Length` body from the stream.
+    fn read_response(&mut self) -> io::Result<HttpResponse> {
+        let mut head = String::new();
+        loop {
+            let mut line = String::new();
+            if self.reader.read_line(&mut line)? == 0 {
+                self.closed = true;
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-response",
+                ));
+            }
+            if line.trim_end_matches(['\r', '\n']).is_empty() {
+                break;
+            }
+            head.push_str(&line);
+        }
+        let status = head
+            .lines()
+            .next()
+            .and_then(|l| l.split_whitespace().nth(1))
+            .and_then(|code| code.parse::<u16>().ok())
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "malformed status line"))?;
+        let header = |name: &str| -> Option<&str> {
+            head.lines().find_map(|l| {
+                l.split_once(':')
+                    .filter(|(k, _)| k.eq_ignore_ascii_case(name))
+                    .map(|(_, v)| v.trim())
+            })
+        };
+        if header("connection").is_some_and(|v| v.eq_ignore_ascii_case("close")) {
+            self.closed = true;
+        }
+        let len: usize = header("content-length")
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "response without Content-Length",
+                )
+            })?;
+        let mut body = vec![0u8; len];
+        self.reader.read_exact(&mut body)?;
+        let body = String::from_utf8(body)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-UTF-8 response body"))?;
+        Ok(HttpResponse { status, body })
+    }
 }
 
 /// Split a raw HTTP/1.x response into status + body (honoring

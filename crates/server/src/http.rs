@@ -177,7 +177,9 @@ pub fn status_reason(status: u16) -> &'static str {
     }
 }
 
-/// Write one `application/json` response.
+/// Write one `application/json` response — head and body in a single
+/// `write_all`, so no partial segment can sit in Nagle's buffer waiting
+/// for a delayed ACK while a keep-alive client blocks on the rest.
 pub fn write_response(
     stream: &mut impl Write,
     status: u16,
@@ -185,13 +187,13 @@ pub fn write_response(
     keep_alive: bool,
 ) -> io::Result<()> {
     let connection = if keep_alive { "keep-alive" } else { "close" };
-    write!(
-        stream,
+    let mut response = format!(
         "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {connection}\r\n\r\n",
         status_reason(status),
         body.len(),
-    )?;
-    stream.write_all(body.as_bytes())?;
+    );
+    response.push_str(body);
+    stream.write_all(response.as_bytes())?;
     stream.flush()
 }
 

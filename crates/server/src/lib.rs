@@ -40,7 +40,7 @@ pub mod json;
 pub mod proto;
 pub mod server;
 
-pub use client::{http_request, HttpResponse};
+pub use client::{http_request, HttpClient, HttpResponse};
 pub use json::{Json, JsonError};
 pub use proto::{
     ErrorEnvelope, ProtoError, RankedSummary, Request, WireDatasetStats, WireQuery,

@@ -351,6 +351,7 @@ impl WireDatasetStats {
             ("evictions", Json::num_usize(d.evictions)),
             ("approx_bytes", Json::num_usize(d.approx_bytes)),
             ("last_used_tick", Json::num_usize(d.last_used_tick as usize)),
+            ("shards", Json::num_usize(d.shards)),
             (
                 "session",
                 opt_to_json(&self.session, |s| {
@@ -403,6 +404,8 @@ impl WireDatasetStats {
                 evictions: need_usize(value, "evictions")?,
                 approx_bytes: need_usize(value, "approx_bytes")?,
                 last_used_tick: need_usize(value, "last_used_tick")? as u64,
+                // Absent on pre-sharding peers: default to unsharded.
+                shards: value.get("shards").and_then(Json::as_usize).unwrap_or(1),
             },
             session,
         })
@@ -731,6 +734,44 @@ mod tests {
             charles_core::QueryError::UnknownTarget { name: "x".into() },
         ));
         assert_eq!((status, envelope.code.as_str()), (404, "unknown_target"));
+    }
+
+    #[test]
+    fn dataset_stats_roundtrip_with_shards() {
+        let stats = WireDatasetStats {
+            dataset: DatasetStats {
+                name: "county".into(),
+                resident: true,
+                opens: 3,
+                hits: 17,
+                evictions: 2,
+                approx_bytes: 123_456,
+                last_used_tick: 42,
+                shards: 4,
+            },
+            session: Some(SessionStats {
+                columns_extracted: 5,
+                target_planes_built: 1,
+                setup_reports_computed: 1,
+                global_fits_computed: 9,
+                labelings_computed: 12,
+                candidates_computed: 40,
+            }),
+        };
+        let encoded = stats.to_json().encode();
+        assert!(encoded.contains("\"shards\":4"), "{encoded}");
+        let decoded = WireDatasetStats::from_json(&Json::parse(&encoded).unwrap()).unwrap();
+        assert_eq!(decoded, stats);
+        // Documents from pre-sharding peers (no "shards" key) decode as
+        // unsharded.
+        let legacy = Json::parse(
+            r#"{"name":"x","resident":false,"opens":0,"hits":0,"evictions":0,"approx_bytes":0,"last_used_tick":0,"session":null}"#,
+        )
+        .unwrap();
+        assert_eq!(
+            WireDatasetStats::from_json(&legacy).unwrap().dataset.shards,
+            1
+        );
     }
 
     #[test]

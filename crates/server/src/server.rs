@@ -50,6 +50,9 @@ pub struct ServerConfig {
     /// Accepted connections allowed to wait for a worker before new ones
     /// are answered `503` (the backpressure bound).
     pub max_pending: usize,
+    /// How long an idle keep-alive connection may hold a worker before the
+    /// server closes it (also bounds slow-loris clients).
+    pub idle_timeout: std::time::Duration,
 }
 
 impl Default for ServerConfig {
@@ -58,6 +61,7 @@ impl Default for ServerConfig {
             addr: "127.0.0.1:0".to_string(),
             workers: 4,
             max_pending: 64,
+            idle_timeout: std::time::Duration::from_secs(10),
         }
     }
 }
@@ -80,6 +84,12 @@ impl ServerConfig {
         self.max_pending = max_pending.max(1);
         self
     }
+
+    /// Set the keep-alive idle timeout.
+    pub fn with_idle_timeout(mut self, idle_timeout: std::time::Duration) -> Self {
+        self.idle_timeout = idle_timeout;
+        self
+    }
 }
 
 struct Shared {
@@ -88,6 +98,7 @@ struct Shared {
     queue: Mutex<VecDeque<TcpStream>>,
     available: Condvar,
     max_pending: usize,
+    idle_timeout: std::time::Duration,
 }
 
 /// A running server; dropping it shuts it down gracefully.
@@ -110,6 +121,7 @@ impl Server {
             queue: Mutex::new(VecDeque::new()),
             available: Condvar::new(),
             max_pending: config.max_pending.max(1),
+            idle_timeout: config.idle_timeout,
         });
 
         let workers = (0..config.workers.max(1))
@@ -241,7 +253,10 @@ fn worker_loop(shared: &Shared) {
 /// client) can hold a worker, and lets shutdown reclaim workers parked on
 /// idle connections.
 fn serve_connection(stream: TcpStream, shared: &Shared) {
-    let _ = stream.set_read_timeout(Some(std::time::Duration::from_secs(10)));
+    let _ = stream.set_read_timeout(Some(shared.idle_timeout));
+    // Request→response exchanges on keep-alive connections: Nagle only
+    // adds delayed-ACK stalls between a response and the next request.
+    let _ = stream.set_nodelay(true);
     let Ok(write_half) = stream.try_clone() else {
         return;
     };

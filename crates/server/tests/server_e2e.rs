@@ -2,8 +2,8 @@
 //! datasets, eviction correctness, error envelopes, backpressure, and
 //! graceful shutdown.
 
-use charles_core::{ManagerConfig, Query, Session, SessionManager};
-use charles_server::{http_request, Json, Server, ServerConfig, WireQuery};
+use charles_core::{DatasetSpec, ManagerConfig, Query, Session, SessionManager};
+use charles_server::{http_request, HttpClient, Json, Server, ServerConfig, WireQuery};
 use charles_synth::example1;
 use std::io::Write;
 use std::net::TcpStream;
@@ -450,6 +450,159 @@ fn read_one_response(stream: &mut TcpStream) -> String {
     let mut body = vec![0u8; len];
     stream.read_exact(&mut body).unwrap();
     head + &String::from_utf8(body).unwrap()
+}
+
+#[test]
+fn keep_alive_client_reuses_one_connection_until_idle_timeout() {
+    // A short idle timeout so the close side of the contract is testable.
+    let manager = demo_manager();
+    let mut server = Server::start(
+        manager,
+        ServerConfig::default()
+            .with_workers(2)
+            .with_idle_timeout(std::time::Duration::from_millis(300)),
+    )
+    .unwrap();
+    let addr = server.local_addr();
+
+    // N sequential requests on ONE connection get N responses, and the
+    // server does not close in between (a close would surface as an EOF
+    // error on the next exchange).
+    let mut client = HttpClient::connect(addr).unwrap();
+    let mut bodies = Vec::new();
+    for i in 0..4 {
+        let response = client
+            .request(
+                "POST",
+                "/v1/datasets/demo/query",
+                Some(&query_body("bonus")),
+            )
+            .unwrap_or_else(|e| panic!("request {i} on keep-alive connection: {e}"));
+        assert_eq!(response.status, 200, "request {i}: {}", response.body);
+        assert!(!client.is_closed(), "server must keep the connection open");
+        let mut doc = Json::parse(&response.body).unwrap();
+        if let Json::Obj(pairs) = &mut doc {
+            pairs.retain(|(k, _)| k != "elapsed_ms");
+        }
+        bodies.push(doc.encode());
+    }
+    for pair in bodies.windows(2) {
+        assert_eq!(pair[0], pair[1], "keep-alive answers must agree");
+    }
+
+    // Go idle past the timeout: the server reclaims the worker and closes.
+    std::thread::sleep(std::time::Duration::from_millis(800));
+    client
+        .set_read_timeout(Some(std::time::Duration::from_secs(2)))
+        .unwrap();
+    match client.request("GET", "/healthz", None) {
+        Err(_) => {}
+        Ok(response) => panic!("idle connection should be closed, got {}", response.status),
+    }
+
+    // A fresh connection serves again.
+    let mut fresh = HttpClient::connect(addr).unwrap();
+    assert_eq!(fresh.request("GET", "/healthz", None).unwrap().status, 200);
+    server.shutdown();
+}
+
+#[test]
+fn sharded_dataset_over_the_wire_matches_unsharded() {
+    let manager = Arc::new(SessionManager::new(ManagerConfig::default()));
+    let scenario = example1();
+    let pair = charles_relation::SnapshotPair::align(scenario.source, scenario.target).unwrap();
+    manager.register_pair("plain", pair.clone());
+    manager.register("sharded", DatasetSpec::sharded(DatasetSpec::Pair(pair), 3));
+    let mut server = start(Arc::clone(&manager));
+    let addr = server.local_addr();
+
+    let strip = |body: &str| -> String {
+        let mut doc = Json::parse(body).unwrap();
+        match &mut doc {
+            Json::Obj(pairs) => pairs.retain(|(k, _)| k != "elapsed_ms"),
+            _ => panic!("object expected"),
+        }
+        if let Some(Json::Arr(results)) = doc.get("results").cloned() {
+            let stripped: Vec<Json> = results
+                .into_iter()
+                .map(|mut r| {
+                    if let Json::Obj(pairs) = &mut r {
+                        pairs.retain(|(k, _)| k != "elapsed_ms");
+                    }
+                    r
+                })
+                .collect();
+            if let Json::Obj(pairs) = &mut doc {
+                for (k, v) in pairs.iter_mut() {
+                    if k == "results" {
+                        *v = Json::Arr(stripped.clone());
+                    }
+                }
+            }
+        }
+        doc.encode()
+    };
+    let exchange = |dataset: &str, op: &str, body: &str| -> String {
+        let response = http_request(
+            addr,
+            "POST",
+            &format!("/v1/datasets/{dataset}/{op}"),
+            Some(body),
+        )
+        .unwrap();
+        assert_eq!(response.status, 200, "{dataset}/{op}: {}", response.body);
+        strip(&response.body)
+    };
+
+    // run_query, run_multi, and sweep_alpha must be byte-for-byte equal
+    // between the sharded and unsharded registrations.
+    let query = query_body("bonus");
+    assert_eq!(
+        exchange("sharded", "query", &query),
+        exchange("plain", "query", &query)
+    );
+    let multi = r#"{"queries":[{"target":"bonus"},{"target":"bonus","alpha":1.0}]}"#;
+    assert_eq!(
+        exchange("sharded", "multi", multi),
+        exchange("plain", "multi", multi)
+    );
+    let sweep = r#"{"query":{"target":"bonus"},"alphas":[0.0,0.25,0.5,1.0]}"#;
+    assert_eq!(
+        exchange("sharded", "sweep", sweep),
+        exchange("plain", "sweep", sweep)
+    );
+
+    // The shard count is observable over the wire.
+    let stats = http_request(addr, "GET", "/v1/datasets/sharded/stats", None).unwrap();
+    assert_eq!(stats.status, 200, "{}", stats.body);
+    let doc = Json::parse(&stats.body).unwrap();
+    assert_eq!(doc.get("shards").unwrap().as_usize(), Some(3));
+    let plain_stats = http_request(addr, "GET", "/v1/datasets/plain/stats", None).unwrap();
+    assert_eq!(
+        Json::parse(&plain_stats.body)
+            .unwrap()
+            .get("shards")
+            .unwrap()
+            .as_usize(),
+        Some(1)
+    );
+
+    // Evicting the sharded dataset releases every shard plane: nothing of
+    // it stays resident.
+    let before = manager.resident_sessions();
+    let evicted = http_request(addr, "POST", "/v1/datasets/sharded/evict", None).unwrap();
+    assert_eq!(evicted.status, 200, "{}", evicted.body);
+    assert!(evicted.body.contains("\"evicted\":true"));
+    assert_eq!(manager.resident_sessions(), before - 1);
+    assert!(!manager.dataset_stats("sharded").unwrap().resident);
+    assert_eq!(manager.dataset_stats("sharded").unwrap().approx_bytes, 0);
+
+    // Re-opening after eviction still agrees with the unsharded answers.
+    assert_eq!(
+        exchange("sharded", "query", &query),
+        exchange("plain", "query", &query)
+    );
+    server.shutdown();
 }
 
 #[test]

@@ -1,0 +1,213 @@
+//! Differential/property harness pinning the sharding exactness contract:
+//! for every tested (dataset, shard count, α), a sharded session's
+//! rankings, score bits, `sweep_alpha` outputs, and `targets()` are
+//! **byte-identical** to the unsharded oracle — including the degenerate
+//! layouts (more shards than rows, empty shards, empty tables), and
+//! including *failures* (a query that errors unsharded must error sharded
+//! with the same message).
+//!
+//! The oracle is `Session::open` on the same pair; the subject is
+//! `Session::open_sharded(pair, n)`. Nothing here uses tolerances: every
+//! comparison is on rendered strings and `f64::to_bits`.
+
+use charles_core::{Query, QueryResult, Session};
+use charles_relation::{
+    apply_updates, ApplyMode, Expr, Predicate, SnapshotPair, TableBuilder, UpdateStatement,
+};
+use charles_synth::county;
+use proptest::prelude::*;
+
+/// Shard counts exercised against every dataset: the unsharded-as-sharded
+/// case (1), small counts, a prime, and one far larger than any tested row
+/// count (every trailing shard empty).
+const SHARD_COUNTS: [usize; 5] = [1, 2, 3, 7, 4096];
+
+/// Render a result for exact comparison: display strings plus the raw bits
+/// of every score component.
+fn fingerprint(result: &QueryResult) -> Vec<(String, u64, u64, u64)> {
+    result
+        .summaries
+        .iter()
+        .map(|s| {
+            (
+                s.to_string(),
+                s.scores.score.to_bits(),
+                s.scores.accuracy.to_bits(),
+                s.scores.interpretability.to_bits(),
+            )
+        })
+        .collect()
+}
+
+/// Assert that the sharded session answers `query` (and an α-sweep over
+/// it) exactly like the oracle — identical successes or identical errors.
+fn assert_shard_equivalent(
+    pair: &SnapshotPair,
+    query: &Query,
+    alphas: &[f64],
+) -> Result<(), TestCaseError> {
+    let oracle = Session::open(pair.clone()).expect("oracle session opens");
+    let base = oracle.run(query);
+    for &shards in &SHARD_COUNTS {
+        let sharded = Session::open_sharded(pair.clone(), shards).expect("sharded session opens");
+        prop_assert_eq!(
+            sharded.targets().unwrap(),
+            oracle.targets().unwrap(),
+            "targets() diverged at {} shards",
+            shards
+        );
+        let subject = sharded.run(query);
+        match (&base, &subject) {
+            (Ok(expected), Ok(actual)) => {
+                prop_assert_eq!(
+                    fingerprint(actual),
+                    fingerprint(expected),
+                    "rankings diverged at {} shards",
+                    shards
+                );
+                prop_assert_eq!(actual.alpha.to_bits(), expected.alpha.to_bits());
+                // The α-slider must be layout-invariant too.
+                let swept_oracle = oracle.sweep_alpha(expected, alphas).unwrap();
+                let swept_sharded = sharded.sweep_alpha(actual, alphas).unwrap();
+                for (a, b) in swept_sharded.iter().zip(swept_oracle.iter()) {
+                    prop_assert_eq!(
+                        fingerprint(a),
+                        fingerprint(b),
+                        "sweep diverged at {} shards, α={}",
+                        shards,
+                        b.alpha
+                    );
+                }
+            }
+            (Err(expected), Err(actual)) => {
+                prop_assert_eq!(
+                    actual.to_string(),
+                    expected.to_string(),
+                    "errors diverged at {} shards",
+                    shards
+                );
+            }
+            (expected, actual) => {
+                return Err(TestCaseError::fail(format!(
+                    "oracle and {shards}-shard session disagree on feasibility: \
+                     oracle={expected:?} sharded={actual:?}"
+                )));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// A policy-driven synthetic pair: `rows` employees over three education
+/// groups, bonus evolved by per-group affine rules drawn from the
+/// parameters. Deterministic in its inputs, so proptest failures replay.
+fn policy_pair(rows: usize, scale_pct: u8, offset_step: u16, churn: u8) -> SnapshotPair {
+    let names: Vec<String> = (0..rows).map(|i| format!("e{i}")).collect();
+    let name_refs: Vec<&str> = names.iter().map(String::as_str).collect();
+    let edu: Vec<&str> = (0..rows)
+        .map(|i| ["PhD", "MS", "BS"][(i + churn as usize) % 3])
+        .collect();
+    let exp: Vec<i64> = (0..rows)
+        .map(|i| ((i * 7 + churn as usize) % 11) as i64)
+        .collect();
+    let bonus: Vec<f64> = (0..rows)
+        .map(|i| 5_000.0 + ((i as f64 * 631.0 + churn as f64 * 97.0) % 17_000.0))
+        .collect();
+    let source = TableBuilder::new("v1")
+        .str_col("name", &name_refs)
+        .str_col("edu", &edu)
+        .int_col("exp", &exp)
+        .float_col("bonus", &bonus)
+        .key("name")
+        .build()
+        .unwrap();
+    let scale = 1.0 + f64::from(scale_pct % 16) / 100.0;
+    let offset = f64::from(offset_step % 12) * 250.0;
+    let policy = [
+        UpdateStatement::new(
+            "bonus",
+            Expr::affine("bonus", scale, offset),
+            Predicate::eq("edu", "PhD"),
+        ),
+        UpdateStatement::new(
+            "bonus",
+            Expr::affine("bonus", 1.0 + f64::from(scale_pct % 7) / 200.0, 400.0),
+            Predicate::eq("edu", "MS"),
+        ),
+    ];
+    let target = apply_updates(&source, &policy, ApplyMode::FirstMatch)
+        .unwrap()
+        .table;
+    SnapshotPair::align(source, target).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Policy-driven synthetic pairs across sizes straddling the canonical
+    /// block boundary (so shard layouts range from "all rows in shard 0"
+    /// to genuine multi-shard merges), × shard counts × α overrides.
+    #[test]
+    fn sharded_equals_oracle_on_policy_pairs(
+        rows in prop_oneof![0usize..6, 6usize..130, 130usize..400],
+        scale_pct in 0u8..=255,
+        offset_step in 0u16..=999,
+        churn in 0u8..=255,
+        alpha_idx in 0usize..4,
+    ) {
+        let pair = policy_pair(rows, scale_pct, offset_step, churn);
+        let alpha = [0.0, 0.3, 0.5, 1.0][alpha_idx];
+        let query = Query::new("bonus")
+            .with_condition_attrs(["edu", "exp"])
+            .with_transform_attrs(["bonus"])
+            .with_alpha(alpha);
+        assert_shard_equivalent(&pair, &query, &[0.0, 0.25, 0.5, 0.75, 1.0])?;
+    }
+
+    /// The paper's county payroll scenario at proptest-drawn sizes and
+    /// seeds, queried with the bench shortlists.
+    #[test]
+    fn sharded_equals_oracle_on_county_payroll(
+        rows in 40usize..320,
+        seed in 0u64..1_000,
+    ) {
+        let scenario = county(rows, seed);
+        let pair = SnapshotPair::align(scenario.source, scenario.target).unwrap();
+        let query = Query::new(&scenario.target_attr)
+            .with_condition_attrs(["department", "grade"])
+            .with_transform_attrs(["base_salary"]);
+        assert_shard_equivalent(&pair, &query, &[0.0, 0.5, 1.0])?;
+    }
+}
+
+/// Degenerate layouts, pinned deterministically (not only via proptest).
+#[test]
+fn degenerate_shard_layouts_match_oracle() {
+    // Shards far beyond the row count: every shard but the first is empty.
+    let pair = policy_pair(9, 5, 4, 0);
+    let query = Query::new("bonus")
+        .with_condition_attrs(["edu"])
+        .with_transform_attrs(["bonus"]);
+    assert_shard_equivalent(&pair, &query, &[0.0, 1.0]).unwrap();
+
+    // A zero-row pair: sessions open, targets() is empty, and queries fail
+    // identically on both layouts.
+    let empty = policy_pair(0, 1, 1, 1);
+    let oracle = Session::open(empty.clone()).unwrap();
+    assert!(oracle.targets().unwrap().is_empty());
+    for shards in [1usize, 3, 64] {
+        let sharded = Session::open_sharded(empty.clone(), shards).unwrap();
+        assert!(sharded.targets().unwrap().is_empty());
+        let a = oracle.run(&query).map(|r| fingerprint(&r));
+        let b = sharded.run(&query).map(|r| fingerprint(&r));
+        match (a, b) {
+            (Ok(x), Ok(y)) => assert_eq!(x, y),
+            (Err(x), Err(y)) => assert_eq!(x.to_string(), y.to_string()),
+            other => panic!("empty-pair feasibility diverged: {other:?}"),
+        }
+    }
+
+    // `open_sharded(_, 0)` clamps to one shard rather than failing.
+    let clamped = Session::open_sharded(pair, 0).unwrap();
+    assert_eq!(clamped.shard_count(), 1);
+}

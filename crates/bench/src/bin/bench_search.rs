@@ -29,6 +29,14 @@
 //! the unsharded ones — the sharding exactness contract — and records both
 //! throughputs side by side.
 //!
+//! A fifth section measures the **distributed** mode: the same query with
+//! per-shard statistics served by real `charles-server` workers over the
+//! wire protocol (`CHARLES_BENCH_WORKERS` in-process loopback workers,
+//! default 2, or running `charles-worker` processes named by
+//! `CHARLES_BENCH_WORKER_ADDRS`). The binary *asserts* the distributed
+//! rankings and score bits are byte-identical to the local path and
+//! records `distributed_run_seconds` / `distributed_vs_local_speedup`.
+//!
 //! Run: `cargo run --release -p charles-bench --bin bench_search [rows] [threads] [shards]`
 //!
 //! The parallel end-to-end section detects available parallelism
@@ -41,8 +49,10 @@ use charles_bench::pair_of;
 use charles_core::search::{
     evaluate_candidate, evaluate_candidate_naive, generate_candidates, run_search, SearchContext,
 };
-use charles_core::{Charles, CharlesConfig, Query, Session};
+use charles_core::{Charles, CharlesConfig, ManagerConfig, Query, Session, SessionManager};
+use charles_server::{upload_csv, RemoteExecutor, Server, ServerConfig};
 use charles_synth::county;
+use std::sync::Arc;
 use std::time::Instant;
 
 fn main() {
@@ -212,12 +222,127 @@ fn main() {
          ({sharded_speedup:.2}x), rankings byte-identical"
     );
 
+    // Distributed mode: the same query with per-shard statistics served
+    // by real `charles-server` workers over the wire protocol. Workers
+    // come from CHARLES_BENCH_WORKER_ADDRS (comma-separated addresses of
+    // running `charles-worker` processes — the CI worker-smoke path) or
+    // are spawned in-process on loopback (CHARLES_BENCH_WORKERS of them,
+    // default 2). Everyone parses the same CSV text, so the assertion is
+    // bit-exactness, not a tolerance.
+    let mut source_csv = Vec::new();
+    let mut target_csv = Vec::new();
+    charles_relation::write_csv(pair.source(), &mut source_csv).expect("serialize source");
+    charles_relation::write_csv(pair.target(), &mut target_csv).expect("serialize target");
+    let source_csv = String::from_utf8(source_csv).expect("csv utf8");
+    let target_csv = String::from_utf8(target_csv).expect("csv utf8");
+    let canonical = charles_relation::SnapshotPair::align_on(
+        charles_relation::read_csv(source_csv.as_bytes()).expect("reparse source"),
+        charles_relation::read_csv(target_csv.as_bytes()).expect("reparse target"),
+        "name",
+    )
+    .expect("canonical pair");
+
+    let external: Vec<String> = std::env::var("CHARLES_BENCH_WORKER_ADDRS")
+        .ok()
+        .map(|s| {
+            s.split(',')
+                .map(str::trim)
+                .filter(|a| !a.is_empty())
+                .map(str::to_string)
+                .collect()
+        })
+        .unwrap_or_default();
+    let n_workers: usize = if external.is_empty() {
+        std::env::var("CHARLES_BENCH_WORKERS")
+            .ok()
+            .and_then(|a| a.parse().ok())
+            .unwrap_or(2)
+            .max(1)
+    } else {
+        external.len()
+    };
+    let mut worker_servers: Vec<Server> = Vec::new();
+    let worker_addrs: Vec<String> = if external.is_empty() {
+        (0..n_workers)
+            .map(|_| {
+                let manager = Arc::new(SessionManager::new(ManagerConfig::default()));
+                let server = Server::start(manager, ServerConfig::default().with_workers(2))
+                    .expect("worker server starts");
+                let addr = server.local_addr().to_string();
+                worker_servers.push(server);
+                addr
+            })
+            .collect()
+    } else {
+        external
+    };
+    for addr in &worker_addrs {
+        upload_csv(addr, "county_bench", &source_csv, &target_csv, Some("name"))
+            .expect("load dataset onto worker");
+    }
+    eprintln!(
+        "distributed section: {n_workers} worker(s) at {worker_addrs:?} ({})",
+        if worker_servers.is_empty() {
+            "external processes"
+        } else {
+            "in-process loopback"
+        }
+    );
+
+    let started = Instant::now();
+    let local_session = Session::open(canonical.clone()).expect("local canonical session");
+    let local_result = local_session.run(&query).expect("local canonical run");
+    let local_secs = started.elapsed().as_secs_f64();
+
+    let started = Instant::now();
+    let executor = Arc::new(
+        RemoteExecutor::connect("county_bench", &worker_addrs, canonical.len(), n_workers)
+            .expect("remote executor"),
+    );
+    let dist_session = Session::open_distributed(canonical.clone(), executor.clone())
+        .expect("distributed session");
+    let dist_result = dist_session.run(&query).expect("distributed run");
+    let distributed_secs = started.elapsed().as_secs_f64();
+
+    assert_eq!(
+        render(&dist_result.summaries),
+        render(&local_result.summaries),
+        "distributed rankings must be byte-identical to the local path"
+    );
+    let dist_scores: Vec<u64> = dist_result
+        .summaries
+        .iter()
+        .map(|s| s.scores.score.to_bits())
+        .collect();
+    let local_scores: Vec<u64> = local_result
+        .summaries
+        .iter()
+        .map(|s| s.scores.score.to_bits())
+        .collect();
+    assert_eq!(
+        dist_scores, local_scores,
+        "distributed score bits must be identical to the local path"
+    );
+    assert_eq!(
+        executor.redispatches(),
+        0,
+        "healthy workers, no re-dispatch"
+    );
+    let distributed_speedup = local_secs / distributed_secs.max(1e-9);
+    eprintln!(
+        "distributed search ({n_workers} workers): {distributed_secs:.4}s vs local \
+         {local_secs:.4}s ({distributed_speedup:.2}x), rankings byte-identical"
+    );
+    for server in &mut worker_servers {
+        server.shutdown();
+    }
+
     let n_cands = candidates.len() as f64;
     let shared_tput = n_cands / shared_secs;
     let naive_tput = n_cands / naive_secs;
     let speedup = shared_tput / naive_tput;
     let json = format!(
-        "{{\n  \"workload\": \"e5_county_scalability\",\n  \"rows\": {rows},\n  \"candidates\": {},\n  \"summaries_produced\": {produced},\n  \"naive_seconds\": {naive_secs:.4},\n  \"shared_seconds\": {shared_secs:.4},\n  \"naive_candidates_per_sec\": {naive_tput:.2},\n  \"shared_candidates_per_sec\": {shared_tput:.2},\n  \"speedup\": {speedup:.2},\n  \"parallel_search_seconds\": {parallel_secs:.4},\n  \"parallel_threads\": {},\n  \"ranked_summaries\": {},\n  \"distinct_summaries\": {},\n  \"session_cold_seconds\": {session_cold_secs:.4},\n  \"session_warm_seconds\": {session_warm_secs:.6},\n  \"session_warm_speedup\": {session_warm_speedup:.2},\n  \"shards\": {shards},\n  \"unsharded_run_seconds\": {unsharded_secs:.4},\n  \"sharded_run_seconds\": {sharded_secs:.4},\n  \"sharded_vs_unsharded_speedup\": {sharded_speedup:.2},\n  \"sharded_rankings_identical\": true\n}}\n",
+        "{{\n  \"workload\": \"e5_county_scalability\",\n  \"rows\": {rows},\n  \"candidates\": {},\n  \"summaries_produced\": {produced},\n  \"naive_seconds\": {naive_secs:.4},\n  \"shared_seconds\": {shared_secs:.4},\n  \"naive_candidates_per_sec\": {naive_tput:.2},\n  \"shared_candidates_per_sec\": {shared_tput:.2},\n  \"speedup\": {speedup:.2},\n  \"parallel_search_seconds\": {parallel_secs:.4},\n  \"parallel_threads\": {},\n  \"ranked_summaries\": {},\n  \"distinct_summaries\": {},\n  \"session_cold_seconds\": {session_cold_secs:.4},\n  \"session_warm_seconds\": {session_warm_secs:.6},\n  \"session_warm_speedup\": {session_warm_speedup:.2},\n  \"shards\": {shards},\n  \"unsharded_run_seconds\": {unsharded_secs:.4},\n  \"sharded_run_seconds\": {sharded_secs:.4},\n  \"sharded_vs_unsharded_speedup\": {sharded_speedup:.2},\n  \"sharded_rankings_identical\": true,\n  \"workers\": {n_workers},\n  \"local_run_seconds\": {local_secs:.4},\n  \"distributed_run_seconds\": {distributed_secs:.4},\n  \"distributed_vs_local_speedup\": {distributed_speedup:.2},\n  \"distributed_rankings_identical\": true\n}}\n",
         candidates.len(),
         stats.threads_used,
         ranked.len(),

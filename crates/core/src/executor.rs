@@ -1,0 +1,381 @@
+//! The pluggable shard execution plane: [`ShardExecutor`] and its
+//! in-process backend, [`LocalExecutor`].
+//!
+//! PR 4 factored the search's heavy per-row statistics into *exactly
+//! mergeable* sufficient statistics: per-shard change-signal slices
+//! (elementwise), phase-A [`ColumnMoments`] (merged with `max`/`+`/`&&`),
+//! and phase-B blocked `XᵀX`/`Xᵀy` [`GramPartial`]s accumulated on the
+//! canonical [`GRAM_BLOCK_ROWS`] grid and folded in block order. That
+//! factoring makes *where* a shard's statistics are computed irrelevant to
+//! the answer — which is exactly what this module reifies: the search asks
+//! a [`ShardExecutor`] for per-shard statistics and merges them itself,
+//! and the executor is free to compute them on scoped threads in this
+//! process ([`LocalExecutor`]) or on remote workers over a wire protocol
+//! (`charles_server::RemoteExecutor`), with **bit-identical** results
+//! either way.
+//!
+//! ## The contract
+//!
+//! An executor serves one aligned snapshot pair, split into the
+//! block-aligned row-range layout reported by [`ShardExecutor::ranges`]
+//! ([`RowRange::split_aligned`] with [`GRAM_BLOCK_ROWS`]). For any target
+//! and transformation-attribute subset it must return, per **non-empty**
+//! range in range order:
+//!
+//! - [`ShardExecutor::signal_slices`] — the target's absolute and
+//!   relative change over the range's rows, computed exactly as
+//!   `charles_core::search::change_signals` computes them;
+//! - [`ShardExecutor::column_moments`] — phase A of the global fit;
+//! - [`ShardExecutor::gram_partials`] — phase B, under the conditioning
+//!   scales the *coordinator* derived from the merged phase-A moments,
+//!   with each partial's `first_block` equal to
+//!   `range.start / GRAM_BLOCK_ROWS`.
+//!
+//! The statistics must be computed from column data bit-identical to the
+//! coordinator's (same CSV bytes parse to the same floats on every
+//! machine). Transport failures must surface as errors — typically
+//! [`CharlesError::Distributed`] — never as fabricated statistics; the
+//! search maps *numeric* infeasibility (too few rows, non-finite data,
+//! singular systems) to "candidate infeasible" exactly like the
+//! in-process path, but a transport error aborts the query.
+
+use crate::error::{CharlesError, Result};
+use charles_numerics::ols::{ColumnMoments, GramPartial, GRAM_BLOCK_ROWS};
+use charles_relation::{NumericView, RowRange, SnapshotPair};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// One shard's slice of the candidate-independent change signals.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SignalSlice {
+    /// Absolute per-row change of the target over the shard's rows.
+    pub delta: Vec<f64>,
+    /// Relative per-row change of the target over the shard's rows.
+    pub rel_delta: Vec<f64>,
+}
+
+/// Where — and how — per-shard statistics are computed. See the
+/// [module docs](self) for the exactness contract every implementation
+/// must honor.
+///
+/// Implementations are shared across query threads behind an `Arc`, so
+/// every method takes `&self` and must be internally synchronized.
+pub trait ShardExecutor: Send + Sync + fmt::Debug {
+    /// The block-aligned row-range layout, one entry per shard. Trailing
+    /// ranges may be empty (more shards than blocks); empty ranges
+    /// contribute nothing to any statistic.
+    fn ranges(&self) -> Vec<RowRange>;
+
+    /// Per-shard change-signal slices for `target`, one entry per
+    /// **non-empty** range, in range order.
+    fn signal_slices(&self, target: &str) -> Result<Vec<SignalSlice>>;
+
+    /// Phase-A column moments of `(target, tran_attrs)` per non-empty
+    /// range, in range order.
+    fn column_moments(&self, target: &str, tran_attrs: &[String]) -> Result<Vec<ColumnMoments>>;
+
+    /// Phase-B blocked Gram statistics per non-empty range, in range
+    /// order, under the coordinator-derived conditioning `scales`.
+    fn gram_partials(
+        &self,
+        target: &str,
+        tran_attrs: &[String],
+        scales: &[f64],
+    ) -> Result<Vec<GramPartial>>;
+}
+
+/// Builds the executor for a remote-backed dataset once its local pair is
+/// open (the pair supplies the row count the shard layout needs). The
+/// serving layer provides factories that dial workers; see
+/// [`crate::DatasetSpec::Remote`].
+pub type ExecutorFactory =
+    Arc<dyn Fn(&SnapshotPair) -> Result<Arc<dyn ShardExecutor>> + Send + Sync>;
+
+/// The in-process backend: shards are zero-copy windows over the pair's
+/// own `Arc`-backed columns, fanned across scoped worker threads. This is
+/// literally the one-process instance of the trait — the statistics come
+/// from the same slicing and the same `charles_numerics::ols` calls the
+/// pre-trait `SearchContext` fan-out performed, so a session over a
+/// `LocalExecutor` answers byte-identically to an unsharded one (pinned by
+/// `tests/shard_equivalence.rs`).
+pub struct LocalExecutor {
+    pair: SnapshotPair,
+    ranges: Vec<RowRange>,
+    /// Source-side views by attribute name, extracted on first use and
+    /// shared by every shard (slicing is zero-copy).
+    views: Mutex<HashMap<String, NumericView>>,
+    /// Aligned target-side views by attribute name.
+    aligned: Mutex<HashMap<String, NumericView>>,
+}
+
+impl LocalExecutor {
+    /// An executor over `pair` split into `shards` block-aligned row
+    /// ranges (clamped to ≥ 1).
+    pub fn new(pair: SnapshotPair, shards: usize) -> Self {
+        let ranges = RowRange::split_aligned(pair.len(), shards.max(1), GRAM_BLOCK_ROWS);
+        LocalExecutor::with_ranges(pair, ranges)
+    }
+
+    /// An executor over an explicit layout. Every non-final boundary must
+    /// sit on the canonical Gram block grid for the merge contract to
+    /// hold; [`RowRange::split_aligned`] produces such layouts.
+    pub fn with_ranges(pair: SnapshotPair, ranges: Vec<RowRange>) -> Self {
+        LocalExecutor {
+            pair,
+            ranges,
+            views: Mutex::new(HashMap::new()),
+            aligned: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The non-empty ranges, in order — the units of fan-out.
+    fn active(&self) -> Vec<RowRange> {
+        self.ranges
+            .iter()
+            .copied()
+            .filter(|r| !r.is_empty())
+            .collect()
+    }
+
+    /// Shared source-side view of one attribute, extracted on first use.
+    /// `pub(crate)` so a [`crate::Session`] that opened this executor can
+    /// read through the *same* cache — a column must never be
+    /// materialized once for the session plane and again for shard
+    /// statistics.
+    pub(crate) fn source_view(&self, attr: &str) -> Result<NumericView> {
+        crate::search::memoized(&self.views, attr.to_string(), || {
+            Ok(self.pair.source().numeric_view(attr)?)
+        })
+    }
+
+    /// Aligned target-side view of one attribute, extracted on first use
+    /// (shared with the owning session like [`LocalExecutor::source_view`]).
+    pub(crate) fn aligned_view(&self, attr: &str) -> Result<NumericView> {
+        crate::search::memoized(&self.aligned, attr.to_string(), || {
+            Ok(self.pair.target_numeric_view(attr)?)
+        })
+    }
+
+    /// The fit's design columns for one subset: the source-side view of
+    /// each transformation attribute (the target's own source values are
+    /// one of them whenever the subset names the target).
+    fn design_columns(&self, tran_attrs: &[String]) -> Result<Vec<NumericView>> {
+        tran_attrs.iter().map(|a| self.source_view(a)).collect()
+    }
+}
+
+impl fmt::Debug for LocalExecutor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("LocalExecutor")
+            .field("rows", &self.pair.len())
+            .field("shards", &self.ranges.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl ShardExecutor for LocalExecutor {
+    fn ranges(&self) -> Vec<RowRange> {
+        self.ranges.clone()
+    }
+
+    fn signal_slices(&self, target: &str) -> Result<Vec<SignalSlice>> {
+        let y_target = self.aligned_view(target)?;
+        let y_source = self.source_view(target)?;
+        Ok(fan_out(&self.active(), |&range| {
+            let (delta, rel_delta) =
+                crate::search::change_signals(&y_target.slice(range), &y_source.slice(range));
+            SignalSlice {
+                delta: delta.to_vec(),
+                rel_delta: rel_delta.to_vec(),
+            }
+        }))
+    }
+
+    fn column_moments(&self, target: &str, tran_attrs: &[String]) -> Result<Vec<ColumnMoments>> {
+        let y_target = self.aligned_view(target)?;
+        let cols = self.design_columns(tran_attrs)?;
+        fan_out(&self.active(), |&range| {
+            let sliced: Vec<NumericView> = cols.iter().map(|c| c.slice(range)).collect();
+            let slices: Vec<&[f64]> = sliced.iter().map(|v| v.as_slice()).collect();
+            charles_numerics::ols::column_moments(&slices, &y_target.slice(range))
+        })
+        .into_iter()
+        .map(|m| m.map_err(CharlesError::from))
+        .collect()
+    }
+
+    fn gram_partials(
+        &self,
+        target: &str,
+        tran_attrs: &[String],
+        scales: &[f64],
+    ) -> Result<Vec<GramPartial>> {
+        let y_target = self.aligned_view(target)?;
+        let cols = self.design_columns(tran_attrs)?;
+        Ok(fan_out(&self.active(), |&range| {
+            let sliced: Vec<NumericView> = cols.iter().map(|c| c.slice(range)).collect();
+            let slices: Vec<&[f64]> = sliced.iter().map(|v| v.as_slice()).collect();
+            charles_numerics::ols::gram_partial(
+                &slices,
+                &y_target.slice(range),
+                scales,
+                range.start / GRAM_BLOCK_ROWS,
+            )
+        }))
+    }
+}
+
+/// Run `f` over `items` on at most `available_parallelism` scoped worker
+/// threads (work distributed by atomic index), returning results in item
+/// order. Degrades to a plain sequential map for 0–1 items or 1 core —
+/// shard fan-outs must never spawn per-item threads (a 4096-shard layout
+/// is a legal degenerate case, not a request for 4096 threads).
+pub(crate) fn fan_out<T: Sync, U: Send, F: Fn(&T) -> U + Sync>(items: &[T], f: F) -> Vec<U> {
+    let n = items.len();
+    let workers = std::thread::available_parallelism()
+        .map_or(1, |p| p.get())
+        .min(n);
+    if workers <= 1 {
+        return items.iter().map(&f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<U>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let value = f(&items[i]);
+                *slots[i].lock().expect("fan-out slot poisoned") = Some(value);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("fan-out slot poisoned")
+                .expect("fan-out slot filled")
+        })
+        .collect()
+}
+
+/// Validate that an executor's layout is a block-aligned partition of
+/// `[0, rows)`: contiguous, covering, every boundary (except the final
+/// row count) on the canonical grid. A remote executor built with a stale
+/// row count must fail loudly here, not merge misaligned statistics.
+pub(crate) fn validate_layout(ranges: &[RowRange], rows: usize) -> Result<()> {
+    let mut cursor = 0usize;
+    for (i, range) in ranges.iter().enumerate() {
+        if range.start != cursor {
+            return Err(CharlesError::Distributed(format!(
+                "shard {i} starts at row {} but the previous shard ended at {cursor}",
+                range.start
+            )));
+        }
+        if !range.is_empty() && !range.start.is_multiple_of(GRAM_BLOCK_ROWS) {
+            return Err(CharlesError::Distributed(format!(
+                "shard {i} starts at row {}, off the {GRAM_BLOCK_ROWS}-row block grid",
+                range.start
+            )));
+        }
+        cursor = range.end;
+    }
+    if cursor != rows {
+        return Err(CharlesError::Distributed(format!(
+            "shard layout covers {cursor} rows but the pair has {rows}"
+        )));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use charles_numerics::ols::{fit_from_parts, fit_ols_cols};
+    use charles_relation::TableBuilder;
+
+    fn pair(n: usize) -> SnapshotPair {
+        let names: Vec<String> = (0..n).map(|i| format!("e{i}")).collect();
+        let name_refs: Vec<&str> = names.iter().map(String::as_str).collect();
+        let bonus: Vec<f64> = (0..n)
+            .map(|i| 1_000.0 + (i as f64 * 311.0) % 9_000.0)
+            .collect();
+        let source = TableBuilder::new("v1")
+            .str_col("name", &name_refs)
+            .float_col("bonus", &bonus)
+            .key("name")
+            .build()
+            .unwrap();
+        let evolved: Vec<f64> = bonus.iter().map(|b| 1.07 * b + 250.0).collect();
+        let target = TableBuilder::new("v2")
+            .str_col("name", &name_refs)
+            .float_col("bonus", &evolved)
+            .key("name")
+            .build()
+            .unwrap();
+        SnapshotPair::align(source, target).unwrap()
+    }
+
+    #[test]
+    fn local_executor_statistics_merge_to_the_central_fit() {
+        let pair = pair(300);
+        let y_target = pair.target_numeric_view("bonus").unwrap();
+        let y_source = pair.source().numeric_view("bonus").unwrap();
+        let cols: Vec<&[f64]> = vec![y_source.as_slice()];
+        let central = fit_ols_cols(&cols, &y_target).unwrap();
+        let tran = vec!["bonus".to_string()];
+
+        for shards in [1usize, 2, 3, 7] {
+            let exec = LocalExecutor::new(pair.clone(), shards);
+            assert_eq!(exec.ranges().len(), shards);
+            let moments = exec.column_moments("bonus", &tran).unwrap();
+            let merged = ColumnMoments::merge(&moments);
+            assert_eq!(merged.rows, 300);
+            let scales = merged.validated_scales(1).unwrap();
+            let parts = exec.gram_partials("bonus", &tran, &scales).unwrap();
+            let fit = fit_from_parts(parts, &scales, &cols, &y_target).unwrap();
+            assert_eq!(fit.intercept.to_bits(), central.intercept.to_bits());
+            for (a, b) in fit.residuals.iter().zip(central.residuals.iter()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "shards={shards}");
+            }
+        }
+    }
+
+    #[test]
+    fn local_executor_signal_slices_concatenate_to_full_signals() {
+        let pair = pair(300);
+        let y_target = pair.target_numeric_view("bonus").unwrap();
+        let y_source = pair.source().numeric_view("bonus").unwrap();
+        let (delta, rel_delta) = crate::search::change_signals(&y_target, &y_source);
+        for shards in [1usize, 2, 5, 4096] {
+            let exec = LocalExecutor::new(pair.clone(), shards);
+            let slices = exec.signal_slices("bonus").unwrap();
+            let cat_delta: Vec<f64> = slices.iter().flat_map(|s| s.delta.clone()).collect();
+            let cat_rel: Vec<f64> = slices.iter().flat_map(|s| s.rel_delta.clone()).collect();
+            assert_eq!(cat_delta.len(), 300);
+            for (a, b) in cat_delta.iter().zip(delta.iter()) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+            for (a, b) in cat_rel.iter().zip(rel_delta.iter()) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn layout_validation_rejects_gaps_and_misalignment() {
+        assert!(validate_layout(&RowRange::split_aligned(300, 3, 128), 300).is_ok());
+        assert!(validate_layout(&[], 0).is_ok());
+        // Wrong total row count.
+        assert!(validate_layout(&RowRange::split_aligned(256, 2, 128), 300).is_err());
+        // A gap between shards.
+        assert!(validate_layout(&[RowRange::new(0, 128), RowRange::new(256, 300)], 300).is_err());
+        // Off-grid interior boundary.
+        assert!(validate_layout(&[RowRange::new(0, 100), RowRange::new(100, 300)], 300).is_err());
+    }
+}

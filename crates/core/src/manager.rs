@@ -44,6 +44,7 @@
 
 use crate::config::CharlesConfig;
 use crate::error::{CharlesError, Result};
+use crate::executor::ExecutorFactory;
 use crate::session::Session;
 use charles_relation::{read_csv, read_csv_path, SnapshotPair, Table};
 use std::collections::HashMap;
@@ -99,6 +100,27 @@ pub enum DatasetSpec {
         /// specs are flattened — the outermost count wins).
         shards: usize,
     },
+    /// Any other spec, served **distributed**: the session opens with
+    /// [`Session::open_distributed`], fetching per-shard statistics from
+    /// remote workers through an executor the `connect` factory builds
+    /// once the local pair is open (the serving layer's
+    /// `charles_server::remote_dataset_spec` is the standard way to make
+    /// one). The coordinator still materializes the pair locally from
+    /// `inner` — clustering, induction, and scoring run on merged
+    /// statistics here — and answers stay byte-identical to the unsharded
+    /// spec by the same block-grid merge contract.
+    Remote {
+        /// The spec describing the data itself (the coordinator's copy).
+        inner: Box<DatasetSpec>,
+        /// Worker addresses, for stats and debugging.
+        workers: Vec<String>,
+        /// Row-range shards the executor opens with (`0` = one per
+        /// worker) — recorded here so [`DatasetStats`] reports the same
+        /// count the opened session's layout actually has.
+        shards: usize,
+        /// Builds the executor over those workers for an open pair.
+        connect: ExecutorFactory,
+    },
 }
 
 impl fmt::Debug for DatasetSpec {
@@ -121,6 +143,11 @@ impl fmt::Debug for DatasetSpec {
                 .field("inner", inner)
                 .field("shards", shards)
                 .finish(),
+            DatasetSpec::Remote { inner, workers, .. } => f
+                .debug_struct("Remote")
+                .field("inner", inner)
+                .field("workers", workers)
+                .finish_non_exhaustive(),
         }
     }
 }
@@ -152,6 +179,17 @@ impl Clone for DatasetSpec {
                 inner: inner.clone(),
                 shards: *shards,
             },
+            DatasetSpec::Remote {
+                inner,
+                workers,
+                shards,
+                connect,
+            } => DatasetSpec::Remote {
+                inner: inner.clone(),
+                workers: workers.clone(),
+                shards: *shards,
+                connect: Arc::clone(connect),
+            },
         }
     }
 }
@@ -163,6 +201,24 @@ impl DatasetSpec {
         DatasetSpec::Sharded {
             inner: Box::new(inner),
             shards: shards.max(1),
+        }
+    }
+
+    /// Serve `inner` with per-shard statistics fetched from remote
+    /// workers; see [`DatasetSpec::Remote`]. `shards = 0` means one
+    /// shard per worker; `connect` must open its executor with the same
+    /// count.
+    pub fn remote(
+        inner: DatasetSpec,
+        workers: Vec<String>,
+        shards: usize,
+        connect: ExecutorFactory,
+    ) -> Self {
+        DatasetSpec::Remote {
+            inner: Box::new(inner),
+            workers,
+            shards,
+            connect,
         }
     }
 
@@ -190,20 +246,38 @@ impl DatasetSpec {
             )?),
             DatasetSpec::Provider(provider) => provider(),
             DatasetSpec::Sharded { inner, .. } => inner.open_pair(),
+            DatasetSpec::Remote { inner, .. } => inner.open_pair(),
         }
     }
 
     /// The number of row-range shards this spec's sessions open with
-    /// (1 = unsharded). Nested `Sharded` specs flatten to the outermost.
+    /// (1 = unsharded). Nested `Sharded` specs flatten to the outermost;
+    /// a `Remote` spec reports its configured count (`0` = one per
+    /// worker).
     pub fn shard_count(&self) -> usize {
         match self {
             DatasetSpec::Sharded { shards, .. } => (*shards).max(1),
+            DatasetSpec::Remote {
+                workers, shards, ..
+            } => {
+                if *shards == 0 {
+                    workers.len().max(1)
+                } else {
+                    *shards
+                }
+            }
             _ => 1,
         }
     }
 
-    /// Open a session over this spec's pair, sharded when the spec says so.
+    /// Open a session over this spec's pair — sharded or remote-backed
+    /// when the spec says so.
     fn open_session(&self, config: CharlesConfig) -> Result<Session> {
+        if let DatasetSpec::Remote { inner, connect, .. } = self {
+            let pair = inner.open_pair()?;
+            let executor = connect(&pair)?;
+            return Session::open_distributed_with_config(pair, executor, config);
+        }
         let pair = self.open_pair()?;
         match self.shard_count() {
             1 => Session::open_with_config(pair, config),

@@ -25,15 +25,13 @@ use crate::combi::bounded_subsets;
 use crate::config::CharlesConfig;
 use crate::ct::ConditionalTransformation;
 use crate::error::{CharlesError, Result};
+use crate::executor::{LocalExecutor, ShardExecutor};
 use crate::partition::{cluster_residuals, induce_partitions};
 use crate::score::ScoringContext;
 use crate::snap::snap_fit;
 use crate::summary::ChangeSummary;
 use crate::transform::{Term, Transformation};
-use charles_numerics::ols::{
-    column_moments, fit_constant, fit_from_parts, fit_ols_cols, gram_partial, ColumnMoments,
-    GramPartial, LinearFit, GRAM_BLOCK_ROWS,
-};
+use charles_numerics::ols::{fit_constant, fit_from_parts, fit_ols_cols, ColumnMoments, LinearFit};
 use charles_relation::{AttrId, AttrRef, NumericView, RowRange, SnapshotPair, Table};
 use std::collections::HashMap;
 use std::fmt;
@@ -209,17 +207,15 @@ pub struct SearchContext<'a> {
     /// session-lifetime memo without bound. Fits and labelings are
     /// α-independent and always memoized.
     memoize_candidates: bool,
-    /// Row offset of this context's views within the full pair (non-zero
-    /// only for shard sub-contexts; `row_offset / GRAM_BLOCK_ROWS` is the
-    /// absolute block index its Gram statistics start at).
-    row_offset: usize,
-    /// Row-range shard layout (empty = unsharded). When present, global
-    /// fits are computed from per-shard sufficient statistics merged on
-    /// the canonical block grid — bit-identical to the unsharded
-    /// computation; see [`SearchContext::with_shards`]. Shard
-    /// sub-contexts are built lazily, only when a fit actually misses the
-    /// memo, so warm reruns never pay for the layout.
-    shard_ranges: Vec<RowRange>,
+    /// The shard execution plane (`None` = unsharded). When present,
+    /// global fits are computed from per-shard sufficient statistics —
+    /// phase-A moments, then phase-B blocked Gram partials — fetched from
+    /// the executor (in-process threads or remote workers) and merged on
+    /// the canonical block grid, bit-identical to the unsharded
+    /// computation; see [`SearchContext::with_executor`]. Statistics are
+    /// requested only when a fit actually misses the memo, so warm reruns
+    /// never touch the executor.
+    executor: Option<Arc<dyn ShardExecutor>>,
 }
 
 /// Memo key for one clustering request. Clustering depends only on the
@@ -320,70 +316,35 @@ impl<'a> SearchContext<'a> {
             scoring,
             caches,
             memoize_candidates,
-            row_offset: 0,
-            shard_ranges: Vec::new(),
+            executor: None,
         }
     }
 
-    /// A shard sub-context: every view narrowed to `range` (zero-copy
-    /// windows over the same `Arc` buffers), sharing the pair and config.
-    /// The sub-context gets a **private** memo plane — its windowed
-    /// statistics must never land in the parent's caches under
-    /// full-context keys. `range.start` must sit on the canonical Gram
-    /// block grid for the shard's sufficient statistics to merge
-    /// bit-exactly.
-    pub fn shard(&self, range: RowRange) -> SearchContext<'a> {
-        let views: HashMap<AttrId, NumericView> = self
-            .views
-            .iter()
-            .map(|(&id, v)| (id, v.slice(range)))
-            .collect();
-        let y_target = self.y_target.slice(range);
-        let y_source = self.y_source.slice(range);
-        let scoring = ScoringContext::from_views_scaled(
-            self.pair.source(),
-            self.target_attr,
-            y_target.clone(),
-            y_source.clone(),
-            views.clone(),
-            self.scoring.scale,
-            self.config,
-        );
-        SearchContext {
-            pair: self.pair,
-            target_attr: self.target_attr,
-            target_id: self.target_id,
-            target: self.target.clone(),
-            y_target,
-            y_source,
-            views,
-            config: self.config,
-            delta: self.delta.slice(range),
-            rel_delta: self.rel_delta.slice(range),
-            scoring,
-            caches: Arc::new(PlaneCaches::default()),
-            memoize_candidates: self.memoize_candidates,
-            row_offset: range.start,
-            shard_ranges: Vec::new(),
-        }
-    }
-
-    /// Attach a row-range shard layout. Global fits that miss the memo
-    /// then build one sub-context per **non-empty** range (sliced windows
-    /// over this context's views), fan phase-A moments and phase-B
-    /// blocked Gram statistics across them on a bounded worker pool, and
-    /// merge — by the construction in `charles_numerics::ols`, the merged
-    /// fit is **byte-identical** to the unsharded one, so everything
-    /// downstream (residual clustering, condition induction, scoring,
-    /// ranking) is too. Warm (memoized) fits never touch the layout.
-    pub fn with_shards(mut self, ranges: &[RowRange]) -> Self {
-        self.shard_ranges = ranges.to_vec();
+    /// Attach a shard execution plane. Global fits that miss the memo
+    /// then fetch per-shard sufficient statistics from the executor —
+    /// phase-A moments, then phase-B blocked Gram statistics under the
+    /// merged scales — and merge them here; by the construction in
+    /// `charles_numerics::ols`, the merged fit is **byte-identical** to
+    /// the unsharded one, so everything downstream (residual clustering,
+    /// condition induction, scoring, ranking) is too. Warm (memoized)
+    /// fits never touch the executor.
+    pub fn with_executor(mut self, executor: Arc<dyn ShardExecutor>) -> Self {
+        self.executor = Some(executor);
         self
+    }
+
+    /// Attach an in-process row-range shard layout over this context's
+    /// pair — sugar for [`SearchContext::with_executor`] with a
+    /// [`LocalExecutor`]. Boundaries must sit on the canonical Gram block
+    /// grid ([`RowRange::split_aligned`]).
+    pub fn with_shards(self, ranges: &[RowRange]) -> Self {
+        let executor = LocalExecutor::with_ranges(SnapshotPair::clone(self.pair), ranges.to_vec());
+        self.with_executor(Arc::new(executor))
     }
 
     /// Number of attached shard ranges (0 = unsharded).
     pub fn shard_count(&self) -> usize {
-        self.shard_ranges.len()
+        self.executor.as_ref().map_or(0, |e| e.ranges().len())
     }
 
     /// Memoized clustering of one change signal.
@@ -449,9 +410,9 @@ impl<'a> SearchContext<'a> {
     /// the same `T` but different `(C, k)` share one OLS solve — and, on a
     /// session-owned plane, so do later runs.
     ///
-    /// On a sharded context the fit is computed from per-shard sufficient
-    /// statistics merged on the canonical block grid (see
-    /// [`SearchContext::with_shards`]); the result — including *whether*
+    /// On an executor-backed context the fit is computed from per-shard
+    /// sufficient statistics merged on the canonical block grid (see
+    /// [`SearchContext::with_executor`]); the result — including *whether*
     /// the fit is feasible — is bit-identical to the unsharded path.
     fn global_fit(&self, tran_attrs: &[AttrRef]) -> Result<Arc<Option<LinearFit>>> {
         let key: Vec<AttrId> = tran_attrs
@@ -461,39 +422,35 @@ impl<'a> SearchContext<'a> {
         memoized(&self.caches.fit_memo, (self.target_id, key), || {
             self.caches.fits_computed.fetch_add(1, Ordering::Relaxed);
             let cols = self.columns_for(tran_attrs)?;
-            if self.shard_ranges.is_empty() {
+            let Some(executor) = &self.executor else {
                 return Ok(Arc::new(fit_ols_cols(&cols, &self.y_target).ok()));
-            }
-            Ok(Arc::new(self.sharded_global_fit(tran_attrs, &cols).ok()))
+            };
+            Ok(Arc::new(self.distributed_global_fit(
+                executor.as_ref(),
+                tran_attrs,
+                &cols,
+            )?))
         })
     }
 
-    /// The sharded global fit: build one sub-context per non-empty shard
-    /// (empty shards contribute nothing to any merged statistic), fan
-    /// phase A (per-column moments) and phase B (blocked Gram statistics)
-    /// across them on a bounded worker pool, then merge and solve here.
-    /// Validation failures surface exactly where `fit_ols_cols` fails, on
-    /// the merged numbers.
-    fn sharded_global_fit(
+    /// The executor-backed global fit: fetch phase-A moments per shard,
+    /// merge them (exact: `max`/`+`/`&&`), derive the conditioning scales
+    /// centrally, fetch phase-B blocked Gram statistics under those
+    /// scales, and solve here from the block-ordered fold. *Numeric*
+    /// infeasibility (too few rows, non-finite data, unsolvable systems)
+    /// maps to `Ok(None)` — exactly the cases where the central
+    /// `fit_ols_cols` fails — while executor/transport failures propagate
+    /// as hard errors so a dead worker can never masquerade as an
+    /// infeasible candidate.
+    fn distributed_global_fit(
         &self,
+        executor: &dyn ShardExecutor,
         tran_attrs: &[AttrRef],
         full_cols: &[&[f64]],
-    ) -> Result<LinearFit> {
-        let shards: Vec<SearchContext<'a>> = self
-            .shard_ranges
-            .iter()
-            .filter(|r| !r.is_empty())
-            .map(|&r| self.shard(r))
-            .collect();
-        let work: Vec<(&SearchContext<'a>, Vec<&[f64]>)> = shards
-            .iter()
-            .map(|s| Ok((s, s.columns_for(tran_attrs)?)))
-            .collect::<Result<_>>()?;
-        // Phase A: per-shard moments; the merge is exact (max/+/&&).
-        let moments: Vec<ColumnMoments> =
-            fan_out(&work, |(shard, cols)| column_moments(cols, &shard.y_target))
-                .into_iter()
-                .collect::<charles_numerics::Result<_>>()?;
+    ) -> Result<Option<LinearFit>> {
+        let names: Vec<String> = tran_attrs.iter().map(|a| a.name().to_string()).collect();
+        // Phase A: per-shard moments; the merge is exact.
+        let moments = executor.column_moments(self.target_attr, &names)?;
         // All-empty layouts (zero-row pairs) have no parts to take the
         // column count from; fail validation exactly like the central
         // path does on zero rows.
@@ -506,55 +463,13 @@ impl<'a> SearchContext<'a> {
         } else {
             ColumnMoments::merge(&moments)
         };
-        let scales = merged.validated_scales(tran_attrs.len())?;
+        let Ok(scales) = merged.validated_scales(tran_attrs.len()) else {
+            return Ok(None);
+        };
         // Phase B: per-shard blocked Gram statistics on the canonical grid.
-        let parts: Vec<GramPartial> = fan_out(&work, |(shard, cols)| {
-            gram_partial(
-                cols,
-                &shard.y_target,
-                &scales,
-                shard.row_offset / GRAM_BLOCK_ROWS,
-            )
-        });
-        Ok(fit_from_parts(parts, &scales, full_cols, &self.y_target)?)
+        let parts = executor.gram_partials(self.target_attr, &names, &scales)?;
+        Ok(fit_from_parts(parts, &scales, full_cols, &self.y_target).ok())
     }
-}
-
-/// Run `f` over `items` on at most `available_parallelism` scoped worker
-/// threads (work distributed by atomic index), returning results in item
-/// order. Degrades to a plain sequential map for 0–1 items or 1 core —
-/// shard fan-outs must never spawn per-item threads (a 4096-shard layout
-/// is a legal degenerate case, not a request for 4096 threads).
-fn fan_out<T: Sync, U: Send, F: Fn(&T) -> U + Sync>(items: &[T], f: F) -> Vec<U> {
-    let n = items.len();
-    let workers = std::thread::available_parallelism()
-        .map_or(1, |p| p.get())
-        .min(n);
-    if workers <= 1 {
-        return items.iter().map(&f).collect();
-    }
-    let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<U>>> = (0..n).map(|_| Mutex::new(None)).collect();
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let value = f(&items[i]);
-                *slots[i].lock().expect("fan-out slot poisoned") = Some(value);
-            });
-        }
-    });
-    slots
-        .into_iter()
-        .map(|slot| {
-            slot.into_inner()
-                .expect("fan-out slot poisoned")
-                .expect("fan-out slot filled")
-        })
-        .collect()
 }
 
 /// The candidate-independent change signals of one target plane: absolute
@@ -573,32 +488,6 @@ pub(crate) fn change_signals(
         .zip(y_source.iter())
         .map(|(t, s)| (t - s) / s.abs().max(1.0))
         .collect();
-    (NumericView::new(delta), NumericView::new(rel_delta))
-}
-
-/// Sharded [`change_signals`]: non-empty shards compute their slices on a
-/// bounded worker pool; the slices concatenate in range order. The
-/// computation is purely elementwise, so the merged signals equal the
-/// unsharded ones byte-for-byte.
-pub(crate) fn change_signals_sharded(
-    y_target: &NumericView,
-    y_source: &NumericView,
-    ranges: &[RowRange],
-) -> (NumericView, NumericView) {
-    let active: Vec<RowRange> = ranges.iter().copied().filter(|r| !r.is_empty()).collect();
-    if active.len() <= 1 {
-        return change_signals(y_target, y_source);
-    }
-    let slices = fan_out(&active, |&range| {
-        change_signals(&y_target.slice(range), &y_source.slice(range))
-    });
-    let n = y_target.len();
-    let mut delta = Vec::with_capacity(n);
-    let mut rel_delta = Vec::with_capacity(n);
-    for (d, r) in &slices {
-        delta.extend_from_slice(d);
-        rel_delta.extend_from_slice(r);
-    }
     (NumericView::new(delta), NumericView::new(rel_delta))
 }
 

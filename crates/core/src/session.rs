@@ -53,14 +53,15 @@
 use crate::assistant::{analyze, SetupReport};
 use crate::config::CharlesConfig;
 use crate::error::{CharlesError, QueryError, Result};
+use crate::executor::{validate_layout, LocalExecutor, ShardExecutor};
 use crate::score::{derive_scale, ScoringContext};
 use crate::search::{
-    change_signals, change_signals_sharded, generate_candidates, memoized, run_search, PlaneCaches,
-    SearchContext, SearchStats,
+    change_signals, generate_candidates, memoized, run_search, PlaneCaches, SearchContext,
+    SearchStats,
 };
 use crate::summary::ChangeSummary;
 use crate::transform::Transformation;
-use charles_numerics::ols::GRAM_BLOCK_ROWS;
+use charles_numerics::ols::{ColumnMoments, GramPartial, GRAM_BLOCK_ROWS};
 use charles_relation::{AttrId, AttrRef, NumericView, RowRange, SnapshotPair};
 use std::collections::HashMap;
 use std::fmt;
@@ -256,10 +257,19 @@ pub struct Session {
     /// Global fits, labelings, and evaluated candidates (valid for the
     /// session config; see [`PlaneCaches`]).
     caches: Arc<PlaneCaches>,
-    /// Row-range shards (empty = unsharded). Boundaries sit on the
-    /// canonical Gram block grid so per-shard fit statistics merge
-    /// bit-exactly; see [`Session::open_sharded`].
-    shard_ranges: Vec<RowRange>,
+    /// The shard execution plane (`None` = unsharded). Per-shard
+    /// statistics — change-signal slices, phase-A moments, phase-B Gram
+    /// partials — come from here and merge on the canonical block grid,
+    /// whether the executor runs shards on in-process threads
+    /// ([`LocalExecutor`], see [`Session::open_sharded`]) or on remote
+    /// workers (see [`Session::open_distributed`]).
+    executor: Option<Arc<dyn ShardExecutor>>,
+    /// The same executor, concretely typed, when it is this session's own
+    /// [`LocalExecutor`] — the session then reads columns through the
+    /// executor's extraction cache instead of keeping a second copy (the
+    /// buffers are `Arc`-shared either way; this avoids extracting a
+    /// converted or re-aligned column twice).
+    local_executor: Option<Arc<LocalExecutor>>,
     columns_extracted: AtomicUsize,
     planes_built: AtomicUsize,
     setups_computed: AtomicUsize,
@@ -285,7 +295,8 @@ impl Session {
             planes: Mutex::new(HashMap::new()),
             setups: Mutex::new(HashMap::new()),
             caches: Arc::new(PlaneCaches::default()),
-            shard_ranges: Vec::new(),
+            executor: None,
+            local_executor: None,
             columns_extracted: AtomicUsize::new(0),
             planes_built: AtomicUsize::new(0),
             setups_computed: AtomicUsize::new(0),
@@ -331,15 +342,47 @@ impl Session {
         shards: usize,
         config: CharlesConfig,
     ) -> Result<Self> {
-        let ranges = RowRange::split_aligned(pair.len(), shards.max(1), GRAM_BLOCK_ROWS);
+        let executor = Arc::new(LocalExecutor::new(pair.clone(), shards));
+        let mut session =
+            Session::open_distributed_with_config(pair, Arc::clone(&executor) as _, config)?;
+        // One extraction cache for both planes; see `Session::source_view`.
+        session.local_executor = Some(executor);
+        Ok(session)
+    }
+
+    /// Open a **distributed** session: per-shard statistics come from
+    /// `executor` — any [`ShardExecutor`] backend, in-process or remote —
+    /// while everything built *on* the merged statistics (clustering,
+    /// condition induction, per-partition fits, scoring, ranking) runs
+    /// here on the coordinator over its own copy of the pair.
+    ///
+    /// [`Session::open_sharded`] is exactly this call with a
+    /// [`LocalExecutor`]; the exactness contract documented there is
+    /// backend-independent, because the merge lands on the same canonical
+    /// block grid no matter where the per-shard statistics were computed.
+    /// The executor's layout is validated here: it must be a contiguous,
+    /// block-aligned partition of the pair's rows.
+    pub fn open_distributed(pair: SnapshotPair, executor: Arc<dyn ShardExecutor>) -> Result<Self> {
+        Session::open_distributed_with_config(pair, executor, CharlesConfig::default())
+    }
+
+    /// [`Session::open_distributed`] with a custom engine configuration.
+    pub fn open_distributed_with_config(
+        pair: SnapshotPair,
+        executor: Arc<dyn ShardExecutor>,
+        config: CharlesConfig,
+    ) -> Result<Self> {
+        validate_layout(&executor.ranges(), pair.len())?;
         let mut session = Session::open_with_config(pair, config)?;
-        session.shard_ranges = ranges;
+        session.executor = Some(executor);
         Ok(session)
     }
 
     /// How many row-range shards queries fan out over (1 = unsharded).
     pub fn shard_count(&self) -> usize {
-        self.shard_ranges.len().max(1)
+        self.executor
+            .as_ref()
+            .map_or(1, |e| e.ranges().len().max(1))
     }
 
     /// The aligned snapshot pair.
@@ -500,11 +543,11 @@ impl Session {
             caches,
             memoize_candidates,
         );
-        if !self.shard_ranges.is_empty() {
-            // Sharded layout: global fits merge per-shard sufficient
-            // statistics (bit-identical to unsharded; see
-            // [`Session::open_sharded`]).
-            ctx = ctx.with_shards(&self.shard_ranges);
+        if let Some(executor) = &self.executor {
+            // Executor-backed layout: global fits merge per-shard
+            // sufficient statistics (bit-identical to unsharded; see
+            // [`Session::open_distributed`]).
+            ctx = ctx.with_executor(Arc::clone(executor));
         }
         let candidates = generate_candidates(&cond_refs, &tran_refs, &config);
         if candidates.is_empty() {
@@ -565,6 +608,118 @@ impl Session {
     /// Instant in practice — each point is O(summaries) over cached state.
     pub fn sweep_alpha(&self, result: &QueryResult, alphas: &[f64]) -> Result<Vec<QueryResult>> {
         alphas.iter().map(|&a| self.rescore(result, a)).collect()
+    }
+
+    // ---- The worker role: serving block-range shard statistics --------
+    //
+    // A `charles-worker` (a `charles-server` hosting the dataset) answers
+    // a distributed coordinator's stat requests with these three methods.
+    // They read the same lazily-extracted column plane queries use, so a
+    // worker serving many block ranges of one dataset extracts each
+    // column once.
+
+    /// Validate one shard-statistics request range: inside the pair and
+    /// starting on the canonical Gram block grid (the precondition for
+    /// bit-exact merges; see [`GRAM_BLOCK_ROWS`]).
+    fn validate_block_range(&self, range: RowRange) -> Result<()> {
+        if range.end > self.pair.len() {
+            return Err(CharlesError::BadConfig(format!(
+                "shard range [{}, {}) exceeds the pair's {} rows",
+                range.start,
+                range.end,
+                self.pair.len()
+            )));
+        }
+        if !range.is_empty() && !range.start.is_multiple_of(GRAM_BLOCK_ROWS) {
+            return Err(CharlesError::BadConfig(format!(
+                "shard range start {} is off the {GRAM_BLOCK_ROWS}-row block grid",
+                range.start
+            )));
+        }
+        Ok(())
+    }
+
+    /// The change-signal slice (Δ, relative Δ) of `target` over one
+    /// block-aligned row range — the worker side of
+    /// [`ShardExecutor::signal_slices`].
+    pub fn shard_signal_slice(
+        &self,
+        target: &str,
+        range: RowRange,
+    ) -> Result<(Vec<f64>, Vec<f64>)> {
+        self.validate_block_range(range)?;
+        let target_ref = self.resolve_target(target)?;
+        let id = target_ref.id().expect("attr_ref is resolved");
+        let y_target = self.aligned_view(target, id)?;
+        let y_source = self.source_view(id)?;
+        let (delta, rel_delta) = change_signals(&y_target.slice(range), &y_source.slice(range));
+        Ok((delta.to_vec(), rel_delta.to_vec()))
+    }
+
+    /// Phase-A column moments of `(target, tran_attrs)` over one
+    /// block-aligned row range — the worker side of
+    /// [`ShardExecutor::column_moments`].
+    pub fn shard_column_moments(
+        &self,
+        target: &str,
+        tran_attrs: &[String],
+        range: RowRange,
+    ) -> Result<ColumnMoments> {
+        self.validate_block_range(range)?;
+        let y = self.shard_target_view(target)?.slice(range);
+        let cols = self.shard_design_views(tran_attrs)?;
+        let sliced: Vec<NumericView> = cols.iter().map(|c| c.slice(range)).collect();
+        let slices: Vec<&[f64]> = sliced.iter().map(|v| v.as_slice()).collect();
+        Ok(charles_numerics::ols::column_moments(&slices, &y)?)
+    }
+
+    /// Phase-B blocked Gram statistics of `(target, tran_attrs)` over one
+    /// block-aligned row range, under coordinator-derived conditioning
+    /// `scales` — the worker side of [`ShardExecutor::gram_partials`].
+    /// The partial's `first_block` is the range's absolute block index,
+    /// so merges land on the same grid no matter which worker served it.
+    pub fn shard_gram_partial(
+        &self,
+        target: &str,
+        tran_attrs: &[String],
+        scales: &[f64],
+        range: RowRange,
+    ) -> Result<GramPartial> {
+        self.validate_block_range(range)?;
+        if scales.len() != tran_attrs.len() {
+            return Err(CharlesError::BadConfig(format!(
+                "{} conditioning scales for {} transformation attributes",
+                scales.len(),
+                tran_attrs.len()
+            )));
+        }
+        let y = self.shard_target_view(target)?.slice(range);
+        let cols = self.shard_design_views(tran_attrs)?;
+        let sliced: Vec<NumericView> = cols.iter().map(|c| c.slice(range)).collect();
+        let slices: Vec<&[f64]> = sliced.iter().map(|v| v.as_slice()).collect();
+        Ok(charles_numerics::ols::gram_partial(
+            &slices,
+            &y,
+            scales,
+            range.start / GRAM_BLOCK_ROWS,
+        ))
+    }
+
+    /// The aligned target-side view a shard statistic regresses on.
+    fn shard_target_view(&self, target: &str) -> Result<NumericView> {
+        let target_ref = self.resolve_target(target)?;
+        let id = target_ref.id().expect("attr_ref is resolved");
+        self.aligned_view(target, id)
+    }
+
+    /// The fit's design columns: source-side views of the transformation
+    /// attributes, in subset order.
+    fn shard_design_views(&self, tran_attrs: &[String]) -> Result<Vec<NumericView>> {
+        let schema = self.pair.source().schema();
+        tran_attrs
+            .iter()
+            .map(|a| self.source_view(schema.attr_id(a)?))
+            .collect()
     }
 
     /// Re-score a summary list under `config` using the cached scoring
@@ -629,37 +784,66 @@ impl Session {
 
     /// Shared source-side view of one attribute, extracted on first use
     /// (errors — nulls, non-numeric — are not cached and surface on every
-    /// attempt, mirroring direct extraction).
+    /// attempt, mirroring direct extraction). A session with an attached
+    /// [`LocalExecutor`] reads through the executor's cache, so a column
+    /// is materialized once no matter which plane asks first.
     fn source_view(&self, id: AttrId) -> Result<NumericView> {
         memoized(&self.views, id, || {
-            let view = self.pair.source().numeric_view_by_id(id)?;
+            let view = match &self.local_executor {
+                Some(local) => {
+                    let name = self.pair.source().schema().fields()[id.index()].name();
+                    local.source_view(name)?
+                }
+                None => self.pair.source().numeric_view_by_id(id)?,
+            };
             self.columns_extracted.fetch_add(1, Ordering::Relaxed);
             Ok(view)
         })
     }
 
-    /// Aligned target-side view of one attribute, cached per target.
+    /// Aligned target-side view of one attribute, cached per target
+    /// (shared with the local executor like [`Session::source_view`]).
     fn aligned_view(&self, name: &str, id: AttrId) -> Result<NumericView> {
         memoized(&self.aligned, id, || {
-            let view = self.pair.target_numeric_view(name)?;
+            let view = match &self.local_executor {
+                Some(local) => local.aligned_view(name)?,
+                None => self.pair.target_numeric_view(name)?,
+            };
             self.columns_extracted.fetch_add(1, Ordering::Relaxed);
             Ok(view)
         })
     }
 
-    /// The per-target change-signal plane, built once per target. On a
-    /// sharded session the signals are computed per shard and concatenated
-    /// (elementwise, so byte-identical to the unsharded computation).
+    /// The per-target change-signal plane, built once per target. On an
+    /// executor-backed session the signals are fetched per shard and
+    /// concatenated in range order (the computation is elementwise, so
+    /// the concatenation is byte-identical to the unsharded computation —
+    /// wherever the shards live).
     fn target_plane(&self, target: &AttrRef) -> Result<Arc<TargetPlane>> {
         let id = target.id().expect("attr_ref is resolved");
         memoized(&self.planes, id, || {
             self.planes_built.fetch_add(1, Ordering::Relaxed);
             let y_target = self.aligned_view(target.name(), id)?;
             let y_source = self.source_view(id)?;
-            let (delta, rel_delta) = if self.shard_ranges.is_empty() {
-                change_signals(&y_target, &y_source)
-            } else {
-                change_signals_sharded(&y_target, &y_source, &self.shard_ranges)
+            let (delta, rel_delta) = match &self.executor {
+                None => change_signals(&y_target, &y_source),
+                Some(executor) => {
+                    let slices = executor.signal_slices(target.name())?;
+                    let n = y_target.len();
+                    let mut delta = Vec::with_capacity(n);
+                    let mut rel_delta = Vec::with_capacity(n);
+                    for slice in &slices {
+                        delta.extend_from_slice(&slice.delta);
+                        rel_delta.extend_from_slice(&slice.rel_delta);
+                    }
+                    if delta.len() != n || rel_delta.len() != n {
+                        return Err(CharlesError::Distributed(format!(
+                            "executor returned {} signal rows for a {n}-row pair",
+                            delta.len()
+                        )));
+                    }
+                    (NumericView::new(delta), NumericView::new(rel_delta))
+                }
             };
             let scale = derive_scale(&y_target, &y_source);
             Ok(Arc::new(TargetPlane {
@@ -1212,6 +1396,35 @@ mod tests {
             let ys: Vec<String> = y.summaries.iter().map(|s| s.to_string()).collect();
             assert_eq!(xs, ys, "α={}", x.alpha);
         }
+    }
+
+    #[test]
+    fn sharded_session_shares_one_extraction_cache_with_its_executor() {
+        let session = Session::open_sharded(fig1_pair(), 2).unwrap();
+        // "exp" is Int64: extraction materializes a converted f64 buffer,
+        // the case where a second cache would mean a second copy. Both
+        // planes must hand back the *same* buffer.
+        let id = session.pair().source().schema().attr_id("exp").unwrap();
+        let via_session = session.source_view(id).unwrap();
+        let local = session.local_executor.as_ref().expect("local executor");
+        let via_executor = local.source_view("exp").unwrap();
+        assert_eq!(
+            via_session.as_slice().as_ptr(),
+            via_executor.as_slice().as_ptr(),
+            "session and executor must share one extracted buffer"
+        );
+        let aligned_session = session
+            .aligned_view("bonus", id_of(&session, "bonus"))
+            .unwrap();
+        let aligned_executor = local.aligned_view("bonus").unwrap();
+        assert_eq!(
+            aligned_session.as_slice().as_ptr(),
+            aligned_executor.as_slice().as_ptr()
+        );
+    }
+
+    fn id_of(session: &Session, name: &str) -> charles_relation::AttrId {
+        session.pair().source().schema().attr_id(name).unwrap()
     }
 
     #[test]

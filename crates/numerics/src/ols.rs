@@ -244,6 +244,27 @@ pub struct GramBlock {
     xty: Vec<f64>,
 }
 
+impl GramBlock {
+    /// Reassemble a block from its raw sums — the deserialization entry
+    /// point for shard statistics that crossed a process or machine
+    /// boundary. The caller is responsible for having round-tripped the
+    /// floats exactly (`f64::to_bits`); any rounding here would break the
+    /// bit-identical merge contract.
+    pub fn new(xtx: Vec<f64>, xty: Vec<f64>) -> Self {
+        GramBlock { xtx, xty }
+    }
+
+    /// Row-major upper-triangular `XᵀX` sums of this block.
+    pub fn xtx(&self) -> &[f64] {
+        &self.xtx
+    }
+
+    /// `Xᵀy` sums of this block.
+    pub fn xty(&self) -> &[f64] {
+        &self.xty
+    }
+}
+
 /// Phase-B sufficient statistics of one row range: its canonical blocks,
 /// tagged with the absolute index of the first one.
 #[derive(Debug, Clone, PartialEq)]
@@ -252,6 +273,22 @@ pub struct GramPartial {
     /// `blocks[0]`.
     pub first_block: usize,
     blocks: Vec<GramBlock>,
+}
+
+impl GramPartial {
+    /// Reassemble a partial from deserialized blocks (see
+    /// [`GramBlock::new`]).
+    pub fn new(first_block: usize, blocks: Vec<GramBlock>) -> Self {
+        GramPartial {
+            first_block,
+            blocks,
+        }
+    }
+
+    /// The canonical blocks, in block order.
+    pub fn blocks(&self) -> &[GramBlock] {
+        &self.blocks
+    }
 }
 
 /// Accumulate the blocked Gram statistics of one row range. The range must

@@ -1,0 +1,75 @@
+//! `charles-worker` — a shard worker process for distributed search.
+//!
+//! A worker is a plain `charles-server` run in the worker role: it hosts
+//! datasets (loaded over the wire via CSV ingest, or pre-registered from
+//! disk with `--dataset`) and answers a coordinator's block-range
+//! statistic requests (`shard_signals` / `shard_moments` / `shard_gram`
+//! on `/v1/rpc`) bit-exactly. Any number of coordinators can share one
+//! worker; any worker can serve any block range of a dataset it hosts.
+//!
+//! Usage:
+//!
+//! ```text
+//! charles-worker [addr] [--dataset name=source.csv,target.csv[,key]]...
+//! ```
+//!
+//! `addr` defaults to `127.0.0.1:0` (a free port). The bound address is
+//! printed on stdout as `charles-worker listening on http://<addr>` so
+//! spawning scripts can scrape it; the process then serves until killed.
+
+use charles_core::{ManagerConfig, SessionManager};
+use charles_server::{Server, ServerConfig};
+use std::sync::Arc;
+
+fn main() {
+    let mut addr = "127.0.0.1:0".to_string();
+    let manager = Arc::new(SessionManager::new(ManagerConfig::default()));
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--dataset" {
+            let spec = args
+                .next()
+                .unwrap_or_else(|| usage("--dataset needs a value"));
+            let (name, files) = spec
+                .split_once('=')
+                .unwrap_or_else(|| usage("--dataset wants name=source.csv,target.csv[,key]"));
+            let parts: Vec<&str> = files.split(',').collect();
+            match parts.as_slice() {
+                [source, target] => {
+                    manager.register_csv(name, source, target, None);
+                }
+                [source, target, key] => {
+                    manager.register_csv(name, source, target, Some((*key).to_string()));
+                }
+                _ => usage("--dataset wants name=source.csv,target.csv[,key]"),
+            }
+            eprintln!("charles-worker: registered dataset {name:?}");
+        } else if arg == "--help" || arg == "-h" {
+            usage("");
+        } else {
+            addr = arg;
+        }
+    }
+
+    let server = Server::start(manager, ServerConfig::default().with_addr(addr))
+        .unwrap_or_else(|e| usage(&format!("failed to bind: {e}")));
+    println!("charles-worker listening on http://{}", server.local_addr());
+    // Serve until the process is killed; the Server's own threads do all
+    // the work. (std has no "park forever" that cannot spuriously wake,
+    // so loop around it.)
+    loop {
+        std::thread::park();
+    }
+}
+
+fn usage(error: &str) -> ! {
+    if !error.is_empty() {
+        eprintln!("charles-worker: {error}");
+    }
+    eprintln!(
+        "usage: charles-worker [addr] [--dataset name=source.csv,target.csv[,key]]...\n\
+         default addr 127.0.0.1:0 (free port); datasets can also be loaded over the wire"
+    );
+    std::process::exit(if error.is_empty() { 0 } else { 2 });
+}

@@ -55,14 +55,31 @@ pub fn http_request(
 /// A blocking keep-alive HTTP client: one connection, many requests.
 ///
 /// Responses are framed by `Content-Length` (which this server always
-/// sends), so the stream stays aligned between requests. When the server
-/// answers `Connection: close` (e.g. during shutdown) the client marks
-/// itself closed and later requests fail fast with
-/// [`io::ErrorKind::NotConnected`].
+/// sends), so the stream stays aligned between requests.
+///
+/// ## Stale-connection recovery
+///
+/// A keep-alive connection can die *between* requests: the server's
+/// idle-timeout reaper closes it, the process restarts, a NAT forgets the
+/// mapping. The next `request` then fails in one of two benign ways — the
+/// write errors out, or the write "succeeds" into a dead socket and the
+/// read sees EOF/reset before a single response byte. Both mean no
+/// response was consumed, so the client transparently reconnects to the
+/// same address and retries the request **once**. Long-lived channels
+/// (a distributed coordinator holding worker connections for minutes
+/// between queries) rely on this. A failure *after* response bytes
+/// arrived is never retried — the stream is ambiguous at that point and
+/// the error surfaces to the caller.
 pub struct HttpClient {
+    addr: std::net::SocketAddr,
     reader: BufReader<TcpStream>,
     writer: TcpStream,
     closed: bool,
+    /// Whether the current `read_response` has consumed any bytes (the
+    /// retry-safety test: EOF *before* any byte means a stale close).
+    response_started: bool,
+    read_timeout: Option<std::time::Duration>,
+    reconnects: usize,
 }
 
 impl HttpClient {
@@ -72,27 +89,70 @@ impl HttpClient {
     pub fn connect(addr: impl ToSocketAddrs) -> io::Result<HttpClient> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
+        let addr = stream.peer_addr()?;
         let writer = stream.try_clone()?;
         Ok(HttpClient {
+            addr,
             reader: BufReader::new(stream),
             writer,
             closed: false,
+            response_started: false,
+            read_timeout: None,
+            reconnects: 0,
         })
     }
 
     /// Bound how long a read may block (e.g. while probing whether the
-    /// server closed an idle connection).
-    pub fn set_read_timeout(&self, timeout: Option<std::time::Duration>) -> io::Result<()> {
+    /// server closed an idle connection). Survives reconnects.
+    pub fn set_read_timeout(&mut self, timeout: Option<std::time::Duration>) -> io::Result<()> {
+        self.read_timeout = timeout;
         self.reader.get_ref().set_read_timeout(timeout)
     }
 
-    /// Whether the server has signalled (or performed) a close.
+    /// Whether the server has signalled (or performed) a close that a
+    /// reconnect has not yet replaced.
     pub fn is_closed(&self) -> bool {
         self.closed
     }
 
+    /// How many times this client has transparently replaced a stale
+    /// connection.
+    pub fn reconnects(&self) -> usize {
+        self.reconnects
+    }
+
+    /// Replace the dead connection with a fresh one to the same address.
+    fn reconnect(&mut self) -> io::Result<()> {
+        let stream = TcpStream::connect(self.addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(self.read_timeout)?;
+        self.writer = stream.try_clone()?;
+        self.reader = BufReader::new(stream);
+        self.closed = false;
+        self.reconnects += 1;
+        Ok(())
+    }
+
+    /// Whether a failed exchange is safe to retry on a fresh connection:
+    /// nothing of a response was consumed, so the request observably
+    /// never reached a live server.
+    fn retryable(&self, error: &io::Error) -> bool {
+        if self.response_started {
+            return false;
+        }
+        matches!(
+            error.kind(),
+            io::ErrorKind::UnexpectedEof
+                | io::ErrorKind::ConnectionReset
+                | io::ErrorKind::ConnectionAborted
+                | io::ErrorKind::BrokenPipe
+                | io::ErrorKind::NotConnected
+        )
+    }
+
     /// Issue one request on the shared connection and read one framed
-    /// response.
+    /// response, transparently reconnecting once if the connection turns
+    /// out to have gone stale since the previous exchange.
     pub fn request(
         &mut self,
         method: &str,
@@ -100,11 +160,27 @@ impl HttpClient {
         body: Option<&str>,
     ) -> io::Result<HttpResponse> {
         if self.closed {
-            return Err(io::Error::new(
-                io::ErrorKind::NotConnected,
-                "server closed the keep-alive connection",
-            ));
+            // The previous response said `Connection: close` (or the
+            // stream already died): start fresh rather than failing fast.
+            self.reconnect()?;
         }
+        match self.exchange(method, path, body) {
+            Ok(response) => Ok(response),
+            Err(e) if self.retryable(&e) => {
+                self.reconnect()?;
+                self.exchange(method, path, body)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// One write + one framed read on the current connection.
+    fn exchange(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> io::Result<HttpResponse> {
         let payload = body.unwrap_or("");
         // One buffer, one write: head + body must not straddle TCP
         // segments that Nagle could hold back mid-request.
@@ -112,6 +188,7 @@ impl HttpClient {
             "{method} {path} HTTP/1.1\r\nHost: charles\r\nConnection: keep-alive\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n{payload}",
             payload.len(),
         );
+        self.response_started = false;
         self.writer.write_all(request.as_bytes())?;
         self.writer.flush()?;
         self.read_response()
@@ -126,9 +203,14 @@ impl HttpClient {
                 self.closed = true;
                 return Err(io::Error::new(
                     io::ErrorKind::UnexpectedEof,
-                    "connection closed mid-response",
+                    if self.response_started {
+                        "connection closed mid-response"
+                    } else {
+                        "connection closed before the response (stale keep-alive)"
+                    },
                 ));
             }
+            self.response_started = true;
             if line.trim_end_matches(['\r', '\n']).is_empty() {
                 break;
             }

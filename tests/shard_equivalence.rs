@@ -16,6 +16,7 @@ use charles_relation::{
 };
 use charles_synth::county;
 use proptest::prelude::*;
+use std::sync::Arc;
 
 /// Shard counts exercised against every dataset: the unsharded-as-sharded
 /// case (1), small counts, a prime, and one far larger than any tested row
@@ -210,4 +211,238 @@ fn degenerate_shard_layouts_match_oracle() {
     // `open_sharded(_, 0)` clamps to one shard rather than failing.
     let clamped = Session::open_sharded(pair, 0).unwrap();
     assert_eq!(clamped.shard_count(), 1);
+}
+
+// ---- The distributed differential suite --------------------------------
+//
+// The same contract, with the shards living on real `charles-server`
+// worker processes behind the wire protocol: a `RemoteExecutor`-backed
+// session must answer **bit-identically** to the unsharded in-process
+// oracle — rankings, score bits, `sweep_alpha` — for every tested
+// (dataset, worker count, α), and must keep doing so after a worker dies
+// mid-session (its block ranges re-dispatch to the survivors).
+
+mod distributed {
+    use super::*;
+    use charles_core::{ManagerConfig, SessionManager};
+    use charles_server::{upload_csv, RemoteExecutor, Server, ServerConfig};
+
+    /// Serialize a table to CSV text (the transport both the workers and
+    /// the canonical pair parse, so every party holds identical bits).
+    fn csv_of(table: &charles_relation::Table) -> String {
+        let mut out = Vec::new();
+        charles_relation::write_csv(table, &mut out).expect("write csv");
+        String::from_utf8(out).expect("csv is utf8")
+    }
+
+    /// The canonical CSV-parsed pair: oracle, coordinator, and workers
+    /// all open exactly these bytes, so bit-equality assertions compare
+    /// computation, never serialization.
+    fn canonical_pair(source_csv: &str, target_csv: &str) -> SnapshotPair {
+        SnapshotPair::align_on(
+            charles_relation::read_csv(source_csv.as_bytes()).unwrap(),
+            charles_relation::read_csv(target_csv.as_bytes()).unwrap(),
+            "name",
+        )
+        .unwrap()
+    }
+
+    /// Spin up `n` loopback workers, each its own server + manager,
+    /// hosting `dataset` loaded from the CSV text over the wire.
+    fn start_workers(
+        n: usize,
+        dataset: &str,
+        source_csv: &str,
+        target_csv: &str,
+    ) -> (Vec<Server>, Vec<String>) {
+        let mut servers = Vec::new();
+        let mut addrs = Vec::new();
+        for _ in 0..n {
+            let manager = Arc::new(SessionManager::new(ManagerConfig::default()));
+            let server = Server::start(manager, ServerConfig::default().with_workers(2))
+                .expect("worker server starts");
+            let addr = server.local_addr().to_string();
+            upload_csv(&addr, dataset, source_csv, target_csv, Some("name")).expect("upload");
+            servers.push(server);
+            addrs.push(addr);
+        }
+        (servers, addrs)
+    }
+
+    #[test]
+    fn distributed_equals_unsharded_oracle() {
+        let county_scenario = county(120, 11);
+        let county_pair =
+            SnapshotPair::align(county_scenario.source, county_scenario.target).unwrap();
+        let datasets: Vec<(&str, SnapshotPair, Query)> = vec![
+            (
+                "policy_small",
+                policy_pair(9, 5, 4, 0),
+                Query::new("bonus")
+                    .with_condition_attrs(["edu"])
+                    .with_transform_attrs(["bonus"]),
+            ),
+            (
+                "policy_multiblock",
+                policy_pair(300, 12, 3, 7),
+                Query::new("bonus")
+                    .with_condition_attrs(["edu", "exp"])
+                    .with_transform_attrs(["bonus"])
+                    .with_alpha(0.3),
+            ),
+            (
+                "county",
+                county_pair,
+                Query::new(&county_scenario.target_attr)
+                    .with_condition_attrs(["department", "grade"])
+                    .with_transform_attrs(["base_salary"]),
+            ),
+        ];
+        for (name, raw_pair, query) in datasets {
+            let source_csv = csv_of(raw_pair.source());
+            let target_csv = csv_of(raw_pair.target());
+            let pair = canonical_pair(&source_csv, &target_csv);
+            let oracle = Session::open(pair.clone()).expect("oracle opens");
+            let base = oracle.run(&query).expect("oracle answers");
+            for workers in [1usize, 2, 3] {
+                let (mut servers, addrs) = start_workers(workers, name, &source_csv, &target_csv);
+                let executor =
+                    Arc::new(RemoteExecutor::connect(name, &addrs, pair.len(), workers).unwrap());
+                let session = Session::open_distributed(pair.clone(), executor.clone()).unwrap();
+                assert_eq!(session.shard_count(), workers);
+                assert_eq!(
+                    session.targets().unwrap(),
+                    oracle.targets().unwrap(),
+                    "{name}: targets() diverged at {workers} workers"
+                );
+                let result = session.run(&query).expect("distributed run");
+                assert_eq!(
+                    fingerprint(&result),
+                    fingerprint(&base),
+                    "{name}: rankings diverged at {workers} workers"
+                );
+                // The α-slider must be backend-invariant too.
+                let alphas = [0.0, 0.5, 1.0];
+                let swept_oracle = oracle.sweep_alpha(&base, &alphas).unwrap();
+                let swept_remote = session.sweep_alpha(&result, &alphas).unwrap();
+                for (a, b) in swept_remote.iter().zip(swept_oracle.iter()) {
+                    assert_eq!(
+                        fingerprint(a),
+                        fingerprint(b),
+                        "{name}: sweep diverged at {workers} workers, α={}",
+                        b.alpha
+                    );
+                }
+                assert_eq!(
+                    executor.redispatches(),
+                    0,
+                    "{name}: healthy workers must not re-dispatch"
+                );
+                for server in &mut servers {
+                    server.shutdown();
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn transient_worker_failure_heals_instead_of_draining_the_pool() {
+        // A worker that fails once (here: asked before its dataset was
+        // loaded) is sidelined, not executed: once it can serve again,
+        // the last-resort re-dispatch path resurrects it.
+        let raw_pair = policy_pair(150, 6, 2, 1);
+        let source_csv = csv_of(raw_pair.source());
+        let target_csv = csv_of(raw_pair.target());
+        let pair = canonical_pair(&source_csv, &target_csv);
+        let query = Query::new("bonus")
+            .with_condition_attrs(["edu"])
+            .with_transform_attrs(["bonus"]);
+
+        let manager = Arc::new(SessionManager::new(ManagerConfig::default()));
+        let mut server = Server::start(manager, ServerConfig::default().with_workers(2)).unwrap();
+        let addr = server.local_addr().to_string();
+        let executor = Arc::new(
+            RemoteExecutor::connect("late", std::slice::from_ref(&addr), pair.len(), 1).unwrap(),
+        );
+        let session = Session::open_distributed(pair.clone(), executor.clone()).unwrap();
+
+        // Nothing is loaded on the worker yet: the query fails loudly
+        // (typed, never a fabricated answer) and the worker is sidelined.
+        assert!(session.run(&query).is_err());
+        assert_eq!(executor.live_workers(), 0);
+
+        // The dataset arrives; the same executor must heal and answer
+        // with the oracle's bits.
+        upload_csv(&addr, "late", &source_csv, &target_csv, Some("name")).unwrap();
+        let healed = session.run(&query).expect("healed pool serves");
+        assert_eq!(executor.live_workers(), 1, "worker must be resurrected");
+        let oracle = Session::open(pair).unwrap();
+        assert_eq!(
+            fingerprint(&healed),
+            fingerprint(&oracle.run(&query).unwrap())
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn worker_death_mid_session_redispatches_to_the_same_bits() {
+        let raw_pair = policy_pair(300, 9, 5, 2);
+        let source_csv = csv_of(raw_pair.source());
+        let target_csv = csv_of(raw_pair.target());
+        let pair = canonical_pair(&source_csv, &target_csv);
+        let oracle = Session::open(pair.clone()).unwrap();
+        let query_a = Query::new("bonus")
+            .with_condition_attrs(["edu"])
+            .with_transform_attrs(["bonus"]);
+        let query_b = Query::new("bonus")
+            .with_condition_attrs(["edu", "exp"])
+            .with_transform_attrs(["bonus", "exp"]);
+
+        let (mut servers, addrs) = start_workers(3, "policy", &source_csv, &target_csv);
+        let executor = Arc::new(RemoteExecutor::connect("policy", &addrs, pair.len(), 3).unwrap());
+        let session = Session::open_distributed(pair.clone(), executor.clone()).unwrap();
+
+        // Healthy run first: all three workers serve their ranges.
+        let a = session.run(&query_a).unwrap();
+        assert_eq!(fingerprint(&a), fingerprint(&oracle.run(&query_a).unwrap()));
+        assert_eq!(executor.redispatches(), 0);
+        assert_eq!(executor.live_workers(), 3);
+
+        // Kill one worker, then ask a question needing *new* statistics
+        // (a wider transformation subset misses every fit memo): the dead
+        // worker's block range must re-dispatch to a survivor and the
+        // answer must still be the oracle's bits.
+        servers[1].shutdown();
+        let b = session.run(&query_b).expect("re-dispatched run succeeds");
+        assert_eq!(
+            fingerprint(&b),
+            fingerprint(&oracle.run(&query_b).unwrap()),
+            "post-failure rankings must still match the oracle bit-for-bit"
+        );
+        assert!(
+            executor.redispatches() > 0,
+            "the dead worker's range must have been re-dispatched"
+        );
+        assert_eq!(executor.live_workers(), 2);
+
+        // A fresh coordinator dialing the degraded pool (dead worker
+        // still listed) also converges on the oracle's bits.
+        let fresh = Arc::new(RemoteExecutor::connect("policy", &addrs, pair.len(), 3).unwrap());
+        let cold = Session::open_distributed(pair.clone(), fresh.clone()).unwrap();
+        let c = cold.run(&query_a).expect("cold run over degraded pool");
+        assert_eq!(fingerprint(&c), fingerprint(&a));
+        assert!(fresh.redispatches() > 0);
+
+        // Killing *every* worker is a hard error, never a wrong answer.
+        for server in &mut servers {
+            server.shutdown();
+        }
+        let dead = Arc::new(RemoteExecutor::connect("policy", &addrs, pair.len(), 3).unwrap());
+        let doomed = Session::open_distributed(pair, dead).unwrap();
+        let err = doomed.run(&query_a).unwrap_err();
+        assert!(
+            matches!(err, charles_core::CharlesError::Distributed(_)),
+            "all-dead pool must fail loudly, got {err:?}"
+        );
+    }
 }

@@ -50,8 +50,12 @@ use charles_core::search::{
     evaluate_candidate, evaluate_candidate_naive, generate_candidates, run_search, SearchContext,
 };
 use charles_core::{Charles, CharlesConfig, ManagerConfig, Query, Session, SessionManager};
+use charles_numerics::ols::{
+    column_moments, column_moments_scalar, gram_partial, gram_partial_scalar,
+};
 use charles_server::{upload_csv, RemoteExecutor, Server, ServerConfig};
 use charles_synth::county;
+use std::hint::black_box;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -123,6 +127,71 @@ fn main() {
             _ => panic!("data planes disagree on candidate {i} feasibility"),
         }
     }
+
+    // Kernel microbench: the blocked statistics kernels (PR 6) against
+    // their retained scalar references, on the same e5 design the search
+    // evaluates (d = 3: intercept + base_salary + overtime_pay). Each
+    // kernel runs enough repetitions to amortize timer noise; black_box
+    // keeps the optimizer from hoisting the work out of the loop.
+    let kviews: Vec<charles_relation::NumericView> = tran_names
+        .iter()
+        .map(|a| {
+            pair.source()
+                .column_by_name(a)
+                .expect("predictor column")
+                .numeric_view(a)
+                .expect("numeric view")
+        })
+        .collect();
+    let kcols: Vec<&[f64]> = kviews.iter().map(|v| v.as_slice()).collect();
+    let ky_view = pair
+        .target()
+        .column_by_name(target)
+        .expect("target column")
+        .numeric_view(target)
+        .expect("numeric view");
+    let ky = ky_view.as_slice();
+    let kscales = column_moments(&kcols, ky)
+        .expect("moments")
+        .validated_scales(kcols.len())
+        .expect("scales");
+    let reps = (2_000_000 / rows.max(1)).max(10);
+    let time_reps = |f: &dyn Fn()| -> f64 {
+        f(); // warm-up
+        let started = Instant::now();
+        for _ in 0..reps {
+            f();
+        }
+        started.elapsed().as_secs_f64()
+    };
+    let gram_kernel_secs = time_reps(&|| {
+        black_box(gram_partial(black_box(&kcols), black_box(ky), &kscales, 0));
+    });
+    let gram_scalar_secs = time_reps(&|| {
+        black_box(gram_partial_scalar(
+            black_box(&kcols),
+            black_box(ky),
+            &kscales,
+            0,
+        ));
+    });
+    let moments_kernel_secs = time_reps(&|| {
+        black_box(column_moments(black_box(&kcols), black_box(ky)).expect("moments"));
+    });
+    let moments_scalar_secs = time_reps(&|| {
+        black_box(column_moments_scalar(black_box(&kcols), black_box(ky)).expect("moments"));
+    });
+    let total_rows = (rows * reps) as f64;
+    let gram_rows_per_sec = total_rows / gram_kernel_secs;
+    let moments_rows_per_sec = total_rows / moments_kernel_secs;
+    let kernel_vs_scalar_speedup = gram_scalar_secs / gram_kernel_secs.max(1e-12);
+    let moments_vs_scalar_speedup = moments_scalar_secs / moments_kernel_secs.max(1e-12);
+    eprintln!(
+        "kernels ({reps} reps × {rows} rows, d={}): gram {gram_rows_per_sec:.0} rows/s \
+         ({kernel_vs_scalar_speedup:.2}x vs scalar), moments {moments_rows_per_sec:.0} rows/s \
+         ({moments_vs_scalar_speedup:.2}x vs scalar)",
+        kcols.len() + 1,
+    );
 
     // End-to-end parallel search wall time on the shared plane, for the
     // perf trajectory. `threads = 0` lets the engine detect available
@@ -342,7 +411,7 @@ fn main() {
     let naive_tput = n_cands / naive_secs;
     let speedup = shared_tput / naive_tput;
     let json = format!(
-        "{{\n  \"workload\": \"e5_county_scalability\",\n  \"rows\": {rows},\n  \"candidates\": {},\n  \"summaries_produced\": {produced},\n  \"naive_seconds\": {naive_secs:.4},\n  \"shared_seconds\": {shared_secs:.4},\n  \"naive_candidates_per_sec\": {naive_tput:.2},\n  \"shared_candidates_per_sec\": {shared_tput:.2},\n  \"speedup\": {speedup:.2},\n  \"parallel_search_seconds\": {parallel_secs:.4},\n  \"parallel_threads\": {},\n  \"ranked_summaries\": {},\n  \"distinct_summaries\": {},\n  \"session_cold_seconds\": {session_cold_secs:.4},\n  \"session_warm_seconds\": {session_warm_secs:.6},\n  \"session_warm_speedup\": {session_warm_speedup:.2},\n  \"shards\": {shards},\n  \"unsharded_run_seconds\": {unsharded_secs:.4},\n  \"sharded_run_seconds\": {sharded_secs:.4},\n  \"sharded_vs_unsharded_speedup\": {sharded_speedup:.2},\n  \"sharded_rankings_identical\": true,\n  \"workers\": {n_workers},\n  \"local_run_seconds\": {local_secs:.4},\n  \"distributed_run_seconds\": {distributed_secs:.4},\n  \"distributed_vs_local_speedup\": {distributed_speedup:.2},\n  \"distributed_rankings_identical\": true\n}}\n",
+        "{{\n  \"workload\": \"e5_county_scalability\",\n  \"rows\": {rows},\n  \"candidates\": {},\n  \"summaries_produced\": {produced},\n  \"naive_seconds\": {naive_secs:.4},\n  \"shared_seconds\": {shared_secs:.4},\n  \"naive_candidates_per_sec\": {naive_tput:.2},\n  \"shared_candidates_per_sec\": {shared_tput:.2},\n  \"speedup\": {speedup:.2},\n  \"gram_rows_per_sec\": {gram_rows_per_sec:.0},\n  \"moments_rows_per_sec\": {moments_rows_per_sec:.0},\n  \"kernel_vs_scalar_speedup\": {kernel_vs_scalar_speedup:.2},\n  \"moments_vs_scalar_speedup\": {moments_vs_scalar_speedup:.2},\n  \"parallel_search_seconds\": {parallel_secs:.4},\n  \"parallel_threads\": {},\n  \"ranked_summaries\": {},\n  \"distinct_summaries\": {},\n  \"session_cold_seconds\": {session_cold_secs:.4},\n  \"session_warm_seconds\": {session_warm_secs:.6},\n  \"session_warm_speedup\": {session_warm_speedup:.2},\n  \"shards\": {shards},\n  \"unsharded_run_seconds\": {unsharded_secs:.4},\n  \"sharded_run_seconds\": {sharded_secs:.4},\n  \"sharded_vs_unsharded_speedup\": {sharded_speedup:.2},\n  \"sharded_rankings_identical\": true,\n  \"workers\": {n_workers},\n  \"local_run_seconds\": {local_secs:.4},\n  \"distributed_run_seconds\": {distributed_secs:.4},\n  \"distributed_vs_local_speedup\": {distributed_speedup:.2},\n  \"distributed_rankings_identical\": true\n}}\n",
         candidates.len(),
         stats.threads_used,
         ranked.len(),
@@ -362,4 +431,20 @@ fn main() {
         session_warm_speedup >= 5.0,
         "warm session rerun must be ≥ 5x a cold run, got {session_warm_speedup:.2}x"
     );
+    assert!(
+        kernel_vs_scalar_speedup >= 1.5,
+        "blocked gram kernel must be ≥ 1.5x the scalar reference, got \
+         {kernel_vs_scalar_speedup:.2}x"
+    );
+    // CI regression floor: fail if the kernel itself got slower than the
+    // recorded baseline (rows/sec, set from a committed bench run).
+    if let Some(floor) = std::env::var("CHARLES_BENCH_GRAM_FLOOR")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+    {
+        assert!(
+            gram_rows_per_sec >= floor,
+            "gram_rows_per_sec {gram_rows_per_sec:.0} fell below the recorded floor {floor:.0}"
+        );
+    }
 }

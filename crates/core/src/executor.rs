@@ -38,6 +38,16 @@
 //! search maps *numeric* infeasibility (too few rows, non-finite data,
 //! singular systems) to "candidate infeasible" exactly like the
 //! in-process path, but a transport error aborts the query.
+//!
+//! Since PR 6 the statistics themselves run as blocked, lane-accumulated
+//! kernels (`charles_numerics::kernels`). The contract is unchanged: the
+//! kernel's fold order within a block is a function of the block's data
+//! only, and every implementation — this module's [`LocalExecutor`], the
+//! worker-side `Session::shard_*` entry points behind
+//! `charles_server::RemoteExecutor`, and the unsharded path — calls the
+//! *same* `charles_numerics::ols` functions, so "same canonical blocks in,
+//! same bits out" holds for the kernels exactly as it did for the scalar
+//! loops they replaced.
 
 use crate::error::{CharlesError, Result};
 use charles_numerics::ols::{ColumnMoments, GramPartial, GRAM_BLOCK_ROWS};

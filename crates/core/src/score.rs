@@ -11,6 +11,7 @@ use crate::ct::ConditionalTransformation;
 use crate::error::Result;
 use crate::summary::{InterpretabilityBreakdown, Scores};
 use crate::transform::Transformation;
+use charles_numerics::kernels;
 use charles_relation::{AttrId, NumericView, Table};
 use std::collections::HashMap;
 
@@ -172,13 +173,26 @@ impl<'a> ScoringContext<'a> {
                 Transformation::Linear {
                     terms, intercept, ..
                 } => {
-                    for &row in &ct.rows {
-                        pred[row] = *intercept;
-                    }
-                    for term in terms {
-                        let view = self.term_view(&term.attr)?;
+                    // Full-coverage CTs (rows = exactly 0..n) run the dense
+                    // elementwise kernels over whole column slices; partial
+                    // CTs scatter through the hoisted window slice.
+                    let full = ct.rows.len() == pred.len()
+                        && ct.rows.iter().enumerate().all(|(i, &r)| r == i);
+                    if full {
+                        pred.fill(*intercept);
+                        for term in terms {
+                            let view = self.term_view(&term.attr)?;
+                            kernels::axpy(&mut pred, term.coefficient, view.as_slice());
+                        }
+                    } else {
                         for &row in &ct.rows {
-                            pred[row] += term.coefficient * view[row];
+                            pred[row] = *intercept;
+                        }
+                        for term in terms {
+                            let view = self.term_view(&term.attr)?.as_slice();
+                            for &row in &ct.rows {
+                                pred[row] += term.coefficient * view[row];
+                            }
                         }
                     }
                 }
@@ -194,11 +208,7 @@ impl<'a> ScoringContext<'a> {
         if n == 0 {
             return 1.0;
         }
-        let l1: f64 = pred
-            .iter()
-            .zip(self.y_target.iter())
-            .map(|(a, b)| (a - b).abs())
-            .sum();
+        let l1 = kernels::sum_abs_diff(pred, self.y_target.as_slice());
         1.0 / (1.0 + self.config.accuracy_sharpness * l1 / (n as f64 * self.scale))
     }
 
@@ -290,16 +300,11 @@ pub fn derive_scale(y_target: &[f64], y_source: &[f64]) -> f64 {
     if n == 0 {
         return 1.0;
     }
-    let mean_change = y_target
-        .iter()
-        .zip(y_source.iter())
-        .map(|(t, s)| (t - s).abs())
-        .sum::<f64>()
-        / n as f64;
+    let mean_change = kernels::sum_abs_diff(y_target, y_source) / n as f64;
     if mean_change > 0.0 {
         return mean_change;
     }
-    let m = y_target.iter().map(|v| v.abs()).sum::<f64>() / n as f64;
+    let m = kernels::sum_abs(y_target) / n as f64;
     if m > 0.0 {
         m
     } else {

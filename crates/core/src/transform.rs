@@ -6,6 +6,7 @@
 //! `new_target = intercept + Σ coef_i × old_attr_i`.
 
 use crate::condition::fmt_num;
+use charles_numerics::kernels;
 use charles_numerics::normality::roundness;
 use charles_relation::{AttrRef, Expr, Table};
 use std::fmt;
@@ -60,6 +61,12 @@ impl Transformation {
     ///
     /// `target_attr` is the attribute the transformation rewrites; identity
     /// transformations return its current (source) values.
+    ///
+    /// Each attribute resolves to its dense [`charles_relation::NumericView`]
+    /// **once per call**, and values read straight off the window slice —
+    /// no per-row `get_f64` dispatch. Columns that cannot expose a view
+    /// (nulls, non-numeric) fall back to the per-row path, whose
+    /// null/non-numeric errors are unchanged.
     pub fn apply(
         &self,
         source: &Table,
@@ -69,6 +76,9 @@ impl Transformation {
         match self {
             Transformation::Identity => {
                 let col = source.column_by_name(target_attr)?;
+                if let Ok(view) = col.numeric_view(target_attr) {
+                    return Ok(view.gather(rows));
+                }
                 let mut out = Vec::with_capacity(rows.len());
                 for &r in rows {
                     out.push(col.get_f64(r).ok_or_else(|| {
@@ -85,14 +95,27 @@ impl Transformation {
                 let mut out = vec![*intercept; rows.len()];
                 for term in terms {
                     let col = source.column_by_name(term.attr.name())?;
-                    for (o, &r) in out.iter_mut().zip(rows.iter()) {
-                        let v = col.get_f64(r).ok_or_else(|| {
-                            charles_relation::RelationError::Eval(format!(
-                                "attribute {:?} null/non-numeric at row {r}",
-                                term.attr
-                            ))
-                        })?;
-                        *o += term.coefficient * v;
+                    match col.numeric_view(term.attr.name()) {
+                        Ok(view) if view.covers_all_rows(rows) => {
+                            kernels::axpy(&mut out, term.coefficient, view.as_slice());
+                        }
+                        Ok(view) => {
+                            let s = view.as_slice();
+                            for (o, &r) in out.iter_mut().zip(rows.iter()) {
+                                *o += term.coefficient * s[r];
+                            }
+                        }
+                        Err(_) => {
+                            for (o, &r) in out.iter_mut().zip(rows.iter()) {
+                                let v = col.get_f64(r).ok_or_else(|| {
+                                    charles_relation::RelationError::Eval(format!(
+                                        "attribute {:?} null/non-numeric at row {r}",
+                                        term.attr
+                                    ))
+                                })?;
+                                *o += term.coefficient * v;
+                            }
+                        }
                     }
                 }
                 Ok(out)

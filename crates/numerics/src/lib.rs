@@ -27,6 +27,7 @@
 
 pub mod corr;
 pub mod error;
+pub mod kernels;
 pub mod matrix;
 pub mod normality;
 pub mod ols;

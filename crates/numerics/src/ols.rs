@@ -25,15 +25,36 @@
 //! [`fit_ols_cols`] itself is the one-shard instance of this pipeline,
 //! which is what makes "sharded search is byte-identical to unsharded"
 //! a theorem about this module rather than a tolerance.
+//!
+//! ## Blocked kernels
+//!
+//! Since PR 6 the per-block accumulation is a cache-blocked, lane-wide
+//! kernel ([`crate::kernels`]): each canonical block's column windows are
+//! pre-scaled once into a column-major stage, and every `XᵀX`/`Xᵀy` entry
+//! is a [`crate::kernels::dot`] over two staged columns — [`LANES`]
+//! independent partial sums folded in a fixed order at block end, which
+//! the autovectorizer turns into packed FMAs instead of the old scalar
+//! triangle walk. The kernel's fold order differs from the pre-PR-6
+//! scalar row walk (floating-point addition is not associative), so the
+//! blocked kernel is THE canonical accumulation everywhere — local,
+//! sharded, and distributed execution all call this one function on the
+//! same canonical blocks, keeping the bit-identical merge contract true
+//! by construction. The retained [`gram_partial_scalar`] /
+//! [`column_moments_scalar`] are the pre-kernel reference used by benches
+//! and differential tests (agreement within tolerance, not bits).
 
 use crate::error::{NumericsError, Result};
+use crate::kernels;
 use crate::matrix::Matrix;
 use crate::solve::solve_cholesky;
 
 /// Rows per canonical accumulation block of the Gram statistics. Shard
 /// boundaries must be multiples of this (see
 /// `charles_relation::RowRange::split_aligned`) for bit-exact merges.
+/// A multiple of [`kernels::LANES`], so full blocks have no sub-lane tail.
 pub const GRAM_BLOCK_ROWS: usize = 128;
+
+const _: () = assert!(GRAM_BLOCK_ROWS.is_multiple_of(kernels::LANES));
 
 /// A fitted linear model `y = intercept + Σ coef[i]·x[i]`.
 #[derive(Debug, Clone, PartialEq)]
@@ -79,16 +100,14 @@ impl LinearFit {
         }
         let n = columns.first().map_or(0, |c| c.len());
         let mut out = vec![self.intercept; n];
-        for (c, col) in self.coefficients.iter().zip(columns.iter()) {
+        for (&c, col) in self.coefficients.iter().zip(columns.iter()) {
             if col.len() != n {
                 return Err(NumericsError::DimensionMismatch {
                     expected: format!("{n} rows"),
                     found: format!("{} rows", col.len()),
                 });
             }
-            for (o, &v) in out.iter_mut().zip(col.iter()) {
-                *o += c * v;
-            }
+            kernels::axpy(&mut out, c, col);
         }
         Ok(out)
     }
@@ -107,19 +126,16 @@ impl LinearFit {
     }
 }
 
-/// Compute R² of predictions against observations.
+/// Compute R² of predictions against observations (lane-accumulated
+/// sums; see [`crate::kernels`]).
 pub fn r_squared(y: &[f64], y_hat: &[f64]) -> f64 {
     let n = y.len();
     if n == 0 {
         return 1.0;
     }
-    let mean = y.iter().sum::<f64>() / n as f64;
-    let ss_tot: f64 = y.iter().map(|v| (v - mean).powi(2)).sum();
-    let ss_res: f64 = y
-        .iter()
-        .zip(y_hat.iter())
-        .map(|(a, b)| (a - b).powi(2))
-        .sum();
+    let mean = kernels::sum(y) / n as f64;
+    let ss_tot = kernels::sum_sq_dev(y, mean);
+    let ss_res = kernels::sum_sq_diff(y, y_hat);
     if ss_tot == 0.0 {
         // Constant target: perfect iff we predict the constant.
         return if ss_res < 1e-18 { 1.0 } else { 0.0 };
@@ -212,7 +228,44 @@ impl ColumnMoments {
 
 /// Compute [`ColumnMoments`] over one row range (`columns` and `y` are the
 /// range's slices). Errors on ragged column lengths.
+///
+/// Each column is read **once**: max-|x| and finiteness come out of one
+/// fused lane-accumulated pass ([`kernels::max_abs_finite`]). Because
+/// `max` and `&&` are exact under any fold order, the result is
+/// bit-identical to the retained scalar reference
+/// ([`column_moments_scalar`]) on every input.
 pub fn column_moments(columns: &[&[f64]], y: &[f64]) -> Result<ColumnMoments> {
+    let n = y.len();
+    for c in columns {
+        if c.len() != n {
+            return Err(NumericsError::DimensionMismatch {
+                expected: format!("{n} rows"),
+                found: format!("{} rows", c.len()),
+            });
+        }
+    }
+    let (_, mut finite) = kernels::max_abs_finite(y);
+    let max_abs: Vec<f64> = columns
+        .iter()
+        .map(|c| {
+            let (m, fin) = kernels::max_abs_finite(c);
+            finite &= fin;
+            m
+        })
+        .collect();
+    Ok(ColumnMoments {
+        rows: n,
+        max_abs,
+        finite,
+    })
+}
+
+/// The pre-kernel scalar reference for [`column_moments`]: separate
+/// max-fold and finiteness passes per column. Retained for the
+/// differential bench (`bench_search`'s kernel section) and the property
+/// suite; agreement with the fused kernel is **exact** (bit-identical) —
+/// both reductions are order-insensitive.
+pub fn column_moments_scalar(columns: &[&[f64]], y: &[f64]) -> Result<ColumnMoments> {
     let n = y.len();
     for c in columns {
         if c.len() != n {
@@ -293,10 +346,78 @@ impl GramPartial {
 
 /// Accumulate the blocked Gram statistics of one row range. The range must
 /// start on the canonical grid: `first_block` is its absolute start row
-/// divided by [`GRAM_BLOCK_ROWS`]. Within each block, rows accumulate in
-/// row order — identical work whether the caller is a shard or the full
-/// unsharded pass.
+/// divided by [`GRAM_BLOCK_ROWS`]. Within each block:
+///
+/// 1. every design column's window — the intercept's ones and each
+///    predictor pre-scaled by its conditioning scale — is staged **once**
+///    into a column-major scratch (one divide per value, then the value
+///    is reused across every Gram entry that reads it);
+/// 2. each upper-triangle `XᵀX` entry and each `Xᵀy` entry is one
+///    [`kernels::dot`] over two staged windows: [`kernels::LANES`]-wide
+///    partial sums folded in a fixed order at block end.
+///
+/// The accumulation order inside a block depends only on the block's
+/// data — never on the caller — so a shard whose boundaries sit on the
+/// canonical grid produces exactly the block sums the unsharded pass
+/// produces, kernel or not. ([`gram_partial_scalar`] keeps the pre-kernel
+/// row-walk order as a tolerance reference.)
 pub fn gram_partial(
+    columns: &[&[f64]],
+    y: &[f64],
+    scales: &[f64],
+    first_block: usize,
+) -> GramPartial {
+    let n = y.len();
+    let d = columns.len() + 1;
+    let mut blocks = Vec::with_capacity(n.div_ceil(GRAM_BLOCK_ROWS));
+    // Column-major block stage: window `i` of the scaled design lives at
+    // `stage[i * GRAM_BLOCK_ROWS..][..len]`. Window 0 (the intercept's
+    // ones) is written once and never overwritten — trailing rows of a
+    // short final block are simply not read.
+    let mut stage = vec![0.0f64; d * GRAM_BLOCK_ROWS];
+    stage[..GRAM_BLOCK_ROWS].fill(1.0);
+    let mut lo = 0usize;
+    while lo < n {
+        let hi = (lo + GRAM_BLOCK_ROWS).min(n);
+        let len = hi - lo;
+        let (_ones, predictors) = stage.split_at_mut(GRAM_BLOCK_ROWS);
+        for (dst, (c, &s)) in predictors
+            .chunks_exact_mut(GRAM_BLOCK_ROWS)
+            .zip(columns.iter().zip(scales.iter()))
+        {
+            kernels::scale_into(&mut dst[..len], &c[lo..hi], s);
+        }
+        let mut block = GramBlock {
+            xtx: vec![0.0; d * d],
+            xty: vec![0.0; d],
+        };
+        let yb = &y[lo..hi];
+        // Upper triangle only; mirrored once after the global fold.
+        for i in 0..d {
+            let ci = &stage[i * GRAM_BLOCK_ROWS..i * GRAM_BLOCK_ROWS + len];
+            for j in i..d {
+                let cj = &stage[j * GRAM_BLOCK_ROWS..j * GRAM_BLOCK_ROWS + len];
+                block.xtx[i * d + j] = kernels::dot(ci, cj);
+            }
+            block.xty[i] = kernels::dot(ci, yb);
+        }
+        blocks.push(block);
+        lo = hi;
+    }
+    GramPartial {
+        first_block,
+        blocks,
+    }
+}
+
+/// The pre-kernel scalar reference for [`gram_partial`]: a per-row
+/// `x_row` staging pass feeding a scalar triangle walk with zero-skip
+/// branches. Retained for the differential bench (`bench_search`'s
+/// kernel section asserts the blocked kernel's speedup over this) and
+/// for the property suite's tolerance comparison — the kernel folds each
+/// block's terms in a different (but equally fixed) order, so agreement
+/// on finite data is within rounding, not bit-exact.
+pub fn gram_partial_scalar(
     columns: &[&[f64]],
     y: &[f64],
     scales: &[f64],
@@ -318,7 +439,6 @@ pub fn gram_partial(
             for (slot, (c, &s)) in x_row[1..].iter_mut().zip(columns.iter().zip(scales.iter())) {
                 *slot = c[r] / s;
             }
-            // Upper triangle only; mirrored once after the global fold.
             for i in 0..d {
                 let a = x_row[i];
                 if a == 0.0 {
@@ -360,6 +480,20 @@ pub fn fit_from_parts(
 ) -> Result<LinearFit> {
     let d = columns.len() + 1;
     parts.sort_by_key(|p| p.first_block);
+    // Merged partials must tile the block grid: each non-empty partial
+    // picks up exactly where the previous one ended. An overlap or a
+    // duplicate would silently double-count its rows in the fold below.
+    debug_assert!(
+        parts
+            .iter()
+            .filter(|p| !p.blocks.is_empty())
+            .try_fold(None::<usize>, |prev_end, p| match prev_end {
+                Some(end) if p.first_block != end => None,
+                _ => Some(Some(p.first_block + p.blocks.len())),
+            })
+            .is_some(),
+        "merged GramPartials must cover disjoint, contiguous block ranges"
+    );
     let mut xtx = vec![0.0f64; d * d];
     let mut xty = vec![0.0f64; d];
     for part in &parts {
@@ -584,7 +718,7 @@ mod tests {
         // Splitting the rows at any set of block-aligned boundaries and
         // merging the per-shard statistics must reproduce the unsharded
         // fit to the last bit — coefficients, residuals, R², λ.
-        for n in [5usize, 127, 128, 129, 400, 1000] {
+        for n in [5usize, 127, 128, 129, 400, 1000, 4097] {
             let x1 = lcg_data(n, 7);
             let x2 = lcg_data(n, 99);
             let y: Vec<f64> = x1
@@ -636,6 +770,23 @@ mod tests {
                 assert_eq!(sharded.ridge_lambda, central.ridge_lambda);
             }
         }
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "disjoint, contiguous block ranges")]
+    fn overlapping_gram_partials_are_rejected() {
+        // Feeding the same shard's statistics twice would double-count
+        // its rows; fit_from_parts traps this in debug builds.
+        let x = lcg_data(256, 11);
+        let y = lcg_data(256, 13);
+        let cols: Vec<&[f64]> = vec![&x];
+        let scales = column_moments(&cols, &y)
+            .unwrap()
+            .validated_scales(1)
+            .unwrap();
+        let part = gram_partial(&cols, &y, &scales, 0);
+        let _ = fit_from_parts(vec![part.clone(), part], &scales, &cols, &y);
     }
 
     #[test]

@@ -1,10 +1,15 @@
 //! Descriptive statistics over `f64` slices.
+//!
+//! The dense reductions (sum, variance, mean absolute difference) ride
+//! the lane-accumulated kernels in [`crate::kernels`]: deterministic
+//! fixed-order folds that autovectorize.
 
 use crate::error::{NumericsError, Result};
+use crate::kernels;
 
-/// Sum of values.
+/// Sum of values (lane-accumulated, fixed fold order).
 pub fn sum(xs: &[f64]) -> f64 {
-    xs.iter().sum()
+    kernels::sum(xs)
 }
 
 /// Arithmetic mean; errors on empty input.
@@ -18,7 +23,7 @@ pub fn mean(xs: &[f64]) -> Result<f64> {
 /// Population variance; errors on empty input.
 pub fn variance(xs: &[f64]) -> Result<f64> {
     let m = mean(xs)?;
-    Ok(xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / xs.len() as f64)
+    Ok(kernels::sum_sq_dev(xs, m) / xs.len() as f64)
 }
 
 /// Population standard deviation.
@@ -88,11 +93,7 @@ pub fn mean_abs_diff(a: &[f64], b: &[f64]) -> Result<f64> {
     if a.is_empty() {
         return Ok(0.0);
     }
-    Ok(a.iter()
-        .zip(b.iter())
-        .map(|(x, y)| (x - y).abs())
-        .sum::<f64>()
-        / a.len() as f64)
+    Ok(kernels::sum_abs_diff(a, b) / a.len() as f64)
 }
 
 /// Ranks of values (average ranks for ties), 1-based — the transform behind

@@ -132,6 +132,22 @@ impl NumericView {
     pub fn as_slice(&self) -> &[f64] {
         &self.values[self.offset..self.offset + self.len]
     }
+
+    /// Gather the values at `rows` (view-relative indices) into a fresh
+    /// vector — one dense indexed pass over the window slice, no per-row
+    /// column dispatch. Panics if any index is out of the window, like
+    /// slice indexing.
+    pub fn gather(&self, rows: &[usize]) -> Vec<f64> {
+        let s = self.as_slice();
+        rows.iter().map(|&r| s[r]).collect()
+    }
+
+    /// Whether `rows` is exactly the identity selection `0..len` of this
+    /// view — the common full-coverage case where callers can skip
+    /// gathering and read [`NumericView::as_slice`] directly.
+    pub fn covers_all_rows(&self, rows: &[usize]) -> bool {
+        rows.len() == self.len && rows.iter().enumerate().all(|(i, &r)| r == i)
+    }
 }
 
 impl Deref for NumericView {

@@ -116,6 +116,7 @@ fn main() {
         let started = Instant::now();
         let response = http_request(addr, "POST", "/v1/datasets/county/query", Some(&body))
             .expect("cold query");
+        // lint:allow(float-fold-order: wall-clock accounting in the bench harness)
         cold_total += started.elapsed().as_secs_f64();
         assert!(response.is_success(), "cold query {i}: {}", response.body);
         assert_eq!(
@@ -138,6 +139,7 @@ fn main() {
         let response = client
             .request("POST", "/v1/datasets/county/query", Some(&body))
             .expect("warm keep-alive query");
+        // lint:allow(float-fold-order: wall-clock accounting in the bench harness)
         warm_total += started.elapsed().as_secs_f64();
         assert!(response.is_success(), "warm query {i}: {}", response.body);
         assert!(

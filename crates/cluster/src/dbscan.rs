@@ -38,6 +38,7 @@ fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
     a.iter()
         .zip(b.iter())
         .map(|(&x, &y)| (x - y) * (x - y))
+        // lint:allow(float-fold-order: cluster-internal accumulation in fixed row order, coordinator-local)
         .sum()
 }
 

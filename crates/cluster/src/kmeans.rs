@@ -77,6 +77,7 @@ fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
     a.iter()
         .zip(b.iter())
         .map(|(&x, &y)| (x - y) * (x - y))
+        // lint:allow(float-fold-order: cluster-internal accumulation in fixed row order, coordinator-local)
         .sum()
 }
 
@@ -117,6 +118,7 @@ fn seed_centroids(points: &[Vec<f64>], k: usize, rng: &mut StdRng) -> Vec<Vec<f6
     centroids.push(points[rng.gen_range(0..points.len())].clone());
     let mut dists: Vec<f64> = points.iter().map(|p| sq_dist(p, &centroids[0])).collect();
     while centroids.len() < k {
+        // lint:allow(float-fold-order: cluster-internal accumulation in fixed row order, coordinator-local)
         let total: f64 = dists.iter().sum();
         let next = if total <= 0.0 {
             // All residual mass is zero (duplicate points): pick uniformly.
@@ -207,6 +209,7 @@ fn lloyd(
         .iter()
         .zip(assignments.iter())
         .map(|(p, &a)| sq_dist(p, &centroids[a]))
+        // lint:allow(float-fold-order: cluster-internal accumulation in fixed row order, coordinator-local)
         .sum();
     (assignments, centroids, inertia, iterations)
 }

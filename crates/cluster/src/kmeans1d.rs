@@ -53,6 +53,7 @@ fn kmeans_1d_sampled(values: &[f64], k: usize) -> Result<KMeansResult> {
     let mut sums = vec![0.0; kk];
     let mut counts = vec![0usize; kk];
     for (&v, &a) in values.iter().zip(assignments.iter()) {
+        // lint:allow(float-fold-order: cluster-internal accumulation in fixed row order, coordinator-local)
         sums[a] += v;
         counts[a] += 1;
     }
@@ -66,6 +67,7 @@ fn kmeans_1d_sampled(values: &[f64], k: usize) -> Result<KMeansResult> {
         .iter()
         .zip(assignments.iter())
         .map(|(&v, &a)| (v - centroids[a][0]).powi(2))
+        // lint:allow(float-fold-order: cluster-internal accumulation in fixed row order, coordinator-local)
         .sum();
     Ok(KMeansResult {
         assignments,

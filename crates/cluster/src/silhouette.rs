@@ -6,6 +6,7 @@ fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
     a.iter()
         .zip(b.iter())
         .map(|(&x, &y)| (x - y) * (x - y))
+        // lint:allow(float-fold-order: cluster-internal accumulation in fixed row order, coordinator-local)
         .sum()
 }
 
@@ -48,16 +49,19 @@ pub fn silhouette(points: &[Vec<f64>], assignments: &[usize]) -> Result<f64> {
             if i == j {
                 continue;
             }
+            // lint:allow(float-fold-order: cluster-internal accumulation in fixed row order, coordinator-local)
             sums[assignments[j]] += sq_dist(&points[i], &points[j]).sqrt();
         }
         let a = sums[own] / (sizes[own] - 1) as f64;
         let b = (0..k)
             .filter(|&c| c != own && sizes[c] > 0)
             .map(|c| sums[c] / sizes[c] as f64)
+            // lint:allow(float-fold-order: cluster-internal accumulation in fixed row order, coordinator-local)
             .fold(f64::INFINITY, f64::min);
         if b.is_finite() {
             let denom = a.max(b);
             if denom > 0.0 {
+                // lint:allow(float-fold-order: cluster-internal accumulation in fixed row order, coordinator-local)
                 total += (b - a) / denom;
             }
         }

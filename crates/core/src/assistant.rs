@@ -12,7 +12,7 @@ use crate::error::{CharlesError, Result};
 use charles_cluster::kmeans_1d;
 use charles_numerics::corr::{correlation_ratio, pearson};
 use charles_relation::{Column, DataType, SnapshotPair, Value};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// One scored candidate attribute.
 #[derive(Debug, Clone, PartialEq)]
@@ -99,6 +99,7 @@ fn numeric_or_imputed(col: &Column) -> Option<Vec<f64>> {
         match col.get_f64(i) {
             Some(v) => {
                 vals.push(Some(v));
+                // lint:allow(float-fold-order: single-pass mean imputation in fixed row order)
                 sum += v;
                 count += 1;
             }
@@ -119,6 +120,7 @@ fn gini_of(counts: &[usize], total: usize) -> f64 {
             let p = c as f64 / total as f64;
             p * p
         })
+        // lint:allow(float-fold-order: Gini over a handful of label counts, fixed slice order)
         .sum::<f64>()
 }
 
@@ -178,7 +180,10 @@ fn split_leaf(
             ]
         })
     } else {
-        let mut by_value: HashMap<Value, Vec<usize>> = HashMap::new();
+        // BTree-grouped so the emitted groups come out in `Value` order —
+        // hash order here would make split enumeration (and any
+        // score-tie winner downstream) vary run to run.
+        let mut by_value: BTreeMap<Value, Vec<usize>> = BTreeMap::new();
         for &r in rows {
             by_value.entry(col.get(r)).or_default().push(r);
         }

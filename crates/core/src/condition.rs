@@ -274,6 +274,7 @@ impl Condition {
         if constants.is_empty() {
             return 1.0;
         }
+        // lint:allow(float-fold-order: interpretability roundness heuristic over a handful of constants)
         constants.iter().map(|&c| roundness(c)).sum::<f64>() / constants.len() as f64
     }
 

@@ -194,7 +194,7 @@ impl CharlesConfig {
                 self.accuracy_sharpness
             )));
         }
-        let wsum: f64 = self.interpretability_weights.iter().sum();
+        let wsum = charles_numerics::kernels::sum(&self.interpretability_weights);
         if (wsum - 1.0).abs() > 1e-9 {
             return Err(CharlesError::BadConfig(format!(
                 "interpretability weights must sum to 1, got {wsum}"

@@ -47,7 +47,7 @@ use crate::error::{CharlesError, Result};
 use crate::executor::ExecutorFactory;
 use crate::session::Session;
 use charles_relation::{read_csv, read_csv_path, SnapshotPair, Table};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 use std::path::PathBuf;
 use std::sync::{Arc, Mutex};
@@ -370,7 +370,9 @@ struct DatasetEntry {
 }
 
 struct Registry {
-    datasets: HashMap<String, DatasetEntry>,
+    /// Name → entry, BTree-ordered so every iteration (listings, stats,
+    /// budget math) is deterministic by name with no per-site sorting.
+    datasets: BTreeMap<String, DatasetEntry>,
     /// Logical clock advanced on every `open_or_get`; drives LRU order.
     clock: u64,
     /// Source of per-registration generations.
@@ -396,7 +398,7 @@ impl SessionManager {
             config,
             session_config: CharlesConfig::default(),
             inner: Mutex::new(Registry {
-                datasets: HashMap::new(),
+                datasets: BTreeMap::new(),
                 clock: 0,
                 next_generation: 0,
             }),
@@ -442,7 +444,7 @@ impl SessionManager {
         session: Option<Arc<Session>>,
     ) -> Option<()> {
         let approx_bytes = session.as_ref().map_or(0, |s| s.approx_plane_bytes());
-        let mut inner = self.inner.lock().expect("manager registry poisoned");
+        let mut inner = self.lock_registry();
         inner.next_generation += 1;
         let generation = inner.next_generation;
         let (opens, last_used_tick) = if session.is_some() {
@@ -521,21 +523,12 @@ impl SessionManager {
     /// Remove a dataset entirely (spec and any open session). Returns
     /// `true` when it was registered.
     pub fn unregister(&self, name: &str) -> bool {
-        self.inner
-            .lock()
-            .expect("manager registry poisoned")
-            .datasets
-            .remove(name)
-            .is_some()
+        self.lock_registry().datasets.remove(name).is_some()
     }
 
     /// Whether `name` is registered.
     pub fn contains(&self, name: &str) -> bool {
-        self.inner
-            .lock()
-            .expect("manager registry poisoned")
-            .datasets
-            .contains_key(name)
+        self.lock_registry().datasets.contains_key(name)
     }
 
     /// The session for `name`, opening it if not resident, then enforcing
@@ -556,7 +549,7 @@ impl SessionManager {
         // Cold path: snapshot what the open needs, then release the
         // registry. The latch keeps concurrent first requests to one open.
         let (latch, spec, config, generation) = {
-            let mut inner = self.inner.lock().expect("manager registry poisoned");
+            let mut inner = self.lock_registry();
             let entry = inner
                 .datasets
                 .get_mut(name)
@@ -568,7 +561,14 @@ impl SessionManager {
                 entry.generation,
             )
         };
-        let _opener = latch.lock().expect("open latch poisoned");
+        // Lock order (documented, lint-checked): a dataset's open latch
+        // may be held while taking the registry lock (latch → registry);
+        // the registry lock is NEVER held while taking a latch — the
+        // snapshot block above releases it first. The latch guards unit
+        // content, so poison recovery is trivially safe.
+        let _opener = latch
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         // A racing opener may have installed the session while we waited.
         if let Some(session) = self.touch_resident(name)? {
             return Ok(session);
@@ -576,7 +576,8 @@ impl SessionManager {
         let session = Arc::new(spec.open_session(config)?);
         let approx_bytes = session.approx_plane_bytes();
 
-        let mut inner = self.inner.lock().expect("manager registry poisoned");
+        // lint:allow(lock-discipline: latch → registry is the documented lock order; the registry lock is the leaf)
+        let mut inner = self.lock_registry();
         inner.clock += 1;
         let tick = inner.clock;
         // Only install into the registration we opened for; if the
@@ -606,7 +607,7 @@ impl SessionManager {
     /// the reported `approx_bytes` is the one captured at open.
     fn touch_resident(&self, name: &str) -> Result<Option<Arc<Session>>> {
         let session = {
-            let mut inner = self.inner.lock().expect("manager registry poisoned");
+            let mut inner = self.lock_registry();
             inner.clock += 1;
             let tick = inner.clock;
             let entry = inner
@@ -626,7 +627,7 @@ impl SessionManager {
         // The lazily-extracted plane grows across queries; refresh the
         // byte estimate and re-check the budget with fresh numbers.
         let approx_bytes = session.approx_plane_bytes();
-        let mut inner = self.inner.lock().expect("manager registry poisoned");
+        let mut inner = self.lock_registry();
         let still_resident = match inner.datasets.get_mut(name) {
             Some(entry)
                 if entry
@@ -649,9 +650,7 @@ impl SessionManager {
     /// order or hit counters. Observability endpoints use this so reading
     /// stats never perturbs eviction order.
     pub fn peek_session(&self, name: &str) -> Option<Arc<Session>> {
-        self.inner
-            .lock()
-            .expect("manager registry poisoned")
+        self.lock_registry()
             .datasets
             .get(name)
             .and_then(|e| e.session.clone())
@@ -660,7 +659,7 @@ impl SessionManager {
     /// Drop `name`'s open session (keeping the registration). Returns
     /// `true` when a session was actually resident.
     pub fn evict(&self, name: &str) -> bool {
-        let mut inner = self.inner.lock().expect("manager registry poisoned");
+        let mut inner = self.lock_registry();
         match inner.datasets.get_mut(name) {
             Some(entry) if entry.session.is_some() => {
                 entry.session = None;
@@ -672,10 +671,11 @@ impl SessionManager {
         }
     }
 
-    /// Per-dataset stats, sorted by name (stable for tests and the wire).
+    /// Per-dataset stats, sorted by name (stable for tests and the
+    /// wire); the registry's BTree order *is* name order.
     pub fn list(&self) -> Vec<DatasetStats> {
-        let inner = self.inner.lock().expect("manager registry poisoned");
-        let mut out: Vec<DatasetStats> = inner
+        let inner = self.lock_registry();
+        inner
             .datasets
             .iter()
             .map(|(name, e)| DatasetStats {
@@ -688,9 +688,7 @@ impl SessionManager {
                 last_used_tick: e.last_used_tick,
                 shards: e.spec.shard_count(),
             })
-            .collect();
-        out.sort_by(|a, b| a.name.cmp(&b.name));
-        out
+            .collect()
     }
 
     /// Stats for one dataset.
@@ -703,9 +701,7 @@ impl SessionManager {
 
     /// Number of resident sessions.
     pub fn resident_sessions(&self) -> usize {
-        self.inner
-            .lock()
-            .expect("manager registry poisoned")
+        self.lock_registry()
             .datasets
             .values()
             .filter(|e| e.session.is_some())
@@ -714,9 +710,7 @@ impl SessionManager {
 
     /// Total approximate resident bytes across open sessions.
     pub fn resident_bytes(&self) -> usize {
-        self.inner
-            .lock()
-            .expect("manager registry poisoned")
+        self.lock_registry()
             .datasets
             .values()
             .map(|e| e.approx_bytes)
@@ -753,6 +747,18 @@ impl SessionManager {
             entry.approx_bytes = 0;
             entry.evictions += 1;
         }
+    }
+}
+
+impl SessionManager {
+    /// Lock the registry, recovering from poison: the registry is plain
+    /// bookkeeping (specs, counters, `Arc`s) that stays structurally
+    /// valid if an opener thread panicked, and refusing every future
+    /// request over a historical panic is strictly worse than serving.
+    fn lock_registry(&self) -> std::sync::MutexGuard<'_, Registry> {
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 }
 

@@ -21,7 +21,7 @@ use charles_cluster::{dbscan, kmeans_1d};
 use charles_numerics::normality::{roundness, snap_candidates};
 use charles_numerics::stats::{mad, median};
 use charles_relation::{AttrRef, Column, Table, Value};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A discovered partition: an expressible condition plus the rows that
 /// satisfy it.
@@ -155,6 +155,7 @@ fn gini(labels: &[usize], rows: &[usize], n_labels: usize) -> f64 {
             let p = c as f64 / n as f64;
             p * p
         })
+        // lint:allow(float-fold-order: Gini over a handful of label counts, fixed slice order)
         .sum::<f64>()
 }
 
@@ -236,7 +237,10 @@ fn categorical_groups(col: &Column, rows: &[usize]) -> Vec<(Value, Vec<usize>)> 
         }
         groups
     } else {
-        let mut by_value: HashMap<Value, Vec<usize>> = HashMap::new();
+        // BTree-grouped so the emitted groups come out in `Value` order —
+        // hash order here would make split enumeration (and any
+        // score-tie winner downstream) vary run to run.
+        let mut by_value: BTreeMap<Value, Vec<usize>> = BTreeMap::new();
         for &r in rows {
             by_value.entry(col.get(r)).or_default().push(r);
         }

@@ -232,6 +232,7 @@ impl<'a> ScoringContext<'a> {
 
         // (2) Simpler conditions & transformations: coverage-weighted mean
         // of a per-CT simplicity decaying with descriptor + variable count.
+        // lint:allow(float-fold-order: hot scoring path, fixed contingency-table order, no allocation budget)
         let total_cov: f64 = cts.iter().map(|ct| ct.coverage).sum();
         let simplicity = if total_cov > 0.0 {
             cts.iter()
@@ -240,6 +241,7 @@ impl<'a> ScoringContext<'a> {
                         ct.condition.complexity() as f64 + ct.transformation.complexity() as f64;
                     ct.coverage * (1.0 / (1.0 + units / 4.0))
                 })
+                // lint:allow(float-fold-order: hot scoring path, fixed contingency-table order, no allocation budget)
                 .sum::<f64>()
                 / total_cov
         } else {
@@ -249,6 +251,7 @@ impl<'a> ScoringContext<'a> {
         // (3) Higher coverage: concentration of coverage mass (Herfindahl).
         // One partition covering everything = 1.0; k even partitions = 1/k;
         // uncovered rows contribute nothing.
+        // lint:allow(float-fold-order: hot scoring path, fixed contingency-table order, no allocation budget)
         let coverage = cts.iter().map(|ct| ct.coverage * ct.coverage).sum::<f64>();
 
         // (4) Normality of constants, coverage-weighted over CTs.
@@ -257,6 +260,7 @@ impl<'a> ScoringContext<'a> {
                 .map(|ct| {
                     ct.coverage * 0.5 * (ct.condition.normality() + ct.transformation.normality())
                 })
+                // lint:allow(float-fold-order: hot scoring path, fixed contingency-table order, no allocation budget)
                 .sum::<f64>()
                 / total_cov
         } else {

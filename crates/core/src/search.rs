@@ -654,12 +654,12 @@ fn fit_partition(
     // across the partition is below 1e-9 of the target magnitude carries
     // no information (ridge fallbacks and collinear predictors produce
     // ±1e-16-style coefficients that would otherwise pollute rendering).
-    let y_scale = y.iter().map(|v| v.abs()).sum::<f64>() / y.len().max(1) as f64 + 1.0;
+    let y_scale = kernels::sum_abs(&y) / y.len().max(1) as f64 + 1.0;
     let coefficients: Vec<f64> = coefficients
         .iter()
         .zip(cols.iter())
         .map(|(&coefficient, col)| {
-            let col_max = col.iter().fold(0.0f64, |m, v| m.max(v.abs()));
+            let (col_max, _) = kernels::max_abs_finite(col);
             if coefficient.abs() * col_max < 1e-9 * y_scale {
                 0.0
             } else {
@@ -1125,6 +1125,7 @@ pub fn run_search(
             }
         }
     }
+    // lint:allow(ordered-iteration: hash order is erased by the total-order sort below)
     let mut ranked: Vec<ChangeSummary> = best.into_values().collect();
     let distinct = ranked.len();
     // Tie-breaks below the score: fewer CTs; then autoregressive

@@ -35,6 +35,7 @@ fn mae_of(columns: &[Vec<f64>], y: &[f64], coefs: &[f64], intercept: f64) -> f64
         for (c, col) in coefs.iter().zip(columns.iter()) {
             pred += c * col[i];
         }
+        // lint:allow(float-fold-order: scalar reference accumulation in fixed row order)
         total += (pred - y[i]).abs();
     }
     total / n as f64

@@ -155,6 +155,7 @@ impl Transformation {
         if cs.is_empty() {
             return 1.0;
         }
+        // lint:allow(float-fold-order: interpretability roundness heuristic over a handful of constants)
         cs.iter().map(|&c| roundness(c)).sum::<f64>() / cs.len() as f64
     }
 

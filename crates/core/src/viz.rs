@@ -50,7 +50,8 @@ impl PartitionViz {
             })
             .collect();
         rects.sort_by(|a, b| b.coverage.total_cmp(&a.coverage));
-        let covered: f64 = rects.iter().map(|r| r.coverage).sum();
+        let coverages: Vec<f64> = rects.iter().map(|r| r.coverage).collect();
+        let covered = charles_numerics::kernels::sum(&coverages);
         PartitionViz {
             rects,
             uncovered: (1.0 - covered).max(0.0),

@@ -90,6 +90,7 @@ pub fn flat_delta_baseline(
         .iter()
         .zip(y_source.iter())
         .map(|(t, s)| t - s)
+        // lint:allow(float-fold-order: paper-baseline harness, fixed row order)
         .sum::<f64>()
         / n as f64;
     let t = Transformation::linear(
@@ -104,6 +105,7 @@ pub fn flat_delta_baseline(
         .iter()
         .zip(y_source.iter())
         .map(|(t_, s)| (t_ - (s + mean_delta)).abs())
+        // lint:allow(float-fold-order: paper-baseline harness, fixed row order)
         .sum::<f64>()
         / n as f64;
     let ct = all_rows_ct(pair, t, mae);
@@ -129,6 +131,7 @@ pub fn flat_ratio_baseline(
         1.0
     } else {
         // Round to two decimals: "about 6%", not "6.1379%".
+        // lint:allow(float-fold-order: paper-baseline harness, fixed row order)
         (ratios.iter().sum::<f64>() / ratios.len() as f64 * 100.0).round() / 100.0
     };
     let t = Transformation::linear(
@@ -144,6 +147,7 @@ pub fn flat_ratio_baseline(
         .iter()
         .zip(y_source.iter())
         .map(|(t_, s)| (t_ - mean_ratio * s).abs())
+        // lint:allow(float-fold-order: paper-baseline harness, fixed row order)
         .sum::<f64>()
         / n as f64;
     let ct = all_rows_ct(pair, t, mae);
@@ -197,6 +201,7 @@ pub fn exhaustive_list_baseline(
         .iter()
         .filter_map(|c| c.new.as_f64())
         .map(charles_numerics::roundness)
+        // lint:allow(float-fold-order: paper-baseline harness, fixed row order)
         .sum::<f64>()
         / units.max(1) as f64;
     let [w_size, w_simp, w_cov, w_norm] = config.interpretability_weights;

@@ -67,8 +67,8 @@ pub fn stats_from_changes(pair: &SnapshotPair, changes: &[CellChange]) -> Change
                 let n = numeric.len() as f64;
                 AttrChangeStats {
                     count: deltas.len(),
-                    mean_delta: Some(numeric.iter().sum::<f64>() / n),
-                    mean_abs_delta: Some(numeric.iter().map(|d| d.abs()).sum::<f64>() / n),
+                    mean_delta: Some(charles_numerics::kernels::sum(&numeric) / n),
+                    mean_abs_delta: Some(charles_numerics::kernels::sum_abs(&numeric) / n),
                     min_delta: numeric.iter().copied().reduce(f64::min),
                     max_delta: numeric.iter().copied().reduce(f64::max),
                 }

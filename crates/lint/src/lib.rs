@@ -1,0 +1,867 @@
+#![forbid(unsafe_code)]
+//! `charles-lint`: workspace static analysis for ChARLES's standing
+//! invariants.
+//!
+//! The repo's architecture bet (PR 4–6) is that sharded, distributed, and
+//! SIMD-blocked execution all stay `to_bits`-identical to the
+//! single-threaded oracle. That contract is sampled by the differential
+//! test harness, but a violation is cheap to *reintroduce* — one
+//! hash-ordered fold or raw JSON float and the bits drift. This crate
+//! checks the rules at the source level, on every build, with no
+//! dependencies (the build environment is offline, so no `syn`): a
+//! hand-rolled tokenizer (`token`) feeds a small statement-level rule
+//! engine.
+//!
+//! Rules (scope in parentheses):
+//!
+//! - `float-fold-order` (everywhere except `numerics/src/kernels.rs`):
+//!   no `.sum()` / `.fold()` / `+=`-loop reductions in statements that
+//!   touch floats — float reductions must route through the fixed-fold-
+//!   order kernels.
+//! - `ordered-iteration` (everywhere): no `HashMap`/`HashSet` iteration
+//!   feeding order-sensitive sinks (serialization, ranking, float or
+//!   collection accumulation). Use `BTreeMap`/`BTreeSet` or sort in the
+//!   same statement.
+//! - `wire-float-exactness` (`proto.rs` / `remote.rs`): floats crossing
+//!   the wire must use the `to_bits` hex helpers, never raw JSON
+//!   numbers.
+//! - `block-grid-literals` (everywhere): bare `128` block math must
+//!   reference `GRAM_BLOCK_ROWS`.
+//! - `no-panic-in-request-path` (`server/src`): no `unwrap()` /
+//!   `expect()` / `panic!` in request-handling code — return a typed
+//!   `ErrorEnvelope` instead.
+//! - `lock-discipline` (`manager.rs` / `server.rs`): no acquiring a
+//!   second lock (`.lock()` / `.read()` / `.write()` / `lock_*()`
+//!   helpers) while a let-bound guard is still live, except against the
+//!   documented lock order (suppress with a reason at the site).
+//!
+//! Suppressions: `// lint:allow(rule)` or `// lint:allow(rule: reason)`
+//! on the finding's line, or on a standalone comment line directly above
+//! it. Unused suppressions are themselves reported (rule
+//! `unused-suppression`, not suppressible), so allows can't rot.
+//!
+//! `#[cfg(test)]` / `#[test]` items are skipped by every rule.
+
+pub mod token;
+
+use std::collections::BTreeSet;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use token::{num_is_float, FileTokens, Tok, TokKind};
+
+/// The enforceable rule names, as accepted by `lint:allow(...)`.
+pub const RULES: [&str; 6] = [
+    "float-fold-order",
+    "ordered-iteration",
+    "wire-float-exactness",
+    "block-grid-literals",
+    "no-panic-in-request-path",
+    "lock-discipline",
+];
+
+/// Pseudo-rule under which stale/unknown suppressions are reported.
+/// Deliberately not in [`RULES`]: it cannot itself be suppressed.
+pub const UNUSED_SUPPRESSION: &str = "unused-suppression";
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule name (one of [`RULES`] or [`UNUSED_SUPPRESSION`]).
+    pub rule: &'static str,
+    /// Workspace-relative path with `/` separators.
+    pub path: String,
+    /// 1-based source line of the triggering token.
+    pub line: u32,
+    /// Human-readable explanation with the expected fix.
+    pub message: String,
+}
+
+/// Result of linting a tree: how much was scanned plus what was found.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Number of `.rs` files tokenized and checked.
+    pub files_scanned: usize,
+    /// All findings, sorted by (path, line, rule).
+    pub findings: Vec<Finding>,
+}
+
+// ---------------------------------------------------------------------------
+// Public entry points
+// ---------------------------------------------------------------------------
+
+/// Lint a single file's source under its workspace-relative path (the
+/// path decides which rules are in scope). This is the seam the test
+/// suite uses to run fixtures "as if" they lived at rule-scoped paths.
+pub fn lint_source(rel_path: &str, source: &str) -> Vec<Finding> {
+    let ft = FileTokens::tokenize(source);
+    let mut findings = run_rules(rel_path, &ft);
+    apply_suppressions(rel_path, &ft, &mut findings);
+    sort_dedupe(&mut findings);
+    findings
+}
+
+/// Lint every `crates/*/src/**/*.rs` and `src/**/*.rs` file under
+/// `root`. Vendored dependency stubs (`vendor/`) and test trees are out
+/// of scope by construction.
+pub fn lint_tree(root: &Path) -> io::Result<Report> {
+    let mut files: Vec<PathBuf> = Vec::new();
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        let mut crate_dirs: Vec<PathBuf> = fs::read_dir(&crates_dir)?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.is_dir())
+            .collect();
+        crate_dirs.sort();
+        for dir in crate_dirs {
+            let src = dir.join("src");
+            if src.is_dir() {
+                collect_rs(&src, &mut files)?;
+            }
+        }
+    }
+    let root_src = root.join("src");
+    if root_src.is_dir() {
+        collect_rs(&root_src, &mut files)?;
+    }
+    files.sort();
+
+    let mut report = Report::default();
+    for path in &files {
+        let source = fs::read_to_string(path)?;
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        report.findings.extend(lint_source(&rel, &source));
+        report.files_scanned += 1;
+    }
+    sort_dedupe(&mut report.findings);
+    Ok(report)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Render findings for humans: `path:line: [rule] message` per finding.
+pub fn render_human(report: &Report) -> String {
+    let mut out = String::new();
+    for f in &report.findings {
+        out.push_str(&format!(
+            "{}:{}: [{}] {}\n",
+            f.path, f.line, f.rule, f.message
+        ));
+    }
+    out.push_str(&format!(
+        "charles-lint: {} finding(s) across {} file(s) scanned\n",
+        report.findings.len(),
+        report.files_scanned
+    ));
+    out
+}
+
+/// Render findings as machine-readable JSON (stable key order).
+pub fn render_json(report: &Report) -> String {
+    let mut out = String::from("{\"version\":1,\"files_scanned\":");
+    out.push_str(&report.files_scanned.to_string());
+    out.push_str(",\"findings\":[");
+    for (i, f) in report.findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"rule\":\"");
+        out.push_str(&json_escape(f.rule));
+        out.push_str("\",\"path\":\"");
+        out.push_str(&json_escape(&f.path));
+        out.push_str("\",\"line\":");
+        out.push_str(&f.line.to_string());
+        out.push_str(",\"message\":\"");
+        out.push_str(&json_escape(&f.message));
+        out.push_str("\"}");
+    }
+    out.push_str("]}");
+    out
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn sort_dedupe(findings: &mut Vec<Finding>) {
+    findings.sort_by(|a, b| {
+        (a.path.as_str(), a.line, a.rule)
+            .cmp(&(b.path.as_str(), b.line, b.rule))
+            .then_with(|| a.message.cmp(&b.message))
+    });
+    findings.dedup_by(|a, b| a.rule == b.rule && a.path == b.path && a.line == b.line);
+}
+
+// ---------------------------------------------------------------------------
+// Rule engine
+// ---------------------------------------------------------------------------
+
+fn is_p(t: &Tok, s: &str) -> bool {
+    t.kind == TokKind::Punct && t.text == s
+}
+
+fn is_i(t: &Tok, s: &str) -> bool {
+    t.kind == TokKind::Ident && t.text == s
+}
+
+/// Split the token stream into statement-ish runs at `;`, `{`, `}`
+/// (terminator included in the run). Coarse, but enough: a `for` header
+/// becomes its own run ending in `{`, a `let` binding ends at `;`.
+fn split_stmts(toks: &[Tok]) -> Vec<(usize, usize)> {
+    let mut stmts = Vec::new();
+    let mut start = 0usize;
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind == TokKind::Punct && matches!(t.text.as_str(), ";" | "{" | "}") {
+            stmts.push((start, i + 1));
+            start = i + 1;
+        }
+    }
+    if start < toks.len() {
+        stmts.push((start, toks.len()));
+    }
+    stmts
+}
+
+const ITER_METHODS: [&str; 9] = [
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "keys",
+    "values",
+    "values_mut",
+    "into_keys",
+    "into_values",
+    "drain",
+];
+
+/// Order-sensitive sinks for a hash-iteration chain statement.
+const CHAIN_SINKS: [&str; 9] = [
+    "sum",
+    "fold",
+    "collect",
+    "min_by",
+    "max_by",
+    "min_by_key",
+    "max_by_key",
+    "push",
+    "extend",
+];
+
+/// Order-sensitive sinks scanned for inside a `for`-loop body.
+const BODY_SINKS: [&str; 10] = [
+    "push",
+    "push_str",
+    "extend",
+    "write_all",
+    "write_str",
+    "write_fmt",
+    "collect",
+    "sum",
+    "fold",
+    "Json",
+];
+
+/// Sorting in the same statement re-establishes a deterministic order.
+const SORTS: [&str; 6] = [
+    "sort",
+    "sort_by",
+    "sort_by_key",
+    "sort_unstable",
+    "sort_unstable_by",
+    "sort_unstable_by_key",
+];
+
+fn run_rules(rel: &str, ft: &FileTokens) -> Vec<Finding> {
+    let toks = &ft.toks;
+    let stmts = split_stmts(toks);
+    let mut out = Vec::new();
+
+    let fname = rel.rsplit('/').next().unwrap_or(rel);
+    let float_fold_in_scope = !rel.ends_with("numerics/src/kernels.rs");
+    let wire_in_scope = fname == "proto.rs" || fname == "remote.rs";
+    let panic_in_scope = rel.contains("server/src");
+    let lock_in_scope = fname == "manager.rs" || fname == "server.rs";
+
+    let hash_idents = collect_hash_idents(toks);
+    // Identifiers declared with a float type in the current function
+    // (reset at each `fn`): `let mut acc = 0.0;` makes a later
+    // `acc += x;` a float reduction even with no literal on that line.
+    let mut float_decls: BTreeSet<String> = BTreeSet::new();
+
+    for &(a, b) in &stmts {
+        let s = &toks[a..b];
+        if s.is_empty() {
+            continue;
+        }
+        if s.iter().any(|t| t.in_test) {
+            continue;
+        }
+        if s.iter().any(|t| is_i(t, "fn")) {
+            float_decls.clear();
+        }
+        collect_float_decls(s, &mut float_decls);
+
+        if float_fold_in_scope {
+            float_fold_rule(rel, s, &float_decls, &mut out);
+        }
+        ordered_iteration_rule(rel, toks, (a, b), &hash_idents, &mut out);
+        if wire_in_scope {
+            wire_float_rule(rel, s, &mut out);
+        }
+        block_grid_rule(rel, s, &mut out);
+        if panic_in_scope {
+            no_panic_rule(rel, s, &mut out);
+        }
+    }
+
+    if lock_in_scope {
+        lock_discipline_rule(rel, toks, &stmts, &mut out);
+    }
+    out
+}
+
+/// Track identifiers bound or typed as floats: `let [mut] x = <float
+/// expr>;`, `x: f64` in signatures/annotations, `|x: f64|` in closures.
+fn collect_float_decls(s: &[Tok], decls: &mut BTreeSet<String>) {
+    let float_typed = |toks: &[Tok]| toks.iter().any(|t| is_i(t, "f64") || is_i(t, "f32"));
+
+    // `ident : ... f64 ...` up to the next `,` `)` `|` `=` `;` `{`.
+    for i in 0..s.len() {
+        if s[i].kind == TokKind::Ident && i + 1 < s.len() && is_p(&s[i + 1], ":") {
+            let mut j = i + 2;
+            while j < s.len()
+                && !(s[j].kind == TokKind::Punct
+                    && matches!(s[j].text.as_str(), "," | ")" | "|" | "=" | ";" | "{"))
+            {
+                j += 1;
+            }
+            if float_typed(&s[i + 2..j]) {
+                decls.insert(s[i].text.clone());
+            }
+        }
+    }
+
+    // `let [mut] x = <rhs containing a float literal or f64 cast>;`
+    if is_i(&s[0], "let") {
+        let name_at = if s.len() > 1 && is_i(&s[1], "mut") {
+            2
+        } else {
+            1
+        };
+        if let Some(name) = s.get(name_at) {
+            if name.kind == TokKind::Ident {
+                let rhs_float = s.iter().any(|t| {
+                    (t.kind == TokKind::Num && num_is_float(&t.text))
+                        || is_i(t, "f64")
+                        || is_i(t, "f32")
+                });
+                if rhs_float {
+                    decls.insert(name.text.clone());
+                }
+            }
+        }
+    }
+}
+
+/// Does this statement touch floats, as far as tokens can tell?
+fn stmt_has_float_signal(s: &[Tok], decls: &BTreeSet<String>) -> bool {
+    s.iter().any(|t| match t.kind {
+        TokKind::Num => num_is_float(&t.text),
+        TokKind::Ident => {
+            matches!(t.text.as_str(), "f64" | "f32" | "powi" | "powf" | "sqrt")
+                || decls.contains(&t.text)
+        }
+        _ => false,
+    })
+}
+
+fn float_fold_rule(rel: &str, s: &[Tok], decls: &BTreeSet<String>, out: &mut Vec<Finding>) {
+    let floaty = stmt_has_float_signal(s, decls);
+    if !floaty {
+        return;
+    }
+    for i in 0..s.len() {
+        let trigger =
+            if i > 0 && is_p(&s[i - 1], ".") && (is_i(&s[i], "sum") || is_i(&s[i], "fold")) {
+                Some(format!(
+                    "float reduction via `.{}()` has data-dependent fold order",
+                    s[i].text
+                ))
+            } else if is_p(&s[i], "+=") {
+                Some("raw `+=` float accumulation has loop-order-dependent rounding".to_string())
+            } else {
+                None
+            };
+        if let Some(what) = trigger {
+            out.push(Finding {
+                rule: "float-fold-order",
+                path: rel.to_string(),
+                line: s[i].line,
+                message: format!(
+                    "{what}; route float reductions through `charles_numerics::kernels` \
+                     (fixed fold order) to keep shard/SIMD execution bit-identical"
+                ),
+            });
+        }
+    }
+}
+
+/// Identifiers declared (or typed, including struct fields) as
+/// `HashMap`/`HashSet` anywhere in the file.
+fn collect_hash_idents(toks: &[Tok]) -> BTreeSet<String> {
+    let mut set = BTreeSet::new();
+    for i in 0..toks.len() {
+        if !(is_i(&toks[i], "HashMap") || is_i(&toks[i], "HashSet")) {
+            continue;
+        }
+        // Walk back over a path (`std :: collections :: HashMap`) to the
+        // token that introduced it.
+        let mut j = i;
+        while j > 0 && (is_p(&toks[j - 1], "::") || toks[j - 1].kind == TokKind::Ident) {
+            j -= 1;
+        }
+        // A reference type still iterates in hash order: step over `&`,
+        // `&&`, and lifetimes so `m: &HashMap<..>` binds `m` too.
+        while j > 0
+            && (is_p(&toks[j - 1], "&")
+                || is_p(&toks[j - 1], "&&")
+                || toks[j - 1].kind == TokKind::Lifetime)
+        {
+            j -= 1;
+        }
+        if j >= 2 && is_p(&toks[j - 1], ":") && toks[j - 2].kind == TokKind::Ident {
+            // `name: HashMap<..>` — field, param, or annotated let.
+            set.insert(toks[j - 2].text.clone());
+        } else if j >= 2 && is_p(&toks[j - 1], "=") && toks[j - 2].kind == TokKind::Ident {
+            // `let [mut] name = HashMap::new()`.
+            set.insert(toks[j - 2].text.clone());
+        }
+    }
+    set
+}
+
+fn ordered_iteration_rule(
+    rel: &str,
+    toks: &[Tok],
+    (a, b): (usize, usize),
+    hash_idents: &BTreeSet<String>,
+    out: &mut Vec<Finding>,
+) {
+    if hash_idents.is_empty() {
+        return;
+    }
+    let s = &toks[a..b];
+    // A re-ordering step in the same statement makes the iteration safe.
+    if s.iter().any(|t| {
+        (t.kind == TokKind::Ident && SORTS.contains(&t.text.as_str()))
+            || is_i(t, "BTreeMap")
+            || is_i(t, "BTreeSet")
+    }) {
+        return;
+    }
+
+    // Find an iteration over a known hash container: `h.iter()` /
+    // `h.values()` / … or a bare `for .. in [&]h`.
+    let mut trigger: Option<(usize, String)> = None;
+    for i in 0..s.len() {
+        if s[i].kind == TokKind::Ident
+            && hash_idents.contains(&s[i].text)
+            && i + 2 < s.len()
+            && is_p(&s[i + 1], ".")
+            && s[i + 2].kind == TokKind::Ident
+            && ITER_METHODS.contains(&s[i + 2].text.as_str())
+        {
+            trigger = Some((i + 2, s[i].text.clone()));
+            break;
+        }
+    }
+    let is_for = s.iter().any(|t| is_i(t, "for"));
+    if trigger.is_none() && is_for {
+        if let Some(in_at) = s.iter().position(|t| is_i(t, "in")) {
+            for (i, t) in s.iter().enumerate().skip(in_at + 1) {
+                if t.kind == TokKind::Ident && hash_idents.contains(&t.text) {
+                    trigger = Some((i, t.text.clone()));
+                    break;
+                }
+            }
+        }
+    }
+    let Some((trig_at, name)) = trigger else {
+        return;
+    };
+
+    // Only order-sensitive consumption is a finding.
+    let sensitive = if is_for && s.last().is_some_and(|t| is_p(t, "{")) {
+        // Scan the loop body (to the matching brace) for sinks.
+        let mut depth = 1i32;
+        let mut k = b;
+        let mut hit = false;
+        while k < toks.len() && depth > 0 {
+            let t = &toks[k];
+            if is_p(t, "{") {
+                depth += 1;
+            } else if is_p(t, "}") {
+                depth -= 1;
+            } else if is_p(t, "+=")
+                || (t.kind == TokKind::Ident && BODY_SINKS.contains(&t.text.as_str()))
+            {
+                hit = true;
+            }
+            k += 1;
+        }
+        hit
+    } else {
+        s.iter().any(|t| {
+            t.kind == TokKind::Ident && (CHAIN_SINKS.contains(&t.text.as_str()) || t.text == "Json")
+        })
+    };
+    if !sensitive {
+        return;
+    }
+
+    out.push(Finding {
+        rule: "ordered-iteration",
+        path: rel.to_string(),
+        line: s[trig_at].line,
+        message: format!(
+            "iteration over hash-ordered `{name}` feeds an order-sensitive sink \
+             (serialization, ranking, or accumulation); use BTreeMap/BTreeSet or \
+             sort in the same statement"
+        ),
+    });
+}
+
+fn wire_float_rule(rel: &str, s: &[Tok], out: &mut Vec<Finding>) {
+    let exact = s.iter().any(|t| {
+        t.kind == TokKind::Ident
+            && matches!(
+                t.text.as_str(),
+                "f64_bits" | "f64_from_bits" | "to_bits" | "from_bits"
+            )
+    });
+    if exact {
+        return;
+    }
+    for i in 0..s.len().saturating_sub(2) {
+        if is_i(&s[i], "Json") && is_p(&s[i + 1], "::") && is_i(&s[i + 2], "Num") {
+            out.push(Finding {
+                rule: "wire-float-exactness",
+                path: rel.to_string(),
+                line: s[i + 2].line,
+                message: "raw JSON float on the wire; decimal round-trips are not \
+                          bit-exact — use the `f64_bits`/`f64_from_bits` hex helpers \
+                          (or suppress with a reason for human-facing decimals)"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+fn block_grid_rule(rel: &str, s: &[Tok], out: &mut Vec<Finding>) {
+    if s.iter().any(|t| is_i(t, "GRAM_BLOCK_ROWS")) {
+        return;
+    }
+    for t in s {
+        if t.kind == TokKind::Num && num_is_128(&t.text) {
+            out.push(Finding {
+                rule: "block-grid-literals",
+                path: rel.to_string(),
+                line: t.line,
+                message: "bare `128` in block math; reference \
+                          `charles_numerics::ols::GRAM_BLOCK_ROWS` so the canonical \
+                          block grid has one definition"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+/// Is this numeric literal the value 128 (any suffix, underscores ok)?
+fn num_is_128(text: &str) -> bool {
+    let digits: String = text
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == '_')
+        .collect();
+    let rest = &text[digits.len()..];
+    let digits: String = digits.chars().filter(|c| *c != '_').collect();
+    digits == "128"
+        && rest.chars().all(|c| c.is_alphanumeric())
+        && !rest.starts_with(|c: char| c.is_ascii_digit())
+}
+
+fn no_panic_rule(rel: &str, s: &[Tok], out: &mut Vec<Finding>) {
+    for i in 0..s.len() {
+        let t = &s[i];
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let method_call = i > 0
+            && is_p(&s[i - 1], ".")
+            && i + 1 < s.len()
+            && is_p(&s[i + 1], "(")
+            && matches!(t.text.as_str(), "unwrap" | "expect");
+        let macro_call = i + 1 < s.len()
+            && is_p(&s[i + 1], "!")
+            && matches!(
+                t.text.as_str(),
+                "panic" | "unreachable" | "todo" | "unimplemented"
+            );
+        if method_call || macro_call {
+            out.push(Finding {
+                rule: "no-panic-in-request-path",
+                path: rel.to_string(),
+                line: t.line,
+                message: format!(
+                    "`{}` can take down a serving thread; return a typed \
+                     `ErrorEnvelope` (stable code) or recover explicitly",
+                    t.text
+                ),
+            });
+        }
+    }
+}
+
+/// Acquisition = `.lock()` / `.read()` / `.write()` with no arguments
+/// (so `stream.read(&mut buf)` io calls don't match), or a call to a
+/// project lock helper named `lock_*`.
+fn stmt_acquisitions(s: &[Tok]) -> Vec<usize> {
+    let mut hits = Vec::new();
+    for i in 0..s.len() {
+        let t = &s[i];
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let guard_method = i > 0
+            && is_p(&s[i - 1], ".")
+            && matches!(t.text.as_str(), "lock" | "read" | "write")
+            && i + 2 < s.len()
+            && is_p(&s[i + 1], "(")
+            && is_p(&s[i + 2], ")");
+        let helper = t.text.starts_with("lock_") && i + 1 < s.len() && is_p(&s[i + 1], "(");
+        if guard_method || helper {
+            hits.push(i);
+        }
+    }
+    hits
+}
+
+fn lock_discipline_rule(rel: &str, toks: &[Tok], stmts: &[(usize, usize)], out: &mut Vec<Finding>) {
+    let mut depth = 0i32;
+    // Live let-bound guards: (name, brace depth at binding).
+    let mut guards: Vec<(String, i32)> = Vec::new();
+
+    for &(a, b) in stmts {
+        let s = &toks[a..b];
+        if s.is_empty() {
+            continue;
+        }
+        let skip = s.iter().any(|t| t.in_test);
+
+        if !skip {
+            if s.iter().any(|t| is_i(t, "fn")) {
+                guards.clear();
+            }
+            // `drop(guard)` releases early.
+            for i in 0..s.len().saturating_sub(2) {
+                if is_i(&s[i], "drop") && is_p(&s[i + 1], "(") && s[i + 2].kind == TokKind::Ident {
+                    let name = s[i + 2].text.clone();
+                    guards.retain(|(g, _)| *g != name);
+                }
+            }
+            let acquisitions = stmt_acquisitions(s);
+            for &i in &acquisitions {
+                if let Some((held, _)) = guards.first() {
+                    out.push(Finding {
+                        rule: "lock-discipline",
+                        path: rel.to_string(),
+                        line: s[i].line,
+                        message: format!(
+                            "acquiring `{}` while guard `{held}` is still held; nested \
+                             locks deadlock under contention — drop the guard first, or \
+                             suppress citing the documented lock order",
+                            s[i].text
+                        ),
+                    });
+                }
+            }
+            // A `let`-bound acquisition keeps its guard live to scope end.
+            if !acquisitions.is_empty() && is_i(&s[0], "let") {
+                let name_at = if s.len() > 1 && is_i(&s[1], "mut") {
+                    2
+                } else {
+                    1
+                };
+                if let Some(name) = s.get(name_at) {
+                    if name.kind == TokKind::Ident {
+                        guards.push((name.text.clone(), depth));
+                    }
+                }
+            }
+        }
+
+        // Track brace depth from the statement terminator (always the
+        // last token of the run when it is `{` or `}`).
+        if let Some(last) = s.last() {
+            if is_p(last, "{") {
+                depth += 1;
+            } else if is_p(last, "}") {
+                depth -= 1;
+                guards.retain(|(_, d)| *d <= depth);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Suppressions
+// ---------------------------------------------------------------------------
+
+struct Allow {
+    rule: String,
+    comment_line: u32,
+    /// Inclusive line range covered: the comment's own line, or (for a
+    /// standalone comment) the full span of the next statement, so one
+    /// allow above a multi-line chain covers a trigger on any of its
+    /// lines.
+    lo: u32,
+    hi: u32,
+    used: bool,
+}
+
+fn apply_suppressions(rel: &str, ft: &FileTokens, findings: &mut Vec<Finding>) {
+    let mut allows: Vec<Allow> = Vec::new();
+    for c in &ft.comments {
+        // Doc comments are documentation, not directives: an allow
+        // marker quoted in rustdoc must not suppress anything.
+        if c.text.starts_with("///")
+            || c.text.starts_with("//!")
+            || c.text.starts_with("/**")
+            || c.text.starts_with("/*!")
+        {
+            continue;
+        }
+        let Some(start) = c.text.find("lint:allow(") else {
+            continue;
+        };
+        let body = &c.text[start + "lint:allow(".len()..];
+        let Some(end) = body.find(')') else {
+            findings.push(Finding {
+                rule: UNUSED_SUPPRESSION,
+                path: rel.to_string(),
+                line: c.line,
+                message: "malformed `lint:allow(...)`: missing closing parenthesis".to_string(),
+            });
+            continue;
+        };
+        let (lo, hi) = if c.standalone {
+            // A standalone comment suppresses the statement that starts
+            // at the next code line.
+            let next = ft
+                .toks
+                .iter()
+                .position(|t| t.line >= c.line)
+                .unwrap_or(ft.toks.len());
+            let stmts = split_stmts(&ft.toks);
+            stmts
+                .iter()
+                .find(|&&(a, b)| next >= a && next < b)
+                .map_or((0, 0), |&(a, b)| {
+                    let lines = ft.toks[a..b].iter().map(|t| t.line);
+                    (lines.clone().min().unwrap_or(0), lines.max().unwrap_or(0))
+                })
+        } else {
+            (c.line, c.line)
+        };
+        // One rule, or several comma-separated rules, optionally
+        // followed by `: free-form reason` — rules before the first
+        // `:`, reason (commas and colons allowed) after it.
+        let inner = &body[..end];
+        let rules_part = inner.split(':').next().unwrap_or(inner);
+        for item in rules_part.split(',') {
+            let rule = item.trim().to_string();
+            if rule.is_empty() {
+                continue;
+            }
+            if !RULES.contains(&rule.as_str()) {
+                findings.push(Finding {
+                    rule: UNUSED_SUPPRESSION,
+                    path: rel.to_string(),
+                    line: c.line,
+                    message: format!("unknown rule `{rule}` in lint:allow"),
+                });
+                continue;
+            }
+            // Allows inside skipped test code are inert, not stale.
+            let in_test_target = ft
+                .toks
+                .iter()
+                .find(|t| t.line >= lo)
+                .is_some_and(|t| t.in_test);
+            allows.push(Allow {
+                rule,
+                comment_line: c.line,
+                lo,
+                hi,
+                used: in_test_target,
+            });
+        }
+    }
+
+    findings.retain(|f| {
+        if f.rule == UNUSED_SUPPRESSION {
+            return true;
+        }
+        let mut suppressed = false;
+        for a in &mut allows {
+            if a.rule == f.rule && f.line >= a.lo && f.line <= a.hi {
+                a.used = true;
+                suppressed = true;
+            }
+        }
+        !suppressed
+    });
+
+    for a in &allows {
+        if !a.used {
+            findings.push(Finding {
+                rule: UNUSED_SUPPRESSION,
+                path: rel.to_string(),
+                line: a.comment_line,
+                message: format!(
+                    "suppression `lint:allow({})` matches no finding on lines {}-{}; remove it",
+                    a.rule, a.lo, a.hi
+                ),
+            });
+        }
+    }
+}

@@ -1,0 +1,58 @@
+#![forbid(unsafe_code)]
+//! `charles-lint` CLI: walk the workspace sources, print findings, exit
+//! nonzero when any survive suppression.
+//!
+//! Usage: `charles-lint [--json] [ROOT]`
+//!
+//! - `ROOT` defaults to the current directory (CI runs
+//!   `cargo run -p charles-lint` from the repo root).
+//! - `--json` emits the machine-readable report instead of the
+//!   `path:line: [rule] message` lines.
+//!
+//! Exit codes: 0 clean, 1 findings, 2 usage or I/O error.
+
+use std::env;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut root: Option<PathBuf> = None;
+    for arg in env::args().skip(1) {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--help" | "-h" => {
+                println!("usage: charles-lint [--json] [ROOT]");
+                return ExitCode::SUCCESS;
+            }
+            other if !other.starts_with('-') && root.is_none() => {
+                root = Some(PathBuf::from(other));
+            }
+            other => {
+                eprintln!("charles-lint: unknown argument `{other}`");
+                eprintln!("usage: charles-lint [--json] [ROOT]");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let root = root.unwrap_or_else(|| PathBuf::from("."));
+
+    let report = match charles_lint::lint_tree(&root) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("charles-lint: failed to scan {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    if json {
+        println!("{}", charles_lint::render_json(&report));
+    } else {
+        print!("{}", charles_lint::render_human(&report));
+    }
+    if report.findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

@@ -1,0 +1,13 @@
+// Seeded violations for the block-grid-literals rule.
+
+pub fn bare_block_rows(rows: usize) -> usize {
+    rows.div_ceil(128)
+}
+
+pub fn named_constant_is_fine(rows: usize) -> usize {
+    rows.div_ceil(GRAM_BLOCK_ROWS)
+}
+
+pub fn other_literals_are_fine(rows: usize) -> usize {
+    rows.div_ceil(127) + 1280
+}

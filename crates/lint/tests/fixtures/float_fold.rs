@@ -1,0 +1,22 @@
+// Seeded violations for the float-fold-order rule. Never compiled; this
+// file is tokenized by the test suite under a synthetic workspace path.
+
+pub fn iterator_sum(xs: &[f64]) -> f64 {
+    xs.iter().sum()
+}
+
+pub fn explicit_fold(xs: &[f64]) -> f64 {
+    xs.iter().fold(0.0, |acc, x| acc + x)
+}
+
+pub fn loop_accumulate(xs: &[f64]) -> f64 {
+    let mut total = 0.0;
+    for x in xs {
+        total += x;
+    }
+    total
+}
+
+pub fn integer_sum_is_fine(xs: &[u64]) -> u64 {
+    xs.iter().sum()
+}

@@ -1,0 +1,27 @@
+// Seeded violations for the lock-discipline rule. Linted under a
+// synthetic manager.rs path so the rule is in scope.
+
+use std::sync::Mutex;
+
+pub fn nested_guards(a: &Mutex<u32>, b: &Mutex<u32>) -> u32 {
+    let first = a.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    let second = b.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    *first + *second
+}
+
+pub fn scope_released_is_fine(a: &Mutex<u32>, b: &Mutex<u32>) -> u32 {
+    let first = {
+        let guard = a.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        *guard
+    };
+    let second = b.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    first + *second
+}
+
+pub fn explicit_drop_is_fine(a: &Mutex<u32>, b: &Mutex<u32>) -> u32 {
+    let first = a.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    let x = *first;
+    drop(first);
+    let second = b.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    x + *second
+}

@@ -1,0 +1,32 @@
+// Seeded violations for the ordered-iteration rule.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+pub fn hash_keys_collected(m: &HashMap<String, u64>) -> Vec<String> {
+    m.keys().cloned().collect()
+}
+
+pub fn hash_values_summed(m: &HashMap<String, f64>) -> f64 {
+    let mut total = 0.0;
+    for v in m.values() {
+        total += v;
+    }
+    total
+}
+
+pub fn set_extend(s: &HashSet<u32>, out: &mut Vec<u32>) {
+    out.extend(s.iter().copied());
+}
+
+pub fn sorted_after_with_allow(m: &HashMap<String, u64>) -> Vec<String> {
+    // lint:allow(ordered-iteration: hash order is erased by the sort on the next line)
+    let mut keys: Vec<String> = m.keys().cloned().collect();
+    keys.sort();
+    keys
+}
+
+// Note: the ident set is file-global, so this param must not reuse a
+// name already bound to a HashMap above.
+pub fn btree_is_fine(sorted_map: &BTreeMap<String, u64>) -> Vec<String> {
+    sorted_map.keys().cloned().collect()
+}

@@ -1,0 +1,29 @@
+// Seeded violations for the no-panic-in-request-path rule. Linted under
+// a synthetic crates/server/src path so the rule is in scope.
+
+pub fn handle(req: Option<u32>) -> u32 {
+    req.unwrap()
+}
+
+pub fn handle_expect(req: Option<u32>) -> u32 {
+    req.expect("request payload missing")
+}
+
+pub fn handle_macro(ok: bool) {
+    if !ok {
+        panic!("bad request");
+    }
+}
+
+pub fn typed_error_is_fine(req: Option<u32>) -> Result<u32, String> {
+    req.ok_or_else(|| "request payload missing".to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        let v: Option<u32> = Some(3);
+        assert_eq!(v.unwrap(), 3);
+    }
+}

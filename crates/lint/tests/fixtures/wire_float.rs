@@ -1,0 +1,14 @@
+// Seeded violations for the wire-float-exactness rule. Linted under a
+// synthetic proto.rs path so the rule is in scope.
+
+pub fn raw_float_on_wire(score: f64) -> Json {
+    Json::Num(score)
+}
+
+pub fn bits_helper_is_fine(score: f64) -> Json {
+    Json::Str(f64_bits(score))
+}
+
+pub fn explicit_to_bits_is_fine(score: f64) -> Json {
+    Json::Num(f64::from_bits(score.to_bits()))
+}

@@ -1,0 +1,312 @@
+//! Integration suite for `charles-lint`.
+//!
+//! Each fixture under `tests/fixtures/` seeds violations for exactly one
+//! rule; [`charles_lint::lint_source`] runs it under a synthetic
+//! workspace path that puts the rule in scope. The final test lints the
+//! real workspace tree and requires it to be clean — the same gate CI
+//! enforces.
+
+use charles_lint::token::{FileTokens, TokKind};
+use charles_lint::{lint_source, lint_tree, render_json, Finding, RULES, UNUSED_SUPPRESSION};
+
+fn lines_for(findings: &[Finding], rule: &str) -> Vec<u32> {
+    findings
+        .iter()
+        .filter(|f| f.rule == rule)
+        .map(|f| f.line)
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// One fixture per rule: the rule fires on the seeded lines and nowhere else.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn float_fold_order_catches_fixture() {
+    let src = include_str!("fixtures/float_fold.rs");
+    let findings = lint_source("crates/core/src/fixture.rs", src);
+    let lines = lines_for(&findings, "float-fold-order");
+    assert_eq!(lines.len(), 3, "sum, fold, and += loop: {findings:?}");
+    // The u64 sum at the end must not fire.
+    assert!(findings.iter().all(|f| f.rule == "float-fold-order"));
+}
+
+#[test]
+fn float_fold_order_exempts_kernels() {
+    let src = include_str!("fixtures/float_fold.rs");
+    let findings = lint_source("crates/numerics/src/kernels.rs", src);
+    assert!(
+        lines_for(&findings, "float-fold-order").is_empty(),
+        "kernels.rs is the one place float folds are defined: {findings:?}"
+    );
+}
+
+#[test]
+fn ordered_iteration_catches_fixture() {
+    let src = include_str!("fixtures/ordered_iter.rs");
+    let findings = lint_source("crates/core/src/fixture.rs", src);
+    let lines = lines_for(&findings, "ordered-iteration");
+    assert_eq!(
+        lines.len(),
+        3,
+        "keys().collect(), for-values +=, and extend: {findings:?}"
+    );
+    // The allow-suppressed sort-after site and the BTreeMap site are clean,
+    // and the in-fixture allow is consumed (no unused-suppression report).
+    assert!(
+        lines_for(&findings, UNUSED_SUPPRESSION).is_empty(),
+        "{findings:?}"
+    );
+}
+
+#[test]
+fn wire_float_exactness_catches_fixture() {
+    let src = include_str!("fixtures/wire_float.rs");
+    let findings = lint_source("crates/server/src/proto.rs", src);
+    let lines = lines_for(&findings, "wire-float-exactness");
+    assert_eq!(lines.len(), 1, "only the raw Json::Num site: {findings:?}");
+}
+
+#[test]
+fn wire_float_exactness_out_of_scope_elsewhere() {
+    let src = include_str!("fixtures/wire_float.rs");
+    let findings = lint_source("crates/core/src/fixture.rs", src);
+    assert!(lines_for(&findings, "wire-float-exactness").is_empty());
+}
+
+#[test]
+fn block_grid_literals_catches_fixture() {
+    let src = include_str!("fixtures/block_grid.rs");
+    let findings = lint_source("crates/numerics/src/fixture.rs", src);
+    let lines = lines_for(&findings, "block-grid-literals");
+    assert_eq!(lines.len(), 1, "only the bare 128: {findings:?}");
+}
+
+#[test]
+fn no_panic_catches_fixture_outside_tests() {
+    let src = include_str!("fixtures/panic_path.rs");
+    let findings = lint_source("crates/server/src/fixture.rs", src);
+    let lines = lines_for(&findings, "no-panic-in-request-path");
+    assert_eq!(
+        lines.len(),
+        3,
+        "unwrap, expect, and panic! — but not the #[cfg(test)] unwrap: {findings:?}"
+    );
+}
+
+#[test]
+fn no_panic_out_of_scope_outside_server() {
+    let src = include_str!("fixtures/panic_path.rs");
+    let findings = lint_source("crates/core/src/fixture.rs", src);
+    assert!(lines_for(&findings, "no-panic-in-request-path").is_empty());
+}
+
+#[test]
+fn lock_discipline_catches_fixture() {
+    let src = include_str!("fixtures/lock_nesting.rs");
+    let findings = lint_source("crates/core/src/manager.rs", src);
+    let lines = lines_for(&findings, "lock-discipline");
+    assert_eq!(
+        lines.len(),
+        1,
+        "only the nested pair; scope release and drop() are clean: {findings:?}"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Suppression machinery
+// ---------------------------------------------------------------------------
+
+#[test]
+fn used_suppression_silences_and_is_not_reported() {
+    let src = "pub fn total(xs: &[f64]) -> f64 {\n    \
+               // lint:allow(float-fold-order: scalar reference, fixed row order)\n    \
+               xs.iter().sum()\n}\n";
+    let findings = lint_source("crates/core/src/fixture.rs", src);
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn same_line_suppression_works() {
+    let src = "pub fn total(xs: &[f64]) -> f64 {\n    \
+               xs.iter().sum() // lint:allow(float-fold-order: pinned scalar order)\n}\n";
+    let findings = lint_source("crates/core/src/fixture.rs", src);
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn standalone_suppression_covers_multiline_statement() {
+    let src = "pub fn keys(m: &std::collections::HashMap<String, u64>) -> Vec<String> {\n    \
+               // lint:allow(ordered-iteration: sorted by the caller)\n    \
+               let v: Vec<String> = m\n        \
+               .keys()\n        \
+               .cloned()\n        \
+               .collect();\n    \
+               v\n}\n";
+    let findings = lint_source("crates/core/src/fixture.rs", src);
+    assert!(
+        findings.is_empty(),
+        "allow must cover the whole chain: {findings:?}"
+    );
+}
+
+#[test]
+fn unused_suppression_is_reported() {
+    let src = "pub fn clean() -> u64 {\n    \
+               // lint:allow(float-fold-order: nothing here actually folds)\n    \
+               7\n}\n";
+    let findings = lint_source("crates/core/src/fixture.rs", src);
+    let lines = lines_for(&findings, UNUSED_SUPPRESSION);
+    assert_eq!(lines, vec![2], "{findings:?}");
+}
+
+#[test]
+fn unknown_rule_in_suppression_is_reported() {
+    let src = "pub fn clean() -> u64 {\n    \
+               // lint:allow(made-up-rule)\n    \
+               7\n}\n";
+    let findings = lint_source("crates/core/src/fixture.rs", src);
+    assert_eq!(
+        lines_for(&findings, UNUSED_SUPPRESSION),
+        vec![2],
+        "{findings:?}"
+    );
+}
+
+#[test]
+fn suppression_reason_may_contain_commas() {
+    let src = "pub fn total(xs: &[f64]) -> f64 {\n    \
+               // lint:allow(float-fold-order: fixed order, bench-only, not served)\n    \
+               xs.iter().sum()\n}\n";
+    let findings = lint_source("crates/core/src/fixture.rs", src);
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn doc_comments_never_act_as_suppressions() {
+    // A rustdoc line quoting the marker must not suppress the real finding
+    // below it — and must not be reported as an unused suppression either.
+    let src = "/// Write `// lint:allow(float-fold-order)` to suppress.\n\
+               pub fn total(xs: &[f64]) -> f64 {\n    \
+               xs.iter().sum()\n}\n";
+    let findings = lint_source("crates/core/src/fixture.rs", src);
+    assert_eq!(
+        lines_for(&findings, "float-fold-order"),
+        vec![3],
+        "{findings:?}"
+    );
+    assert!(
+        lines_for(&findings, UNUSED_SUPPRESSION).is_empty(),
+        "{findings:?}"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Tokenizer edge cases: rule needles inside strings/comments are inert.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn needles_inside_string_literals_are_inert() {
+    let src = r##"pub fn describe() -> &'static str {
+    "HashMap .keys() .sum() unwrap() Json::Num 128 a.lock() b.lock()"
+}
+"##;
+    for path in [
+        "crates/core/src/fixture.rs",
+        "crates/server/src/proto.rs",
+        "crates/core/src/manager.rs",
+    ] {
+        let findings = lint_source(path, src);
+        assert!(findings.is_empty(), "{path}: {findings:?}");
+    }
+}
+
+#[test]
+fn needles_inside_raw_strings_are_inert() {
+    let src = "pub fn template() -> &'static str {\n    \
+               r#\"{\"alpha\": Json::Num(0.5), \"n\": 128}\"#\n}\n";
+    let findings = lint_source("crates/server/src/proto.rs", src);
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn needles_inside_nested_block_comments_are_inert() {
+    let src = "/* outer /* xs.iter().sum() over f64 */ still comment 128 */\n\
+               pub fn clean() -> u64 { 7 }\n";
+    let findings = lint_source("crates/core/src/fixture.rs", src);
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn tokenizer_separates_chars_from_lifetimes() {
+    let src = "fn f<'a>(x: &'a str) -> char { let c = 'a'; let _ = x; c }\n";
+    let ft = FileTokens::tokenize(src);
+    let chars: Vec<_> = ft.toks.iter().filter(|t| t.kind == TokKind::Char).collect();
+    let lifetimes: Vec<_> = ft
+        .toks
+        .iter()
+        .filter(|t| t.kind == TokKind::Lifetime)
+        .collect();
+    assert_eq!(chars.len(), 1, "{chars:?}");
+    assert_eq!(lifetimes.len(), 2, "{lifetimes:?}");
+}
+
+#[test]
+fn tokenizer_handles_float_vs_range() {
+    let ft = FileTokens::tokenize("let a = 1.5; for i in 1..10 { let b = 2.; }");
+    let nums: Vec<&str> = ft
+        .toks
+        .iter()
+        .filter(|t| t.kind == TokKind::Num)
+        .map(|t| t.text.as_str())
+        .collect();
+    assert_eq!(nums, vec!["1.5", "1", "10", "2."]);
+}
+
+// ---------------------------------------------------------------------------
+// Whole-workspace gate and output formats
+// ---------------------------------------------------------------------------
+
+#[test]
+fn workspace_tree_is_clean() {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..");
+    let report = lint_tree(&root).expect("walk workspace tree");
+    assert!(
+        report.files_scanned > 50,
+        "scanned {}",
+        report.files_scanned
+    );
+    assert!(
+        report.findings.is_empty(),
+        "workspace must lint clean:\n{}",
+        charles_lint::render_human(&report)
+    );
+}
+
+#[test]
+fn json_output_is_stable_and_escaped() {
+    let src = "pub fn total(xs: &[f64]) -> f64 {\n    xs.iter().sum()\n}\n";
+    let findings = lint_source("crates/core/src/fixture.rs", src);
+    let report = charles_lint::Report {
+        files_scanned: 1,
+        findings,
+    };
+    let json = render_json(&report);
+    assert!(json.contains("\"version\":1"), "{json}");
+    assert!(json.contains("\"rule\":\"float-fold-order\""), "{json}");
+    assert!(json.contains("\"files_scanned\":1"), "{json}");
+    // Messages quote backticked identifiers; the output must stay valid JSON
+    // (no raw control characters, quotes escaped).
+    assert!(!json.chars().any(|c| c.is_control() && c != '\n'), "{json}");
+}
+
+#[test]
+fn rule_registry_is_distinct_and_excludes_pseudo_rule() {
+    let mut names = RULES.to_vec();
+    names.sort_unstable();
+    names.dedup();
+    assert_eq!(names.len(), RULES.len(), "duplicate rule name in registry");
+    assert!(!RULES.contains(&UNUSED_SUPPRESSION));
+}

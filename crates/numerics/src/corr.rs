@@ -7,6 +7,7 @@
 //! nominal → numeric association.
 
 use crate::error::{NumericsError, Result};
+use crate::kernels;
 use crate::stats::{mean, ranks};
 
 /// Pearson product-moment correlation in [-1, 1].
@@ -28,16 +29,13 @@ pub fn pearson(x: &[f64], y: &[f64]) -> Result<f64> {
     }
     let mx = mean(x)?;
     let my = mean(y)?;
-    let mut sxy = 0.0;
-    let mut sxx = 0.0;
-    let mut syy = 0.0;
-    for (&a, &b) in x.iter().zip(y.iter()) {
-        let dx = a - mx;
-        let dy = b - my;
-        sxy += dx * dy;
-        sxx += dx * dx;
-        syy += dy * dy;
-    }
+    // Center once, then reduce through the fixed-fold-order kernels so
+    // this screening statistic is bit-stable however the caller shards.
+    let dx: Vec<f64> = x.iter().map(|&a| a - mx).collect();
+    let dy: Vec<f64> = y.iter().map(|&b| b - my).collect();
+    let sxy = kernels::dot(&dx, &dy);
+    let sxx = kernels::dot(&dx, &dx);
+    let syy = kernels::dot(&dy, &dy);
     if sxx == 0.0 || syy == 0.0 {
         return Ok(0.0);
     }
@@ -75,23 +73,30 @@ pub fn correlation_ratio(labels: &[u32], y: &[f64]) -> Result<f64> {
         });
     }
     let grand_mean = mean(y)?;
-    let ss_total: f64 = y.iter().map(|v| (v - grand_mean).powi(2)).sum();
+    let ss_total = kernels::sum_sq_dev(y, grand_mean);
     if ss_total == 0.0 {
         return Ok(0.0);
     }
-    let mut sums: std::collections::HashMap<u32, (f64, usize)> = std::collections::HashMap::new();
+    // Group in label order (BTreeMap), then reduce the per-group terms
+    // through the fixed-fold-order kernel: hash-ordered accumulation
+    // here made η's low bits vary run to run, which is exactly the kind
+    // of drift the bit-identity contract forbids.
+    let mut sums: std::collections::BTreeMap<u32, (f64, usize)> = std::collections::BTreeMap::new();
     for (&l, &v) in labels.iter().zip(y.iter()) {
-        let e = sums.entry(l).or_insert((0.0, 0));
-        e.0 += v;
-        e.1 += 1;
+        let (sum_acc, count) = sums.entry(l).or_insert((0.0, 0));
+        // Per-group partial sums accumulate in row order, fixed by the
+        // input slice — not hash order.
+        *sum_acc += v;
+        *count += 1;
     }
-    let ss_between: f64 = sums
+    let terms: Vec<f64> = sums
         .values()
         .map(|&(s, n)| {
             let gm = s / n as f64;
             n as f64 * (gm - grand_mean).powi(2)
         })
-        .sum();
+        .collect();
+    let ss_between = kernels::sum(&terms);
     Ok((ss_between / ss_total).clamp(0.0, 1.0).sqrt())
 }
 

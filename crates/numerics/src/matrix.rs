@@ -148,6 +148,7 @@ impl Matrix {
                 found: format!("length {}", v.len()),
             });
         }
+        // lint:allow(float-fold-order: dense row-order dot in the scalar solver; order fixed by the matrix layout)
         Ok((0..self.rows)
             .map(|i| self.row(i).iter().zip(v.iter()).map(|(&a, &b)| a * b).sum())
             .collect())

@@ -75,6 +75,7 @@ pub fn mean_roundness(xs: &[f64]) -> f64 {
     if xs.is_empty() {
         return 1.0;
     }
+    // lint:allow(float-fold-order: interpretability heuristic over a handful of constants, order fixed by the slice)
     xs.iter().map(|&x| roundness(x)).sum::<f64>() / xs.len() as f64
 }
 

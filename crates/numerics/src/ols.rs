@@ -75,6 +75,7 @@ pub struct LinearFit {
 impl LinearFit {
     /// Predict for one observation (`x.len()` must equal predictor count).
     pub fn predict(&self, x: &[f64]) -> f64 {
+        // lint:allow(float-fold-order: row-order scalar dot is the pinned prediction semantics; input order is fixed by the slice)
         self.intercept
             + self
                 .coefficients
@@ -117,11 +118,13 @@ impl LinearFit {
         if self.residuals.is_empty() {
             return 0.0;
         }
+        // lint:allow(float-fold-order: residuals are in canonical row order; sequential sum is the pinned scalar semantics)
         self.residuals.iter().map(|r| r.abs()).sum::<f64>() / self.residuals.len() as f64
     }
 
     /// Maximum absolute residual on training data.
     pub fn max_abs_error(&self) -> f64 {
+        // lint:allow(float-fold-order: max-fold is order-insensitive for the finite residuals it sees)
         self.residuals.iter().fold(0.0, |m, r| m.max(r.abs()))
     }
 }
@@ -275,6 +278,7 @@ pub fn column_moments_scalar(columns: &[&[f64]], y: &[f64]) -> Result<ColumnMome
             });
         }
     }
+    // lint:allow(float-fold-order: scalar bit-reference for kernels::column_moments; max-fold is order-insensitive)
     let max_abs: Vec<f64> = columns
         .iter()
         .map(|c| c.iter().fold(0.0f64, |m, v| m.max(v.abs())))
@@ -446,6 +450,7 @@ pub fn gram_partial_scalar(
                 }
                 let row = &mut block.xtx[i * d..(i + 1) * d];
                 for j in i..d {
+                    // lint:allow(float-fold-order: scalar bit-reference implementation the blocked gram kernel is tested against)
                     row[j] += a * x_row[j];
                 }
             }
@@ -568,6 +573,7 @@ pub fn fit_constant(y: &[f64]) -> Result<LinearFit> {
     if y.is_empty() {
         return Err(NumericsError::InsufficientData { needed: 1, got: 0 });
     }
+    // lint:allow(float-fold-order: sequential row-order sum is the pinned constant-fit semantics)
     let mean = y.iter().sum::<f64>() / y.len() as f64;
     let residuals: Vec<f64> = y.iter().map(|v| v - mean).collect();
     let y_hat = vec![mean; y.len()];

@@ -75,6 +75,7 @@ impl KeyIndex {
 
     /// Keys present in `self` but not in `other` (sorted for determinism).
     pub fn keys_missing_from(&self, other: &KeyIndex) -> Vec<Value> {
+        // lint:allow(ordered-iteration: hash order is erased by the sort on the line below)
         let mut missing: Vec<Value> = self
             .map
             .keys()

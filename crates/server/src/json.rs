@@ -209,8 +209,10 @@ fn write_number(n: f64, out: &mut String) {
     {
         // Integral values print without a fraction ("3", not "3.0") —
         // pleasant for counters; parses back to the identical f64.
+        // lint:allow(no-panic-in-request-path: fmt::Write to String is infallible)
         write!(out, "{}", n as i64).expect("write to String");
     } else {
+        // lint:allow(no-panic-in-request-path: fmt::Write to String is infallible)
         write!(out, "{n}").expect("write to String");
     }
 }
@@ -228,6 +230,7 @@ fn write_string(s: &str, out: &mut String) {
             '\u{08}' => out.push_str("\\b"),
             '\u{0c}' => out.push_str("\\f"),
             c if (c as u32) < 0x20 => {
+                // lint:allow(no-panic-in-request-path: fmt::Write to String is infallible)
                 write!(out, "\\u{:04x}", c as u32).expect("write to String");
             }
             c => out.push(c),
@@ -239,6 +242,7 @@ fn write_string(s: &str, out: &mut String) {
 /// Maximum container nesting the parser accepts. Recursion is one stack
 /// frame per level, so an unbounded depth would let a small hostile body
 /// (`[[[[…`) overflow a worker thread's stack and abort the process.
+// lint:allow(block-grid-literals: JSON nesting depth cap, unrelated to the Gram block grid)
 const MAX_DEPTH: usize = 128;
 
 struct Parser<'a> {
@@ -265,7 +269,7 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+    fn expect_byte(&mut self, b: u8) -> Result<(), JsonError> {
         if self.peek() == Some(b) {
             self.pos += 1;
             Ok(())
@@ -307,7 +311,7 @@ impl<'a> Parser<'a> {
     }
 
     fn array(&mut self) -> Result<Json, JsonError> {
-        self.expect(b'[')?;
+        self.expect_byte(b'[')?;
         self.enter()?;
         let mut items = Vec::new();
         self.skip_ws();
@@ -333,7 +337,7 @@ impl<'a> Parser<'a> {
     }
 
     fn object(&mut self) -> Result<Json, JsonError> {
-        self.expect(b'{')?;
+        self.expect_byte(b'{')?;
         self.enter()?;
         let mut pairs = Vec::new();
         self.skip_ws();
@@ -346,7 +350,7 @@ impl<'a> Parser<'a> {
             self.skip_ws();
             let key = self.string()?;
             self.skip_ws();
-            self.expect(b':')?;
+            self.expect_byte(b':')?;
             self.skip_ws();
             let value = self.value()?;
             pairs.push((key, value));
@@ -386,7 +390,8 @@ impl<'a> Parser<'a> {
                 self.pos += 1;
             }
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii slice");
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("non-ascii bytes in number"))?;
         text.parse::<f64>()
             .ok()
             .filter(|n| n.is_finite())
@@ -395,7 +400,7 @@ impl<'a> Parser<'a> {
     }
 
     fn string(&mut self) -> Result<String, JsonError> {
-        self.expect(b'"')?;
+        self.expect_byte(b'"')?;
         let mut out = String::new();
         loop {
             let Some(c) = self.peek() else {

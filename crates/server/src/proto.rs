@@ -127,6 +127,17 @@ fn f64_from_bits(value: &Json) -> Decode<f64> {
         .map_err(|_| ProtoError::new(format!("malformed float bits {text:?}")))
 }
 
+/// Encode one *human-facing* float (scores, α, timings) as a plain JSON
+/// number. This is the single sanctioned escape hatch from the hex-bits
+/// transport: Rust's `{}` float formatting is shortest-round-trip, so a
+/// finite value parses back to the identical f64 — exact in practice,
+/// while staying readable in `curl` output and dashboards. Everything on
+/// the shard-statistics path must keep using [`f64_bits`].
+fn human_f64(v: f64) -> Json {
+    // lint:allow(wire-float-exactness: shortest-round-trip decimal, read-back exact, human-facing fields only)
+    Json::Num(v)
+}
+
 /// Encode a float slice as bit patterns.
 fn f64_bits_arr(values: &[f64]) -> Json {
     Json::Arr(values.iter().map(|&v| f64_bits(v)).collect())
@@ -304,7 +315,7 @@ impl WireQuery {
     pub fn to_json(&self) -> Json {
         Json::obj([
             ("target", Json::str(&self.target)),
-            ("alpha", opt_to_json(&self.alpha, |a| Json::Num(*a))),
+            ("alpha", opt_to_json(&self.alpha, |a| human_f64(*a))),
             (
                 "condition_attrs",
                 opt_to_json(&self.condition_attrs, |a| Json::str_arr(a)),
@@ -368,13 +379,13 @@ impl RankedSummary {
     pub fn to_json(&self) -> Json {
         Json::obj([
             ("rank", Json::num_usize(self.rank)),
-            ("score", Json::Num(self.score)),
-            ("accuracy", Json::Num(self.accuracy)),
-            ("interpretability", Json::Num(self.interpretability)),
+            ("score", human_f64(self.score)),
+            ("accuracy", human_f64(self.accuracy)),
+            ("interpretability", human_f64(self.interpretability)),
             ("cts", Json::str_arr(&self.cts)),
             ("condition_attrs", Json::str_arr(&self.condition_attrs)),
             ("transform_attrs", Json::str_arr(&self.transform_attrs)),
-            ("changed_coverage", Json::Num(self.changed_coverage)),
+            ("changed_coverage", human_f64(self.changed_coverage)),
         ])
     }
 
@@ -445,8 +456,8 @@ impl WireQueryResult {
     pub fn to_json(&self) -> Json {
         Json::obj([
             ("target", Json::str(&self.target)),
-            ("alpha", Json::Num(self.alpha)),
-            ("elapsed_ms", Json::Num(self.elapsed_ms)),
+            ("alpha", human_f64(self.alpha)),
+            ("elapsed_ms", human_f64(self.elapsed_ms)),
             ("candidates", Json::num_usize(self.candidates)),
             ("evaluated", Json::num_usize(self.evaluated)),
             ("distinct", Json::num_usize(self.distinct)),
@@ -696,7 +707,7 @@ impl Request {
                 pairs.push(("query".into(), query.to_json()));
                 pairs.push((
                     "alphas".into(),
-                    Json::Arr(alphas.iter().map(|&a| Json::Num(a)).collect()),
+                    Json::Arr(alphas.iter().map(|&a| human_f64(a)).collect()),
                 ));
             }
             Request::ListTargets { dataset } => {

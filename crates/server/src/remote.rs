@@ -134,13 +134,18 @@ impl RemoteExecutor {
     /// cached connection (the next attempt re-dials); non-2xx responses
     /// surface the worker's error envelope.
     fn call(&self, slot: &WorkerSlot, request: &Request) -> io::Result<Json> {
-        let mut guard = slot.client.lock().expect("worker client poisoned");
+        let mut guard = slot
+            .client
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         if guard.is_none() {
             let mut client = HttpClient::connect(&slot.addr)?;
             client.set_read_timeout(Some(self.timeout))?;
             *guard = Some(client);
         }
-        let client = guard.as_mut().expect("client just installed");
+        let Some(client) = guard.as_mut() else {
+            return Err(io::Error::other("worker client slot empty after install"));
+        };
         let result = client.request("POST", "/v1/rpc", Some(&request.to_json().encode()));
         let response = match result {
             Ok(response) => response,
@@ -196,11 +201,16 @@ impl RemoteExecutor {
                     for i in mine {
                         match self.fetch_one(slot, active[i], make, parse) {
                             Ok(value) => {
-                                *slots[i].lock().expect("result slot poisoned") = Some(value);
+                                *slots[i]
+                                    .lock()
+                                    .unwrap_or_else(std::sync::PoisonError::into_inner) =
+                                    Some(value);
                             }
                             Err(e) => {
                                 slot.dead.store(true, Ordering::Relaxed);
-                                *last_error.lock().expect("error slot poisoned") = e;
+                                *last_error
+                                    .lock()
+                                    .unwrap_or_else(std::sync::PoisonError::into_inner) = e;
                                 return; // remaining ranges re-dispatch below
                             }
                         }
@@ -217,7 +227,11 @@ impl RemoteExecutor {
         // moment it serves a range again, so a long-lived executor heals
         // instead of grinding down to an empty pool.
         for (i, &range) in active.iter().enumerate() {
-            if slots[i].lock().expect("result slot poisoned").is_some() {
+            if slots[i]
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .is_some()
+            {
                 continue;
             }
             let mut served = false;
@@ -236,13 +250,17 @@ impl RemoteExecutor {
                     Ok(value) => {
                         slot.dead.store(false, Ordering::Relaxed);
                         self.redispatches.fetch_add(1, Ordering::Relaxed);
-                        *slots[i].lock().expect("result slot poisoned") = Some(value);
+                        *slots[i]
+                            .lock()
+                            .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(value);
                         served = true;
                         break;
                     }
                     Err(e) => {
                         slot.dead.store(true, Ordering::Relaxed);
-                        *last_error.lock().expect("error slot poisoned") = e;
+                        *last_error
+                            .lock()
+                            .unwrap_or_else(std::sync::PoisonError::into_inner) = e;
                     }
                 }
             }
@@ -254,18 +272,25 @@ impl RemoteExecutor {
                     range.end,
                     self.dataset,
                     self.workers.len(),
-                    last_error.get_mut().expect("error slot poisoned"),
+                    last_error
+                        .get_mut()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner),
                 )));
             }
         }
-        Ok(slots
+        slots
             .into_iter()
             .map(|slot| {
                 slot.into_inner()
-                    .expect("result slot poisoned")
-                    .expect("every range served or errored above")
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .ok_or_else(|| {
+                        CharlesError::Distributed(format!(
+                            "range result missing after dispatch for {what} of {:?}",
+                            self.dataset
+                        ))
+                    })
             })
-            .collect())
+            .collect()
     }
 
     /// One range from one worker: RPC + decode + shape validation. A

@@ -132,15 +132,13 @@ impl Server {
                 std::thread::Builder::new()
                     .name(format!("charles-worker-{i}"))
                     .spawn(move || worker_loop(&shared))
-                    .expect("spawn worker")
             })
-            .collect();
+            .collect::<io::Result<Vec<_>>>()?;
 
         let accept_shared = Arc::clone(&shared);
         let accept_thread = std::thread::Builder::new()
             .name("charles-accept".to_string())
-            .spawn(move || accept_loop(&listener, &accept_shared))
-            .expect("spawn accept thread");
+            .spawn(move || accept_loop(&listener, &accept_shared))?;
 
         Ok(Server {
             addr,
@@ -167,7 +165,7 @@ impl Server {
         // parked in `wait` (and will receive the notify below). Without
         // it, a notify landing between a worker's check and its `wait`
         // would be lost and the join would hang.
-        drop(self.shared.queue.lock().expect("queue poisoned"));
+        drop(lock_queue(&self.shared));
         self.shared.available.notify_all();
         // Unblock the accept loop with a wake-up connection; it checks the
         // flag before queueing.
@@ -188,6 +186,16 @@ impl Drop for Server {
     }
 }
 
+/// Lock the connection queue, recovering from poison: the queue holds
+/// plain `TcpStream`s, which stay structurally valid even if a worker
+/// panicked mid-push, so serving beats propagating the panic.
+fn lock_queue(shared: &Shared) -> std::sync::MutexGuard<'_, VecDeque<TcpStream>> {
+    shared
+        .queue
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
 fn accept_loop(listener: &TcpListener, shared: &Shared) {
     loop {
         let Ok((stream, _)) = listener.accept() else {
@@ -202,7 +210,7 @@ fn accept_loop(listener: &TcpListener, shared: &Shared) {
         if shared.shutdown.load(Ordering::SeqCst) {
             return; // the wake-up connection (or a raced client) is dropped
         }
-        let mut queue = shared.queue.lock().expect("queue poisoned");
+        let mut queue = lock_queue(shared);
         if queue.len() >= shared.max_pending {
             drop(queue);
             // Backpressure: refuse rather than queue unboundedly. Half-close
@@ -235,7 +243,7 @@ fn accept_loop(listener: &TcpListener, shared: &Shared) {
 fn worker_loop(shared: &Shared) {
     loop {
         let stream = {
-            let mut queue = shared.queue.lock().expect("queue poisoned");
+            let mut queue = lock_queue(shared);
             loop {
                 if let Some(stream) = queue.pop_front() {
                     break stream;
@@ -243,7 +251,10 @@ fn worker_loop(shared: &Shared) {
                 if shared.shutdown.load(Ordering::SeqCst) {
                     return;
                 }
-                queue = shared.available.wait(queue).expect("queue poisoned");
+                queue = shared
+                    .available
+                    .wait(queue)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
             }
         };
         serve_connection(stream, shared);

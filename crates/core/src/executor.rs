@@ -55,7 +55,7 @@ use charles_relation::{NumericView, RowRange, SnapshotPair};
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 
 /// One shard's slice of the candidate-independent change signals.
 #[derive(Debug, Clone, PartialEq)]
@@ -242,6 +242,7 @@ impl ShardExecutor for LocalExecutor {
 /// order. Degrades to a plain sequential map for 0–1 items or 1 core —
 /// shard fan-outs must never spawn per-item threads (a 4096-shard layout
 /// is a legal degenerate case, not a request for 4096 threads).
+// lint:allow(no-panic-in-request-path: indices are fetch_add claims checked against n; claimed slots are always filled; worker panics propagate out of thread::scope)
 pub(crate) fn fan_out<T: Sync, U: Send, F: Fn(&T) -> U + Sync>(items: &[T], f: F) -> Vec<U> {
     let n = items.len();
     let workers = std::thread::available_parallelism()
@@ -260,7 +261,7 @@ pub(crate) fn fan_out<T: Sync, U: Send, F: Fn(&T) -> U + Sync>(items: &[T], f: F
                     break;
                 }
                 let value = f(&items[i]);
-                *slots[i].lock().expect("fan-out slot poisoned") = Some(value);
+                *slots[i].lock().unwrap_or_else(PoisonError::into_inner) = Some(value);
             });
         }
     });
@@ -268,7 +269,7 @@ pub(crate) fn fan_out<T: Sync, U: Send, F: Fn(&T) -> U + Sync>(items: &[T], f: F
         .into_iter()
         .map(|slot| {
             slot.into_inner()
-                .expect("fan-out slot poisoned")
+                .unwrap_or_else(PoisonError::into_inner)
                 .expect("fan-out slot filled")
         })
         .collect()

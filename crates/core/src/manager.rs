@@ -742,10 +742,11 @@ impl SessionManager {
             let Some(victim) = victim else {
                 return; // only the just-used session is resident
             };
-            let entry = inner.datasets.get_mut(&victim).expect("victim exists");
-            entry.session = None;
-            entry.approx_bytes = 0;
-            entry.evictions += 1;
+            if let Some(entry) = inner.datasets.get_mut(&victim) {
+                entry.session = None;
+                entry.approx_bytes = 0;
+                entry.evictions += 1;
+            }
         }
     }
 }

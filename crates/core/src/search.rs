@@ -37,7 +37,7 @@ use charles_relation::{AttrId, AttrRef, NumericView, RowRange, SnapshotPair, Tab
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 
 /// One point of the search space.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -125,7 +125,7 @@ impl PlaneCaches {
         let fits: usize = self
             .fit_memo
             .lock()
-            .expect("fit memo poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .values()
             .map(|fit| {
                 fit.as_ref()
@@ -136,13 +136,18 @@ impl PlaneCaches {
         let labelings: usize = self
             .label_memo
             .lock()
-            .expect("label memo poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .values()
             .map(|labels| labels.len() * 8 + 64)
             .sum();
         // Summaries are small structured data (a few CTs of terms and
         // descriptors); a flat per-entry estimate is plenty here.
-        let candidates = self.candidate_memo.lock().expect("memo poisoned").len() * 512;
+        let candidates = self
+            .candidate_memo
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
+            * 512;
         fits + labelings + candidates
     }
 }
@@ -255,12 +260,12 @@ impl<'a> SearchContext<'a> {
         // The target's source values are always available (identity CTs and
         // autoregressive terms read them).
         views
-            .entry(target.id().expect("attr_ref is resolved"))
+            .entry(target.id().ok_or_else(|| unresolved_attr(&target))?)
             .or_insert_with(|| y_source.clone());
 
         let (delta, rel_delta) = change_signals(&y_target, &y_source);
         let scale = crate::score::derive_scale(&y_target, &y_source);
-        Ok(Self::from_plane(
+        Self::from_plane(
             pair,
             target_attr,
             target,
@@ -273,7 +278,7 @@ impl<'a> SearchContext<'a> {
             config,
             Arc::new(PlaneCaches::default()),
             true,
-        ))
+        )
     }
 
     /// Assemble a context over an already-extracted data plane and a
@@ -293,7 +298,7 @@ impl<'a> SearchContext<'a> {
         config: &'a CharlesConfig,
         caches: Arc<PlaneCaches>,
         memoize_candidates: bool,
-    ) -> Self {
+    ) -> Result<Self> {
         let scoring = ScoringContext::from_views_scaled(
             pair.source(),
             target_attr,
@@ -303,10 +308,11 @@ impl<'a> SearchContext<'a> {
             scale,
             config,
         );
-        SearchContext {
+        let target_id = target.id().ok_or_else(|| unresolved_attr(&target))?;
+        Ok(SearchContext {
             pair,
             target_attr,
-            target_id: target.id().expect("attr_ref is resolved"),
+            target_id,
             target,
             y_target,
             y_source,
@@ -318,7 +324,7 @@ impl<'a> SearchContext<'a> {
             caches,
             memoize_candidates,
             executor: None,
-        }
+        })
     }
 
     /// Attach a shard execution plane. Global fits that miss the memo
@@ -503,13 +509,17 @@ where
     V: Clone,
     F: FnOnce() -> Result<V>,
 {
-    if let Some(hit) = memo.lock().expect("memo poisoned").get(&key) {
+    if let Some(hit) = memo
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .get(&key)
+    {
         return Ok(hit.clone());
     }
     let value = compute()?;
     Ok(memo
         .lock()
-        .expect("memo poisoned")
+        .unwrap_or_else(PoisonError::into_inner)
         .entry(key)
         .or_insert(value)
         .clone())
@@ -1076,7 +1086,7 @@ pub fn run_search(
                 local.push(summary);
             }
         }
-        *results.lock().expect("results mutex poisoned") = local;
+        *results.lock().unwrap_or_else(PoisonError::into_inner) = local;
     } else {
         std::thread::scope(|scope| {
             for _ in 0..threads {
@@ -1091,7 +1101,8 @@ pub fn run_search(
                             Ok(Some(summary)) => local.push(summary),
                             Ok(None) => {}
                             Err(e) => {
-                                let mut slot = first_error.lock().expect("error mutex poisoned");
+                                let mut slot =
+                                    first_error.lock().unwrap_or_else(PoisonError::into_inner);
                                 if slot.is_none() {
                                     *slot = Some(e);
                                 }
@@ -1101,17 +1112,20 @@ pub fn run_search(
                     }
                     results
                         .lock()
-                        .expect("results mutex poisoned")
+                        .unwrap_or_else(PoisonError::into_inner)
                         .extend(local);
                 });
             }
         });
-        if let Some(e) = first_error.into_inner().expect("error mutex poisoned") {
+        if let Some(e) = first_error
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
+        {
             return Err(e);
         }
     }
 
-    let mut all = results.into_inner().expect("results mutex poisoned");
+    let mut all = results.into_inner().unwrap_or_else(PoisonError::into_inner);
     let evaluated = all.len();
 
     // Deduplicate by structural signature, keeping the best-scoring copy.

@@ -66,8 +66,21 @@ use charles_relation::{AttrId, AttrRef, NumericView, RowRange, SnapshotPair};
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 use std::time::{Duration, Instant};
+
+/// The schema id of a resolved [`AttrRef`]. Refs produced by
+/// `Schema::attr_ref` are always resolved; losing the binding is a
+/// construction bug surfaced as a typed error, not a panic on the
+/// serving path.
+fn resolved_id(attr: &AttrRef) -> Result<AttrId> {
+    attr.id().ok_or_else(|| {
+        CharlesError::BadTargetAttribute(format!(
+            "attribute `{}` lost its schema binding",
+            attr.name()
+        ))
+    })
+}
 
 /// One question asked of a [`Session`]: which target to explain, and
 /// optionally how. Unset fields fall back to the session's defaults — the
@@ -401,7 +414,10 @@ impl Session {
     /// per-target change signals survive (they are config-independent).
     pub fn set_config(&mut self, config: CharlesConfig) {
         self.config = config;
-        self.setups.lock().expect("setup memo poisoned").clear();
+        self.setups
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clear();
         self.setups_computed.store(0, Ordering::Relaxed);
         self.caches = Arc::new(PlaneCaches::default());
     }
@@ -417,14 +433,14 @@ impl Session {
         let views: usize = self
             .views
             .lock()
-            .expect("view memo poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .values()
             .map(|v| v.len() * 8)
             .sum();
         let aligned: usize = self
             .aligned
             .lock()
-            .expect("aligned memo poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .values()
             .map(|v| v.len() * 8)
             .sum();
@@ -433,7 +449,7 @@ impl Session {
         let planes: usize = self
             .planes
             .lock()
-            .expect("plane memo poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .values()
             .map(|p| 2 * p.delta.len() * 8)
             .sum();
@@ -542,7 +558,7 @@ impl Session {
             &config,
             caches,
             memoize_candidates,
-        );
+        )?;
         if let Some(executor) = &self.executor {
             // Executor-backed layout: global fits merge per-shard
             // sufficient statistics (bit-identical to unsharded; see
@@ -649,7 +665,7 @@ impl Session {
     ) -> Result<(Vec<f64>, Vec<f64>)> {
         self.validate_block_range(range)?;
         let target_ref = self.resolve_target(target)?;
-        let id = target_ref.id().expect("attr_ref is resolved");
+        let id = resolved_id(&target_ref)?;
         let y_target = self.aligned_view(target, id)?;
         let y_source = self.source_view(id)?;
         let (delta, rel_delta) = change_signals(&y_target.slice(range), &y_source.slice(range));
@@ -708,7 +724,7 @@ impl Session {
     /// The aligned target-side view a shard statistic regresses on.
     fn shard_target_view(&self, target: &str) -> Result<NumericView> {
         let target_ref = self.resolve_target(target)?;
-        let id = target_ref.id().expect("attr_ref is resolved");
+        let id = resolved_id(&target_ref)?;
         self.aligned_view(target, id)
     }
 
@@ -771,11 +787,17 @@ impl Session {
             }
             .into());
         };
-        let idx = target_ref.id().expect("attr_ref is resolved").index();
-        if !schema.fields()[idx].dtype().is_numeric() {
+        let idx = resolved_id(&target_ref)?.index();
+        let field = schema.fields().get(idx).ok_or_else(|| {
+            CharlesError::BadTargetAttribute(format!(
+                "attribute `{target}` points past the schema ({idx} of {})",
+                schema.fields().len()
+            ))
+        })?;
+        if !field.dtype().is_numeric() {
             return Err(QueryError::NonNumericTarget {
                 name: target.to_string(),
-                dtype: schema.fields()[idx].dtype().to_string(),
+                dtype: field.dtype().to_string(),
             }
             .into());
         }
@@ -791,8 +813,15 @@ impl Session {
         memoized(&self.views, id, || {
             let view = match &self.local_executor {
                 Some(local) => {
-                    let name = self.pair.source().schema().fields()[id.index()].name();
-                    local.source_view(name)?
+                    let schema = self.pair.source().schema();
+                    let field = schema.fields().get(id.index()).ok_or_else(|| {
+                        CharlesError::BadTargetAttribute(format!(
+                            "attribute id {} points past the schema ({})",
+                            id.index(),
+                            schema.fields().len()
+                        ))
+                    })?;
+                    local.source_view(field.name())?
                 }
                 None => self.pair.source().numeric_view_by_id(id)?,
             };
@@ -820,7 +849,7 @@ impl Session {
     /// the concatenation is byte-identical to the unsharded computation —
     /// wherever the shards live).
     fn target_plane(&self, target: &AttrRef) -> Result<Arc<TargetPlane>> {
-        let id = target.id().expect("attr_ref is resolved");
+        let id = resolved_id(target)?;
         memoized(&self.planes, id, || {
             self.planes_built.fetch_add(1, Ordering::Relaxed);
             let y_target = self.aligned_view(target.name(), id)?;
@@ -871,7 +900,7 @@ impl Session {
             self.setups_computed.fetch_add(1, Ordering::Relaxed);
             return Ok(Arc::new(analyze(&self.pair, target.name(), config)?));
         }
-        memoized(&self.setups, target.id().expect("resolved"), || {
+        memoized(&self.setups, resolved_id(target)?, || {
             self.setups_computed.fetch_add(1, Ordering::Relaxed);
             Ok(Arc::new(analyze(&self.pair, target.name(), config)?))
         })
@@ -904,11 +933,11 @@ impl Session {
     ) -> Result<HashMap<AttrId, NumericView>> {
         let mut views = HashMap::with_capacity(tran_refs.len() + 1);
         for attr in tran_refs {
-            let id = attr.id().expect("attr_ref is resolved");
+            let id = resolved_id(attr)?;
             views.insert(id, self.source_view(id)?);
         }
         views
-            .entry(plane.target.id().expect("attr_ref is resolved"))
+            .entry(resolved_id(&plane.target)?)
             .or_insert_with(|| plane.y_source.clone());
         Ok(views)
     }
@@ -922,10 +951,7 @@ impl Session {
     ) -> Result<HashMap<AttrId, NumericView>> {
         let schema = self.pair.source().schema();
         let mut views = HashMap::new();
-        views.insert(
-            plane.target.id().expect("attr_ref is resolved"),
-            plane.y_source.clone(),
-        );
+        views.insert(resolved_id(&plane.target)?, plane.y_source.clone());
         for summary in summaries {
             for ct in &summary.cts {
                 if let Transformation::Linear { terms, .. } = &ct.transformation {
@@ -961,7 +987,11 @@ impl fmt::Debug for Session {
             .field("key_attr", &self.pair.key_attr())
             .field(
                 "views",
-                &self.views.lock().expect("view memo poisoned").len(),
+                &self
+                    .views
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .len(),
             )
             .field("stats", &self.stats())
             .finish_non_exhaustive()
@@ -989,7 +1019,11 @@ fn resolve_attrs(
     }
     for attr in &tran {
         let idx = schema.index_of(attr)?;
-        if !schema.fields()[idx].dtype().is_numeric() {
+        let numeric = schema
+            .fields()
+            .get(idx)
+            .is_some_and(|f| f.dtype().is_numeric());
+        if !numeric {
             return Err(CharlesError::BadConfig(format!(
                 "transformation attribute {attr:?} must be numeric"
             )));

@@ -9,10 +9,12 @@
 //! hash-ordered fold or raw JSON float and the bits drift. This crate
 //! checks the rules at the source level, on every build, with no
 //! dependencies (the build environment is offline, so no `syn`): a
-//! hand-rolled tokenizer (`token`) feeds a small statement-level rule
-//! engine.
+//! hand-rolled tokenizer (`token`) feeds a statement-level rule engine
+//! plus a workspace-level interprocedural analyzer (`graph` builds the
+//! symbol table and call graph; `reach`, `locks`, and `taint` are the
+//! passes that query it).
 //!
-//! Rules (scope in parentheses):
+//! Statement-level rules (scope in parentheses):
 //!
 //! - `float-fold-order` (everywhere except `numerics/src/kernels.rs`):
 //!   no `.sum()` / `.fold()` / `+=`-loop reductions in statements that
@@ -27,38 +29,63 @@
 //!   numbers.
 //! - `block-grid-literals` (everywhere): bare `128` block math must
 //!   reference `GRAM_BLOCK_ROWS`.
-//! - `no-panic-in-request-path` (`server/src`): no `unwrap()` /
-//!   `expect()` / `panic!` in request-handling code — return a typed
-//!   `ErrorEnvelope` instead.
 //! - `lock-discipline` (`manager.rs` / `server.rs`): no acquiring a
 //!   second lock (`.lock()` / `.read()` / `.write()` / `lock_*()`
 //!   helpers) while a let-bound guard is still live, except against the
 //!   documented lock order (suppress with a reason at the site).
 //!
+//! Interprocedural passes (workspace call graph; findings carry a
+//! `call_chain`):
+//!
+//! - `no-panic-in-request-path`: every `unwrap`/`expect`/`panic!`-family
+//!   /slice-indexing site in a function *transitively reachable* from
+//!   the serving surface (any non-test `fn` in `crates/server/src`),
+//!   with the seed → … → site chain in the finding. Indexing is scoped
+//!   to the orchestration layer (see `reach`).
+//! - `lock-order`: cycles and documented-order (`latch → registry`)
+//!   reversals in the workspace lock graph, including holds that span
+//!   calls and crates (see `locks`).
+//! - `float-taint`: values from non-`kernels` float folds or hash-order
+//!   iteration that reach wire serialization or ranking sinks in a
+//!   *different* function (see `taint`).
+//!
 //! Suppressions: `// lint:allow(rule)` or `// lint:allow(rule: reason)`
 //! on the finding's line, or on a standalone comment line directly above
-//! it. Unused suppressions are themselves reported (rule
-//! `unused-suppression`, not suppressible), so allows can't rot.
+//! it — above an `fn` header, the allow covers the whole function body
+//! (for interprocedural findings whose root cause is the function, not
+//! one line). Unused suppressions are themselves reported (rule
+//! `unused-suppression`, not suppressible), so allows can't rot;
+//! `--fix-suppressions` removes them mechanically.
 //!
-//! `#[cfg(test)]` / `#[test]` items are skipped by every rule.
+//! `#[cfg(test)]` / `#[test]` items are skipped by every rule. Files
+//! under `tests/` and `examples/` are *relaxed*: discovered and scanned
+//! for suppression hygiene, but no rules run and they stay out of the
+//! call graph.
 
+pub mod graph;
+pub mod locks;
+pub mod reach;
+pub mod taint;
 pub mod token;
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
+use graph::{LintFile, Workspace};
 use token::{num_is_float, FileTokens, Tok, TokKind};
 
 /// The enforceable rule names, as accepted by `lint:allow(...)`.
-pub const RULES: [&str; 6] = [
+pub const RULES: [&str; 8] = [
     "float-fold-order",
     "ordered-iteration",
     "wire-float-exactness",
     "block-grid-literals",
     "no-panic-in-request-path",
     "lock-discipline",
+    "lock-order",
+    "float-taint",
 ];
 
 /// Pseudo-rule under which stale/unknown suppressions are reported.
@@ -76,6 +103,9 @@ pub struct Finding {
     pub line: u32,
     /// Human-readable explanation with the expected fix.
     pub message: String,
+    /// For interprocedural findings: the seed → … → site function chain
+    /// (display names). Empty for statement-level findings.
+    pub call_chain: Vec<String>,
 }
 
 /// Result of linting a tree: how much was scanned plus what was found.
@@ -83,6 +113,8 @@ pub struct Finding {
 pub struct Report {
     /// Number of `.rs` files tokenized and checked.
     pub files_scanned: usize,
+    /// Number of `lint:allow` suppressions that matched a finding.
+    pub suppressions_used: usize,
     /// All findings, sorted by (path, line, rule).
     pub findings: Vec<Finding>,
 }
@@ -91,20 +123,78 @@ pub struct Report {
 // Public entry points
 // ---------------------------------------------------------------------------
 
+/// Is this path a relaxed (tests/examples) context — suppression hygiene
+/// only, no rules, no call-graph membership?
+fn is_relaxed(rel: &str) -> bool {
+    rel.split('/')
+        .any(|seg| seg == "tests" || seg == "examples")
+}
+
 /// Lint a single file's source under its workspace-relative path (the
 /// path decides which rules are in scope). This is the seam the test
 /// suite uses to run fixtures "as if" they lived at rule-scoped paths.
+/// Interprocedural passes run over the one-file "workspace".
 pub fn lint_source(rel_path: &str, source: &str) -> Vec<Finding> {
-    let ft = FileTokens::tokenize(source);
-    let mut findings = run_rules(rel_path, &ft);
-    apply_suppressions(rel_path, &ft, &mut findings);
-    sort_dedupe(&mut findings);
-    findings
+    lint_sources(vec![(rel_path.to_string(), source.to_string())]).findings
 }
 
-/// Lint every `crates/*/src/**/*.rs` and `src/**/*.rs` file under
-/// `root`. Vendored dependency stubs (`vendor/`) and test trees are out
-/// of scope by construction.
+/// Lint a set of `(workspace-relative path, source)` pairs as one
+/// workspace: statement rules per file, then the call graph and the
+/// interprocedural passes across all of them, then suppressions.
+pub fn lint_sources(inputs: Vec<(String, String)>) -> Report {
+    let files: Vec<LintFile> = inputs
+        .into_iter()
+        .map(|(rel, src)| LintFile {
+            relaxed: is_relaxed(&rel),
+            ft: FileTokens::tokenize(&src),
+            rel,
+        })
+        .collect();
+
+    let mut per_file: Vec<Vec<Finding>> = files
+        .iter()
+        .map(|f| {
+            if f.relaxed {
+                Vec::new()
+            } else {
+                run_rules(&f.rel, &f.ft)
+            }
+        })
+        .collect();
+
+    let ws = Workspace::build(&files);
+    let by_path: BTreeMap<&str, usize> = files
+        .iter()
+        .enumerate()
+        .map(|(i, f)| (f.rel.as_str(), i))
+        .collect();
+    let inter = reach::panic_reachability(&ws, &files)
+        .into_iter()
+        .chain(locks::lock_order(&ws, &files))
+        .chain(taint::float_taint(&ws, &files));
+    for f in inter {
+        if let Some(&i) = by_path.get(f.path.as_str()) {
+            per_file[i].push(f);
+        }
+    }
+
+    let mut report = Report::default();
+    for (i, file) in files.iter().enumerate() {
+        let mut findings = std::mem::take(&mut per_file[i]);
+        report.suppressions_used += apply_suppressions(&file.rel, &file.ft, &mut findings);
+        report.findings.extend(findings);
+        report.files_scanned += 1;
+    }
+    sort_dedupe(&mut report.findings);
+    report
+}
+
+/// Lint the workspace under `root`: every `crates/*/src/**/*.rs` and
+/// `src/**/*.rs` file with full rules, plus `crates/*/tests/**/*.rs`,
+/// `crates/*/examples/*.rs`, `tests/**`, and `examples/**` in relaxed
+/// mode (suppression hygiene only). `crates/lint/tests/**` is excluded
+/// entirely — it is this linter's seeded-violation fixture corpus.
+/// Vendored dependency stubs (`vendor/`) stay out of scope.
 pub fn lint_tree(root: &Path) -> io::Result<Report> {
     let mut files: Vec<PathBuf> = Vec::new();
     let crates_dir = root.join("crates");
@@ -119,15 +209,26 @@ pub fn lint_tree(root: &Path) -> io::Result<Report> {
             if src.is_dir() {
                 collect_rs(&src, &mut files)?;
             }
+            let is_lint = dir.file_name().is_some_and(|n| n == "lint");
+            let tests = dir.join("tests");
+            if tests.is_dir() && !is_lint {
+                collect_rs(&tests, &mut files)?;
+            }
+            let examples = dir.join("examples");
+            if examples.is_dir() {
+                collect_rs(&examples, &mut files)?;
+            }
         }
     }
-    let root_src = root.join("src");
-    if root_src.is_dir() {
-        collect_rs(&root_src, &mut files)?;
+    for sub in ["src", "tests", "examples"] {
+        let d = root.join(sub);
+        if d.is_dir() {
+            collect_rs(&d, &mut files)?;
+        }
     }
     files.sort();
 
-    let mut report = Report::default();
+    let mut inputs = Vec::with_capacity(files.len());
     for path in &files {
         let source = fs::read_to_string(path)?;
         let rel = path
@@ -135,11 +236,9 @@ pub fn lint_tree(root: &Path) -> io::Result<Report> {
             .unwrap_or(path)
             .to_string_lossy()
             .replace('\\', "/");
-        report.findings.extend(lint_source(&rel, &source));
-        report.files_scanned += 1;
+        inputs.push((rel, source));
     }
-    sort_dedupe(&mut report.findings);
-    Ok(report)
+    Ok(lint_sources(inputs))
 }
 
 fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
@@ -157,7 +256,8 @@ fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
     Ok(())
 }
 
-/// Render findings for humans: `path:line: [rule] message` per finding.
+/// Render findings for humans: `path:line: [rule] message` per finding,
+/// with the call chain (when present) on an indented continuation line.
 pub fn render_human(report: &Report) -> String {
     let mut out = String::new();
     for f in &report.findings {
@@ -165,6 +265,9 @@ pub fn render_human(report: &Report) -> String {
             "{}:{}: [{}] {}\n",
             f.path, f.line, f.rule, f.message
         ));
+        if f.call_chain.len() > 1 {
+            out.push_str(&format!("    call chain: {}\n", f.call_chain.join(" -> ")));
+        }
     }
     out.push_str(&format!(
         "charles-lint: {} finding(s) across {} file(s) scanned\n",
@@ -175,9 +278,13 @@ pub fn render_human(report: &Report) -> String {
 }
 
 /// Render findings as machine-readable JSON (stable key order).
+/// Schema version 2: adds `call_chain` (array of display names, empty
+/// for statement-level findings) and `suppressions_used`.
 pub fn render_json(report: &Report) -> String {
-    let mut out = String::from("{\"version\":1,\"files_scanned\":");
+    let mut out = String::from("{\"version\":2,\"files_scanned\":");
     out.push_str(&report.files_scanned.to_string());
+    out.push_str(",\"suppressions_used\":");
+    out.push_str(&report.suppressions_used.to_string());
     out.push_str(",\"findings\":[");
     for (i, f) in report.findings.iter().enumerate() {
         if i > 0 {
@@ -191,7 +298,16 @@ pub fn render_json(report: &Report) -> String {
         out.push_str(&f.line.to_string());
         out.push_str(",\"message\":\"");
         out.push_str(&json_escape(&f.message));
-        out.push_str("\"}");
+        out.push_str("\",\"call_chain\":[");
+        for (j, c) in f.call_chain.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push('"');
+            out.push_str(&json_escape(c));
+            out.push('"');
+        }
+        out.push_str("]}");
     }
     out.push_str("]}");
     out
@@ -220,6 +336,115 @@ fn sort_dedupe(findings: &mut Vec<Finding>) {
             .then_with(|| a.message.cmp(&b.message))
     });
     findings.dedup_by(|a, b| a.rule == b.rule && a.path == b.path && a.line == b.line);
+}
+
+// ---------------------------------------------------------------------------
+// Stale-suppression fixer
+// ---------------------------------------------------------------------------
+
+/// One mechanical edit removing a stale suppression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FixEdit {
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-based line the stale `lint:allow` comment sits on.
+    pub line: u32,
+    /// `None`: delete the whole line (standalone comment).
+    /// `Some(new)`: replace the line (same-line comment stripped).
+    pub replacement: Option<String>,
+}
+
+/// Strip a trailing `// lint:allow(...)` comment from one source line.
+/// Returns `None` when the line is nothing but the comment (delete it),
+/// `Some(stripped)` when code precedes the comment.
+pub fn strip_suppression(line: &str) -> Option<String> {
+    let at = line.find("// lint:allow(")?;
+    if line[..at].trim().is_empty() {
+        return None;
+    }
+    Some(line[..at].trim_end().to_string())
+}
+
+/// Compute the edits that remove the stale suppressions a lint run
+/// reported (`unused-suppression` findings whose comment is removable —
+/// stale or unknown-rule; malformed ones need a human).
+pub fn stale_suppression_edits(
+    report: &Report,
+    sources: &BTreeMap<String, String>,
+) -> Vec<FixEdit> {
+    let mut edits = Vec::new();
+    for f in &report.findings {
+        if f.rule != UNUSED_SUPPRESSION || f.message.contains("malformed") {
+            continue;
+        }
+        let Some(src) = sources.get(&f.path) else {
+            continue;
+        };
+        let Some(line_text) = src.lines().nth(f.line as usize - 1) else {
+            continue;
+        };
+        if !line_text.contains("lint:allow(") {
+            continue;
+        }
+        edits.push(FixEdit {
+            path: f.path.clone(),
+            line: f.line,
+            replacement: strip_suppression(line_text),
+        });
+    }
+    edits
+}
+
+/// Apply [`FixEdit`]s to a single file's source.
+pub fn apply_fix_edits(source: &str, edits: &[&FixEdit]) -> String {
+    let drop_lines: BTreeSet<u32> = edits
+        .iter()
+        .filter(|e| e.replacement.is_none())
+        .map(|e| e.line)
+        .collect();
+    let replace: BTreeMap<u32, &str> = edits
+        .iter()
+        .filter_map(|e| e.replacement.as_deref().map(|r| (e.line, r)))
+        .collect();
+    let mut out = String::with_capacity(source.len());
+    for (i, line) in source.lines().enumerate() {
+        let ln = i as u32 + 1;
+        if drop_lines.contains(&ln) {
+            continue;
+        }
+        match replace.get(&ln) {
+            Some(r) => out.push_str(r),
+            None => out.push_str(line),
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Lint `root`, compute stale-suppression edits, and (when `apply`)
+/// write them back. Returns the edits either way, so callers can render
+/// a dry run.
+pub fn fix_suppressions(root: &Path, apply: bool) -> io::Result<Vec<FixEdit>> {
+    let report = lint_tree(root)?;
+    let mut sources: BTreeMap<String, String> = BTreeMap::new();
+    for f in &report.findings {
+        if f.rule == UNUSED_SUPPRESSION && !sources.contains_key(&f.path) {
+            let abs = root.join(&f.path);
+            sources.insert(f.path.clone(), fs::read_to_string(&abs)?);
+        }
+    }
+    let edits = stale_suppression_edits(&report, &sources);
+    if apply {
+        let mut by_file: BTreeMap<&str, Vec<&FixEdit>> = BTreeMap::new();
+        for e in &edits {
+            by_file.entry(e.path.as_str()).or_default().push(e);
+        }
+        for (path, file_edits) in by_file {
+            let src = &sources[path];
+            fs::write(root.join(path), apply_fix_edits(src, &file_edits))?;
+        }
+    }
+    Ok(edits)
 }
 
 // ---------------------------------------------------------------------------
@@ -309,7 +534,6 @@ fn run_rules(rel: &str, ft: &FileTokens) -> Vec<Finding> {
     let fname = rel.rsplit('/').next().unwrap_or(rel);
     let float_fold_in_scope = !rel.ends_with("numerics/src/kernels.rs");
     let wire_in_scope = fname == "proto.rs" || fname == "remote.rs";
-    let panic_in_scope = rel.contains("server/src");
     let lock_in_scope = fname == "manager.rs" || fname == "server.rs";
 
     let hash_idents = collect_hash_idents(toks);
@@ -339,9 +563,6 @@ fn run_rules(rel: &str, ft: &FileTokens) -> Vec<Finding> {
             wire_float_rule(rel, s, &mut out);
         }
         block_grid_rule(rel, s, &mut out);
-        if panic_in_scope {
-            no_panic_rule(rel, s, &mut out);
-        }
     }
 
     if lock_in_scope {
@@ -431,6 +652,7 @@ fn float_fold_rule(rel: &str, s: &[Tok], decls: &BTreeSet<String>, out: &mut Vec
                     "{what}; route float reductions through `charles_numerics::kernels` \
                      (fixed fold order) to keep shard/SIMD execution bit-identical"
                 ),
+                call_chain: Vec::new(),
             });
         }
     }
@@ -558,6 +780,7 @@ fn ordered_iteration_rule(
              (serialization, ranking, or accumulation); use BTreeMap/BTreeSet or \
              sort in the same statement"
         ),
+        call_chain: Vec::new(),
     });
 }
 
@@ -582,6 +805,7 @@ fn wire_float_rule(rel: &str, s: &[Tok], out: &mut Vec<Finding>) {
                           bit-exact — use the `f64_bits`/`f64_from_bits` hex helpers \
                           (or suppress with a reason for human-facing decimals)"
                     .to_string(),
+                call_chain: Vec::new(),
             });
         }
     }
@@ -601,6 +825,7 @@ fn block_grid_rule(rel: &str, s: &[Tok], out: &mut Vec<Finding>) {
                           `charles_numerics::ols::GRAM_BLOCK_ROWS` so the canonical \
                           block grid has one definition"
                     .to_string(),
+                call_chain: Vec::new(),
             });
         }
     }
@@ -617,38 +842,6 @@ fn num_is_128(text: &str) -> bool {
     digits == "128"
         && rest.chars().all(|c| c.is_alphanumeric())
         && !rest.starts_with(|c: char| c.is_ascii_digit())
-}
-
-fn no_panic_rule(rel: &str, s: &[Tok], out: &mut Vec<Finding>) {
-    for i in 0..s.len() {
-        let t = &s[i];
-        if t.kind != TokKind::Ident {
-            continue;
-        }
-        let method_call = i > 0
-            && is_p(&s[i - 1], ".")
-            && i + 1 < s.len()
-            && is_p(&s[i + 1], "(")
-            && matches!(t.text.as_str(), "unwrap" | "expect");
-        let macro_call = i + 1 < s.len()
-            && is_p(&s[i + 1], "!")
-            && matches!(
-                t.text.as_str(),
-                "panic" | "unreachable" | "todo" | "unimplemented"
-            );
-        if method_call || macro_call {
-            out.push(Finding {
-                rule: "no-panic-in-request-path",
-                path: rel.to_string(),
-                line: t.line,
-                message: format!(
-                    "`{}` can take down a serving thread; return a typed \
-                     `ErrorEnvelope` (stable code) or recover explicitly",
-                    t.text
-                ),
-            });
-        }
-    }
 }
 
 /// Acquisition = `.lock()` / `.read()` / `.write()` with no arguments
@@ -711,6 +904,7 @@ fn lock_discipline_rule(rel: &str, toks: &[Tok], stmts: &[(usize, usize)], out: 
                              suppress citing the documented lock order",
                             s[i].text
                         ),
+                        call_chain: Vec::new(),
                     });
                 }
             }
@@ -750,15 +944,18 @@ struct Allow {
     rule: String,
     comment_line: u32,
     /// Inclusive line range covered: the comment's own line, or (for a
-    /// standalone comment) the full span of the next statement, so one
-    /// allow above a multi-line chain covers a trigger on any of its
-    /// lines.
+    /// standalone comment) the full span of the next statement — and,
+    /// when that statement is an `fn` header, the whole function body,
+    /// so one allow above a signature covers interprocedural findings
+    /// anywhere inside it.
     lo: u32,
     hi: u32,
     used: bool,
 }
 
-fn apply_suppressions(rel: &str, ft: &FileTokens, findings: &mut Vec<Finding>) {
+/// Apply `lint:allow` suppressions to `findings` in place; returns how
+/// many distinct allows matched at least one finding.
+fn apply_suppressions(rel: &str, ft: &FileTokens, findings: &mut Vec<Finding>) -> usize {
     let mut allows: Vec<Allow> = Vec::new();
     for c in &ft.comments {
         // Doc comments are documentation, not directives: an allow
@@ -780,12 +977,14 @@ fn apply_suppressions(rel: &str, ft: &FileTokens, findings: &mut Vec<Finding>) {
                 path: rel.to_string(),
                 line: c.line,
                 message: "malformed `lint:allow(...)`: missing closing parenthesis".to_string(),
+                call_chain: Vec::new(),
             });
             continue;
         };
         let (lo, hi) = if c.standalone {
             // A standalone comment suppresses the statement that starts
-            // at the next code line.
+            // at the next code line; above an `fn` header, the whole
+            // function body.
             let next = ft
                 .toks
                 .iter()
@@ -797,7 +996,27 @@ fn apply_suppressions(rel: &str, ft: &FileTokens, findings: &mut Vec<Finding>) {
                 .find(|&&(a, b)| next >= a && next < b)
                 .map_or((0, 0), |&(a, b)| {
                     let lines = ft.toks[a..b].iter().map(|t| t.line);
-                    (lines.clone().min().unwrap_or(0), lines.max().unwrap_or(0))
+                    let lo = lines.clone().min().unwrap_or(0);
+                    let mut hi = lines.max().unwrap_or(0);
+                    let is_fn_header = ft.toks[a..b].iter().any(|t| is_i(t, "fn"))
+                        && ft.toks[b - 1].kind == TokKind::Punct
+                        && ft.toks[b - 1].text == "{";
+                    if is_fn_header {
+                        // Extend to the matching close brace.
+                        let mut depth = 0i32;
+                        for t in &ft.toks[b - 1..] {
+                            if is_p(t, "{") {
+                                depth += 1;
+                            } else if is_p(t, "}") {
+                                depth -= 1;
+                                if depth == 0 {
+                                    hi = t.line;
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                    (lo, hi)
                 })
         } else {
             (c.line, c.line)
@@ -818,6 +1037,7 @@ fn apply_suppressions(rel: &str, ft: &FileTokens, findings: &mut Vec<Finding>) {
                     path: rel.to_string(),
                     line: c.line,
                     message: format!("unknown rule `{rule}` in lint:allow"),
+                    call_chain: Vec::new(),
                 });
                 continue;
             }
@@ -851,6 +1071,7 @@ fn apply_suppressions(rel: &str, ft: &FileTokens, findings: &mut Vec<Finding>) {
         !suppressed
     });
 
+    let used = allows.iter().filter(|a| a.used).count();
     for a in &allows {
         if !a.used {
             findings.push(Finding {
@@ -861,7 +1082,9 @@ fn apply_suppressions(rel: &str, ft: &FileTokens, findings: &mut Vec<Finding>) {
                     "suppression `lint:allow({})` matches no finding on lines {}-{}; remove it",
                     a.rule, a.lo, a.hi
                 ),
+                call_chain: Vec::new(),
             });
         }
     }
+    used
 }

@@ -1,0 +1,38 @@
+//! Cross-crate fixture: the core-side store. Linted as
+//! `crates/core/src/store.rs`. `lookup` → `fetch_raw` is the deep half
+//! of the 3-hop panic chain; `refresh` holds the documented
+//! `latch → registry` order (the inversion lives in `stats.rs`).
+
+pub struct Store {
+    latch: Mutex<()>,
+    registry: Mutex<Vec<String>>,
+}
+
+impl Store {
+    /// Hop 2 of the panic chain.
+    pub fn lookup(&self, name: &str) -> f64 {
+        fetch_raw(name)
+    }
+
+    /// Documented order: latch first, registry (through a call) second.
+    pub fn refresh(&self) {
+        let held = self.latch.lock().unwrap_or_else(PoisonError::into_inner);
+        self.registry_sync();
+        drop(held);
+    }
+
+    pub fn registry_sync(&self) {
+        let mut reg = self.registry.lock().unwrap_or_else(PoisonError::into_inner);
+        reg.clear();
+    }
+
+    pub fn relatch(&self) {
+        let gate = self.latch.lock().unwrap_or_else(PoisonError::into_inner);
+        drop(gate);
+    }
+}
+
+/// Hop 3: the panic site itself.
+fn fetch_raw(name: &str) -> f64 {
+    name.parse().unwrap()
+}

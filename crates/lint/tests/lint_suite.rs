@@ -6,8 +6,13 @@
 //! real workspace tree and requires it to be clean — the same gate CI
 //! enforces.
 
+use std::collections::BTreeMap;
+
 use charles_lint::token::{FileTokens, TokKind};
-use charles_lint::{lint_source, lint_tree, render_json, Finding, RULES, UNUSED_SUPPRESSION};
+use charles_lint::{
+    apply_fix_edits, lint_source, lint_sources, lint_tree, render_json, stale_suppression_edits,
+    Finding, RULES, UNUSED_SUPPRESSION,
+};
 
 fn lines_for(findings: &[Finding], rule: &str) -> Vec<u32> {
     findings
@@ -111,6 +116,147 @@ fn lock_discipline_catches_fixture() {
         1,
         "only the nested pair; scope release and drop() are clean: {findings:?}"
     );
+}
+
+// ---------------------------------------------------------------------------
+// Interprocedural passes over the multi-file xcrate fixture workspace
+// ---------------------------------------------------------------------------
+
+/// The three xcrate fixture files as one synthetic workspace: a server
+/// routes file (seed surface), a core store (deep panic + one half of
+/// the lock order), and a core stats helper (tainted fold + the lock
+/// inversion).
+fn xcrate_workspace() -> charles_lint::Report {
+    lint_sources(vec![
+        (
+            "crates/server/src/routes.rs".to_string(),
+            include_str!("fixtures/xcrate/routes.rs").to_string(),
+        ),
+        (
+            "crates/core/src/store.rs".to_string(),
+            include_str!("fixtures/xcrate/store.rs").to_string(),
+        ),
+        (
+            "crates/core/src/stats.rs".to_string(),
+            include_str!("fixtures/xcrate/stats.rs").to_string(),
+        ),
+    ])
+}
+
+#[test]
+fn xcrate_panic_reachability_crosses_crates_with_three_hop_chain() {
+    let report = xcrate_workspace();
+    let panics: Vec<&Finding> = report
+        .findings
+        .iter()
+        .filter(|f| f.rule == "no-panic-in-request-path")
+        .collect();
+    assert_eq!(
+        panics.len(),
+        1,
+        "only fetch_raw's unwrap: {:?}",
+        report.findings
+    );
+    let f = panics[0];
+    assert_eq!(f.path, "crates/core/src/store.rs");
+    assert_eq!(
+        f.call_chain,
+        vec![
+            "routes.rs::Router::handle".to_string(),
+            "store.rs::Store::lookup".to_string(),
+            "store.rs::fetch_raw".to_string(),
+        ],
+        "seed -> method-through-field -> free fn, across files: {f:?}"
+    );
+    assert!(f.message.contains("request path:"), "{f:?}");
+}
+
+#[test]
+fn xcrate_lock_order_detects_cross_file_inversion_and_cycle() {
+    let report = xcrate_workspace();
+    let locks: Vec<&Finding> = report
+        .findings
+        .iter()
+        .filter(|f| f.rule == "lock-order")
+        .collect();
+    assert_eq!(
+        locks.len(),
+        2,
+        "one reversal, one cycle: {:?}",
+        report.findings
+    );
+    let reversal = locks
+        .iter()
+        .find(|f| f.message.contains("reverses the documented"))
+        .expect("reversal finding");
+    // Anchored where the holder can fix it: `rebalance` holds the
+    // registry and calls into the latch-taking helper in the other file.
+    assert_eq!(reversal.path, "crates/core/src/stats.rs");
+    assert!(
+        reversal
+            .message
+            .contains("deep acquisition at crates/core/src/store.rs"),
+        "witness must point at the deep latch site: {reversal:?}"
+    );
+    let cycle = locks
+        .iter()
+        .find(|f| f.message.contains("lock-order cycle"))
+        .expect("cycle finding");
+    assert!(
+        cycle.message.contains("latch") && cycle.message.contains("registry"),
+        "{cycle:?}"
+    );
+}
+
+#[test]
+fn xcrate_float_taint_follows_returned_value_to_wire() {
+    let report = xcrate_workspace();
+    let taints: Vec<&Finding> = report
+        .findings
+        .iter()
+        .filter(|f| f.rule == "float-taint")
+        .collect();
+    assert_eq!(taints.len(), 1, "{:?}", report.findings);
+    let f = taints[0];
+    // Flagged at the sink (the server file), not at the fold.
+    assert_eq!(f.path, "crates/server/src/routes.rs");
+    assert!(f.message.contains("ad-hoc float fold"), "{f:?}");
+    assert_eq!(
+        f.call_chain,
+        vec![
+            "stats.rs::blended_total".to_string(),
+            "routes.rs::Router::emit_total".to_string(),
+        ],
+        "{f:?}"
+    );
+    // The fold's own local allow silenced the statement rule without
+    // certifying the wire path — and is therefore *used*, not stale.
+    assert!(
+        report
+            .findings
+            .iter()
+            .all(|f| f.rule != "float-fold-order" && f.rule != UNUSED_SUPPRESSION),
+        "{:?}",
+        report.findings
+    );
+    assert!(report.suppressions_used >= 1);
+}
+
+#[test]
+fn relaxed_test_files_get_suppression_hygiene_but_no_rules() {
+    // A tests/ file may fold floats freely (it is not served), but a
+    // stale allow in it is still reported — and it must not contribute
+    // call-graph edges that would put core helpers on the request path.
+    let report = lint_sources(vec![(
+        "crates/core/tests/bench_helper.rs".to_string(),
+        "pub fn naive_mean(xs: &[f64]) -> f64 {\n    \
+         xs.iter().sum::<f64>() / xs.len() as f64\n}\n\n\
+         pub fn unused_allow() -> u64 {\n    \
+         // lint:allow(float-fold-order: nothing folds here)\n    7\n}\n"
+            .to_string(),
+    )]);
+    let rules: Vec<&str> = report.findings.iter().map(|f| f.rule).collect();
+    assert_eq!(rules, vec![UNUSED_SUPPRESSION], "{:?}", report.findings);
 }
 
 // ---------------------------------------------------------------------------
@@ -291,15 +437,90 @@ fn json_output_is_stable_and_escaped() {
     let findings = lint_source("crates/core/src/fixture.rs", src);
     let report = charles_lint::Report {
         files_scanned: 1,
+        suppressions_used: 0,
         findings,
     };
     let json = render_json(&report);
-    assert!(json.contains("\"version\":1"), "{json}");
+    assert!(json.contains("\"version\":2"), "{json}");
     assert!(json.contains("\"rule\":\"float-fold-order\""), "{json}");
     assert!(json.contains("\"files_scanned\":1"), "{json}");
+    assert!(json.contains("\"suppressions_used\":0"), "{json}");
+    assert!(json.contains("\"call_chain\":["), "{json}");
     // Messages quote backticked identifiers; the output must stay valid JSON
     // (no raw control characters, quotes escaped).
     assert!(!json.chars().any(|c| c.is_control() && c != '\n'), "{json}");
+}
+
+#[test]
+fn json_call_chain_carries_interprocedural_path() {
+    let report = xcrate_workspace();
+    let json = render_json(&report);
+    assert!(
+        json.contains("\"call_chain\":[\"routes.rs::Router::handle\",\"store.rs::Store::lookup\",\"store.rs::fetch_raw\"]"),
+        "{json}"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Stale-suppression fixer
+// ---------------------------------------------------------------------------
+
+#[test]
+fn fix_suppressions_removes_stale_allows_and_keeps_used_ones() {
+    // Line 2: used standalone allow (stays). Line 5: stale standalone
+    // allow (whole line removed). Line 7: stale trailing allow (comment
+    // stripped, code kept).
+    let src = "pub fn total(xs: &[f64]) -> f64 {\n    \
+               // lint:allow(float-fold-order: pinned scalar order)\n    \
+               xs.iter().sum()\n}\n\
+               // lint:allow(float-fold-order: stale, nothing folds below)\n\
+               pub fn seven() -> u64 {\n    \
+               7 // lint:allow(block-grid-literals: stale too)\n}\n";
+    let path = "crates/core/src/fixture.rs";
+    let report = lint_sources(vec![(path.to_string(), src.to_string())]);
+    assert!(
+        report.findings.iter().all(|f| f.rule == UNUSED_SUPPRESSION),
+        "{:?}",
+        report.findings
+    );
+    assert_eq!(report.findings.len(), 2, "{:?}", report.findings);
+
+    let sources: BTreeMap<String, String> = [(path.to_string(), src.to_string())].into();
+    let edits = stale_suppression_edits(&report, &sources);
+    assert_eq!(edits.len(), 2, "{edits:?}");
+    assert_eq!(edits[0].line, 5);
+    assert_eq!(edits[0].replacement, None, "standalone: drop the line");
+    assert_eq!(edits[1].line, 7);
+    assert_eq!(
+        edits[1].replacement.as_deref(),
+        Some("    7"),
+        "trailing: keep the code"
+    );
+
+    let fixed = apply_fix_edits(src, &edits.iter().collect::<Vec<_>>());
+    assert!(!fixed.contains("stale"), "{fixed}");
+    assert!(
+        fixed.contains("lint:allow(float-fold-order: pinned scalar order)"),
+        "used allow must survive: {fixed}"
+    );
+    // The fixed source lints clean (used allow still consumed).
+    let after = lint_sources(vec![(path.to_string(), fixed)]);
+    assert!(after.findings.is_empty(), "{:?}", after.findings);
+}
+
+#[test]
+fn malformed_allow_is_reported_but_not_auto_fixed() {
+    let src = "pub fn seven() -> u64 {\n    \
+               // lint:allow(float-fold-order missing close\n    7\n}\n";
+    let path = "crates/core/src/fixture.rs";
+    let report = lint_sources(vec![(path.to_string(), src.to_string())]);
+    assert_eq!(report.findings.len(), 1, "{:?}", report.findings);
+    assert!(report.findings[0].message.contains("malformed"));
+    let sources: BTreeMap<String, String> = [(path.to_string(), src.to_string())].into();
+    assert!(
+        stale_suppression_edits(&report, &sources).is_empty(),
+        "malformed allows need a human"
+    );
 }
 
 #[test]

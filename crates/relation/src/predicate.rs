@@ -359,6 +359,7 @@ impl Predicate {
         let mut mask: Vec<bool> = match col {
             Column::Int64 { values, .. } => values.iter().map(|&v| pred(v as f64)).collect(),
             Column::Float64 { values, .. } => values.iter().map(|&v| pred(v)).collect(),
+            // lint:allow(no-panic-in-request-path: callers dispatch here only after dtype().is_numeric() — a non-numeric column is a dispatch bug, not an input condition)
             _ => unreachable!("numeric_mask on non-numeric column"),
         };
         Self::clear_nulls(col, &mut mask);
@@ -381,6 +382,7 @@ impl Predicate {
                     (CmpOp::Eq, None) => vec![false; codes.len()],
                     (CmpOp::Ne, Some(code)) => codes.iter().map(|&c| c != code).collect(),
                     (CmpOp::Ne, None) => vec![true; codes.len()],
+                    // lint:allow(no-panic-in-request-path: the outer match arm is guarded to CmpOp::Eq | CmpOp::Ne)
                     _ => unreachable!("guarded to Eq/Ne above"),
                 };
                 Self::clear_nulls(col, &mut mask);

@@ -258,6 +258,7 @@ pub fn parse_response(raw: &[u8]) -> io::Result<HttpResponse> {
         .map(|i| (i, i + 4))
         .or_else(|| text.find("\n\n").map(|i| (i, i + 2)))
         .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "missing header terminator"))?;
+    // lint:allow(no-panic-in-request-path: both offsets come from find on text, so they are in-bounds char boundaries)
     let (head, body) = (&text[..head_end.0], &text[head_end.1..]);
     let status = head
         .lines()

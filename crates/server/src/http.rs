@@ -144,6 +144,7 @@ fn read_head_line(stream: &mut impl BufRead, at_start: bool) -> Result<String, R
                 }
                 return Err(ReadError::Malformed(400, "truncated request".into()));
             }
+            // lint:allow(no-panic-in-request-path: byte is [0u8; 1] and read returned nonzero, so index 0 is filled)
             _ => match byte[0] {
                 b'\n' => break,
                 b'\r' => {}

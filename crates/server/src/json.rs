@@ -279,6 +279,7 @@ impl<'a> Parser<'a> {
     }
 
     fn literal(&mut self, text: &str, value: Json) -> Result<Json, JsonError> {
+        // lint:allow(no-panic-in-request-path: pos never passes bytes.len() — every advance is bounds-checked by peek)
         if self.bytes[self.pos..].starts_with(text.as_bytes()) {
             self.pos += text.len();
             Ok(value)
@@ -390,6 +391,7 @@ impl<'a> Parser<'a> {
                 self.pos += 1;
             }
         }
+        // lint:allow(no-panic-in-request-path: start <= pos <= bytes.len() — the digit loop advances pos only while peek succeeds)
         let text = std::str::from_utf8(&self.bytes[start..self.pos])
             .map_err(|_| self.err("non-ascii bytes in number"))?;
         text.parse::<f64>()
@@ -464,6 +466,7 @@ impl<'a> Parser<'a> {
                     if end > self.bytes.len() {
                         return Err(self.err("truncated UTF-8 sequence"));
                     }
+                    // lint:allow(no-panic-in-request-path: end is checked against bytes.len() two lines up)
                     let s = std::str::from_utf8(&self.bytes[start..end])
                         .map_err(|_| self.err("invalid UTF-8 in string"))?;
                     out.push_str(s);
@@ -480,6 +483,7 @@ impl<'a> Parser<'a> {
         // Exactly four hex digits — from_str_radix alone would also
         // accept a leading '+', which RFC 8259 does not.
         let mut unit = 0u32;
+        // lint:allow(no-panic-in-request-path: pos + 4 <= bytes.len() is checked at function entry)
         for &b in &self.bytes[self.pos..self.pos + 4] {
             let digit = (b as char)
                 .to_digit(16)

@@ -171,6 +171,7 @@ impl RemoteExecutor {
     /// Fetch one statistic per non-empty range, in range order: fan
     /// ranges across their preferred workers in parallel, then
     /// re-dispatch any failed range to the remaining live workers.
+    // lint:allow(no-panic-in-request-path: slot/range indices come from a bounded fetch_add claim loop, every claimed slot is filled by its claiming worker, and slot mutexes recover from poison)
     fn fan<T, M, P>(&self, what: &str, make: M, parse: P) -> Result<Vec<T>>
     where
         T: Send,

@@ -314,6 +314,7 @@ fn bad_request(message: impl Into<String>) -> (u16, ErrorEnvelope) {
 /// Decode `%XX` escapes in one path segment (no `+`→space: that is
 /// query-string form encoding, not path encoding). `None` on malformed
 /// escapes or non-UTF-8 results.
+// lint:allow(no-panic-in-request-path: i < bytes.len() is the loop guard and lookahead reads use bytes.get)
 fn percent_decode(segment: &str) -> Option<String> {
     let bytes = segment.as_bytes();
     let mut out = Vec::with_capacity(bytes.len());

@@ -291,6 +291,100 @@ fn main() {
          ({sharded_speedup:.2}x), rankings byte-identical"
     );
 
+    // Compressed (sealed) mode: the same pair with every column sealed
+    // into per-block encodings (RLE/dictionary packing, delta/bitpack,
+    // LZ'd dictionary payloads — see `charles_relation::compress`).
+    // Resident bytes are measured on the freshly sealed pair, before any
+    // decode cache fills; the ratio floor is a CI gate on the county
+    // workload. Sealing is a layout choice, so rankings, score bits, and
+    // α-sweeps must be byte-identical to the raw path at every shard
+    // count — asserted for shards ∈ {1, 2, 3}.
+    let sealed_pair = pair.sealed();
+    let raw_plane_bytes = pair.source().approx_bytes() + pair.target().approx_bytes();
+    let sealed_plane_bytes =
+        sealed_pair.source().approx_bytes() + sealed_pair.target().approx_bytes();
+    let compression_ratio = raw_plane_bytes as f64 / sealed_plane_bytes.max(1) as f64;
+    let compressed_bytes_per_row = sealed_plane_bytes as f64 / (2 * rows.max(1)) as f64;
+
+    // Zone-map pruning: probe the sealed source with predicates whose
+    // literals sit inside, below, and above the data range, then read the
+    // block skip/scan counters off the compressed columns.
+    use charles_relation::{CmpOp, Predicate, Value};
+    let probes = [
+        Predicate::cmp("base_salary", CmpOp::Ge, Value::Float(0.0)),
+        Predicate::cmp("base_salary", CmpOp::Gt, Value::Float(1e12)),
+        Predicate::between("grade", Value::Int(12), Value::Int(18)),
+        Predicate::cmp("overtime_pay", CmpOp::Le, Value::Float(2_500.0)),
+    ];
+    for probe in &probes {
+        probe.eval_mask(sealed_pair.source()).expect("sealed probe");
+    }
+    let (mut blocks_skipped, mut blocks_scanned) = (0u64, 0u64);
+    for col in sealed_pair.source().columns() {
+        if let Some(data) = col.compressed_data() {
+            let (skipped, scanned) = data.zone_stats();
+            blocks_skipped += skipped;
+            blocks_scanned += scanned;
+        }
+    }
+    let zone_map_block_skip_frac =
+        blocks_skipped as f64 / (blocks_skipped + blocks_scanned).max(1) as f64;
+
+    let sweep_alphas = [0.25, 0.75];
+    let base_sweep_bits: Vec<Vec<u64>> = unsharded_session
+        .sweep_alpha(&unsharded_result, &sweep_alphas)
+        .expect("raw sweep")
+        .iter()
+        .map(|r| r.summaries.iter().map(|s| s.scores.score.to_bits()).collect())
+        .collect();
+    let sealed_config = CharlesConfig::default().with_sealed_columns(true);
+    let mut sealed_secs = 0.0f64;
+    for sealed_shards in [1usize, 2, 3] {
+        let started = Instant::now();
+        let session = if sealed_shards == 1 {
+            Session::open_with_config(pair.clone(), sealed_config.clone())
+        } else {
+            Session::open_sharded_with_config(pair.clone(), sealed_shards, sealed_config.clone())
+        }
+        .expect("sealed session");
+        let result = session.run(&query).expect("sealed run");
+        if sealed_shards == 1 {
+            sealed_secs = started.elapsed().as_secs_f64();
+        }
+        assert_eq!(
+            render(&result.summaries),
+            render(&unsharded_result.summaries),
+            "sealed rankings must be byte-identical to raw (shards={sealed_shards})"
+        );
+        let sealed_scores: Vec<u64> = result
+            .summaries
+            .iter()
+            .map(|s| s.scores.score.to_bits())
+            .collect();
+        assert_eq!(
+            sealed_scores, unsharded_scores,
+            "sealed score bits must be identical to raw (shards={sealed_shards})"
+        );
+        let sweep_bits: Vec<Vec<u64>> = session
+            .sweep_alpha(&result, &sweep_alphas)
+            .expect("sealed sweep")
+            .iter()
+            .map(|r| r.summaries.iter().map(|s| s.scores.score.to_bits()).collect())
+            .collect();
+        assert_eq!(
+            sweep_bits, base_sweep_bits,
+            "sealed α-sweep bits must be identical to raw (shards={sealed_shards})"
+        );
+    }
+    eprintln!(
+        "compressed plane: {compressed_bytes_per_row:.1} B/row sealed vs \
+         {:.1} B/row raw ({compression_ratio:.2}x), zone maps skipped \
+         {blocks_skipped}/{} probed blocks; sealed rankings byte-identical \
+         at shards 1/2/3",
+        raw_plane_bytes as f64 / (2 * rows.max(1)) as f64,
+        blocks_skipped + blocks_scanned,
+    );
+
     // Distributed mode: the same query with per-shard statistics served
     // by real `charles-server` workers over the wire protocol. Workers
     // come from CHARLES_BENCH_WORKER_ADDRS (comma-separated addresses of
@@ -411,7 +505,7 @@ fn main() {
     let naive_tput = n_cands / naive_secs;
     let speedup = shared_tput / naive_tput;
     let json = format!(
-        "{{\n  \"workload\": \"e5_county_scalability\",\n  \"rows\": {rows},\n  \"candidates\": {},\n  \"summaries_produced\": {produced},\n  \"naive_seconds\": {naive_secs:.4},\n  \"shared_seconds\": {shared_secs:.4},\n  \"naive_candidates_per_sec\": {naive_tput:.2},\n  \"shared_candidates_per_sec\": {shared_tput:.2},\n  \"speedup\": {speedup:.2},\n  \"gram_rows_per_sec\": {gram_rows_per_sec:.0},\n  \"moments_rows_per_sec\": {moments_rows_per_sec:.0},\n  \"kernel_vs_scalar_speedup\": {kernel_vs_scalar_speedup:.2},\n  \"moments_vs_scalar_speedup\": {moments_vs_scalar_speedup:.2},\n  \"parallel_search_seconds\": {parallel_secs:.4},\n  \"parallel_threads\": {},\n  \"ranked_summaries\": {},\n  \"distinct_summaries\": {},\n  \"session_cold_seconds\": {session_cold_secs:.4},\n  \"session_warm_seconds\": {session_warm_secs:.6},\n  \"session_warm_speedup\": {session_warm_speedup:.2},\n  \"shards\": {shards},\n  \"unsharded_run_seconds\": {unsharded_secs:.4},\n  \"sharded_run_seconds\": {sharded_secs:.4},\n  \"sharded_vs_unsharded_speedup\": {sharded_speedup:.2},\n  \"sharded_rankings_identical\": true,\n  \"workers\": {n_workers},\n  \"local_run_seconds\": {local_secs:.4},\n  \"distributed_run_seconds\": {distributed_secs:.4},\n  \"distributed_vs_local_speedup\": {distributed_speedup:.2},\n  \"distributed_rankings_identical\": true\n}}\n",
+        "{{\n  \"workload\": \"e5_county_scalability\",\n  \"rows\": {rows},\n  \"candidates\": {},\n  \"summaries_produced\": {produced},\n  \"naive_seconds\": {naive_secs:.4},\n  \"shared_seconds\": {shared_secs:.4},\n  \"naive_candidates_per_sec\": {naive_tput:.2},\n  \"shared_candidates_per_sec\": {shared_tput:.2},\n  \"speedup\": {speedup:.2},\n  \"gram_rows_per_sec\": {gram_rows_per_sec:.0},\n  \"moments_rows_per_sec\": {moments_rows_per_sec:.0},\n  \"kernel_vs_scalar_speedup\": {kernel_vs_scalar_speedup:.2},\n  \"moments_vs_scalar_speedup\": {moments_vs_scalar_speedup:.2},\n  \"parallel_search_seconds\": {parallel_secs:.4},\n  \"parallel_threads\": {},\n  \"ranked_summaries\": {},\n  \"distinct_summaries\": {},\n  \"session_cold_seconds\": {session_cold_secs:.4},\n  \"session_warm_seconds\": {session_warm_secs:.6},\n  \"session_warm_speedup\": {session_warm_speedup:.2},\n  \"shards\": {shards},\n  \"unsharded_run_seconds\": {unsharded_secs:.4},\n  \"sharded_run_seconds\": {sharded_secs:.4},\n  \"sharded_vs_unsharded_speedup\": {sharded_speedup:.2},\n  \"sharded_rankings_identical\": true,\n  \"compressed_bytes_per_row\": {compressed_bytes_per_row:.2},\n  \"compression_ratio\": {compression_ratio:.2},\n  \"zone_map_block_skip_frac\": {zone_map_block_skip_frac:.3},\n  \"sealed_run_seconds\": {sealed_secs:.4},\n  \"sealed_rankings_identical\": true,\n  \"workers\": {n_workers},\n  \"local_run_seconds\": {local_secs:.4},\n  \"distributed_run_seconds\": {distributed_secs:.4},\n  \"distributed_vs_local_speedup\": {distributed_speedup:.2},\n  \"distributed_rankings_identical\": true\n}}\n",
         candidates.len(),
         stats.threads_used,
         ranked.len(),
@@ -430,6 +524,15 @@ fn main() {
     assert!(
         session_warm_speedup >= 5.0,
         "warm session rerun must be ≥ 5x a cold run, got {session_warm_speedup:.2}x"
+    );
+    assert!(
+        compression_ratio >= 3.0,
+        "sealed county plane must be ≤ 1/3 of the raw plane's bytes, got \
+         {compression_ratio:.2}x ({compressed_bytes_per_row:.1} B/row)"
+    );
+    assert!(
+        zone_map_block_skip_frac > 0.0,
+        "zone maps must skip at least one probed block"
     );
     assert!(
         kernel_vs_scalar_speedup >= 1.5,

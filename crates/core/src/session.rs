@@ -63,11 +63,18 @@ use crate::summary::ChangeSummary;
 use crate::transform::Transformation;
 use charles_numerics::ols::{ColumnMoments, GramPartial, GRAM_BLOCK_ROWS};
 use charles_relation::{AttrId, AttrRef, NumericView, RowRange, SnapshotPair};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
 use std::time::{Duration, Instant};
+
+// The relation plane's compressed-block grid and the numerics Gram grid
+// are the same 128-row grid: zone maps, shard boundaries, and Gram
+// partials all align block-for-block. A drift in either constant would
+// silently break the bit-exact sharding contract, so pin them equal at
+// compile time.
+const _: () = assert!(charles_relation::GRAM_BLOCK_ROWS == GRAM_BLOCK_ROWS);
 
 /// The schema id of a resolved [`AttrRef`]. Refs produced by
 /// `Schema::attr_ref` are always resolved; losing the binding is a
@@ -298,8 +305,16 @@ impl Session {
 
     /// Open a session with a custom configuration. The configuration is
     /// validated lazily, when a query first uses it (mirroring
-    /// [`crate::Charles`]).
+    /// [`crate::Charles`]). When the config asks for sealed columns, both
+    /// snapshots are compressed into per-block encodings here, once —
+    /// every later read decodes through the shared block plane (answers
+    /// stay bit-identical; see [`CharlesConfig::seal_columns`]).
     pub fn open_with_config(pair: SnapshotPair, config: CharlesConfig) -> Result<Self> {
+        let pair = if config.seal_columns {
+            pair.sealed()
+        } else {
+            pair
+        };
         Ok(Session {
             pair,
             config,
@@ -355,6 +370,14 @@ impl Session {
         shards: usize,
         config: CharlesConfig,
     ) -> Result<Self> {
+        // Seal before the executor captures its copy so both planes read
+        // the same compressed blocks (re-sealing in `open_with_config` is
+        // an Arc-cloning no-op on already-sealed columns).
+        let pair = if config.seal_columns {
+            pair.sealed()
+        } else {
+            pair
+        };
         let executor = Arc::new(LocalExecutor::new(pair.clone(), shards));
         let mut session =
             Session::open_distributed_with_config(pair, Arc::clone(&executor) as _, config)?;
@@ -425,40 +448,59 @@ impl Session {
     /// Approximate resident bytes of this session's data plane: both
     /// snapshot tables, every column view and change signal extracted so
     /// far, and the memo planes (global-fit residuals, labelings,
-    /// candidate results — see [`PlaneCaches::approx_bytes`]). An upper
-    /// bound (`Arc`-aliased buffers count once per holder), intended for
-    /// the [`crate::SessionManager`]'s memory budget rather than
-    /// allocator-exact accounting.
+    /// candidate results — see [`PlaneCaches::approx_bytes`]).
+    ///
+    /// Buffers are counted **once per allocation**, not once per holder:
+    /// one seen-set (keyed by `Arc` allocation address) threads through
+    /// the tables, the extracted views, the aligned views, and the
+    /// change-signal planes, so a view aliasing a table column — or a
+    /// sealed column's decode cache shared with the plane — adds nothing
+    /// the second time. Without this, sharded sessions (whose executor
+    /// shares every extracted buffer) over-reported their footprint and
+    /// tripped the [`crate::SessionManager`] budget early.
     pub fn approx_plane_bytes(&self) -> usize {
-        let views: usize = self
+        let mut seen: HashSet<usize> = HashSet::new();
+        let note_view = |seen: &mut HashSet<usize>, v: &NumericView| -> usize {
+            let buf = v.shared();
+            if seen.insert(Arc::as_ptr(buf) as usize) {
+                buf.len() * 8
+            } else {
+                0
+            }
+        };
+        let mut total = self.pair.source().approx_bytes_dedup(&mut seen)
+            + self.pair.target().approx_bytes_dedup(&mut seen);
+        // lint:allow(ordered-iteration: usize byte totals are commutative — each allocation counts once whatever the visit order)
+        for v in self
             .views
             .lock()
             .unwrap_or_else(PoisonError::into_inner)
             .values()
-            .map(|v| v.len() * 8)
-            .sum();
-        let aligned: usize = self
+        {
+            total += note_view(&mut seen, v);
+        }
+        for v in self
             .aligned
             .lock()
             .unwrap_or_else(PoisonError::into_inner)
             .values()
-            .map(|v| v.len() * 8)
-            .sum();
-        // Each plane holds two derived signals (delta, rel_delta) of its
-        // own; y_target/y_source alias the maps above.
-        let planes: usize = self
+        {
+            total += note_view(&mut seen, v);
+        }
+        // y_target/y_source alias the maps above and dedup to zero; the
+        // derived signals (delta, rel_delta) are the planes' own buffers.
+        for p in self
             .planes
             .lock()
             .unwrap_or_else(PoisonError::into_inner)
             .values()
-            .map(|p| 2 * p.delta.len() * 8)
-            .sum();
-        self.pair.source().approx_bytes()
-            + self.pair.target().approx_bytes()
-            + views
-            + aligned
-            + planes
-            + self.caches.approx_bytes()
+        {
+            total += note_view(&mut seen, &p.y_target);
+            total += note_view(&mut seen, &p.y_source);
+            total += note_view(&mut seen, &p.delta);
+            total += note_view(&mut seen, &p.rel_delta);
+        }
+        total + self.caches.approx_bytes()
     }
 
     /// Work counters so far; see [`SessionStats`].
@@ -1472,6 +1514,111 @@ mod tests {
             warmed,
             "sharded warm rerun must be pure hits"
         );
+    }
+
+    #[test]
+    fn sealed_sessions_match_raw_byte_for_byte() {
+        let raw = Session::open(fig1_pair()).unwrap();
+        let base = raw.run(&fig1_query()).unwrap();
+        let render_bits = |r: &QueryResult| -> Vec<(String, u64)> {
+            r.summaries
+                .iter()
+                .map(|s| (s.to_string(), s.scores.score.to_bits()))
+                .collect()
+        };
+        let config = CharlesConfig::default().with_sealed_columns(true);
+        for shards in [1usize, 2, 3] {
+            let sealed = if shards == 1 {
+                Session::open_with_config(fig1_pair(), config.clone()).unwrap()
+            } else {
+                Session::open_sharded_with_config(fig1_pair(), shards, config.clone()).unwrap()
+            };
+            assert!(sealed
+                .pair()
+                .source()
+                .columns()
+                .iter()
+                .any(|c| c.is_compressed()));
+            let result = sealed.run(&fig1_query()).unwrap();
+            assert_eq!(render_bits(&result), render_bits(&base), "shards={shards}");
+            assert_eq!(sealed.targets().unwrap(), raw.targets().unwrap());
+            let swept = sealed.sweep_alpha(&result, &[0.0, 0.5, 1.0]).unwrap();
+            let base_swept = raw.sweep_alpha(&base, &[0.0, 0.5, 1.0]).unwrap();
+            for (a, b) in swept.iter().zip(base_swept.iter()) {
+                assert_eq!(render_bits(a), render_bits(b), "α={}", a.alpha);
+            }
+        }
+    }
+
+    #[test]
+    fn sealed_setup_report_matches_raw() {
+        // The assistant reads categorical codes straight off the columns;
+        // sealed columns must shortlist identically (a regression guard
+        // for the compressed `category_codes` path).
+        let raw = Session::open(fig1_pair()).unwrap();
+        let sealed = Session::open_with_config(
+            fig1_pair(),
+            CharlesConfig::default().with_sealed_columns(true),
+        )
+        .unwrap();
+        let a = raw.setup("bonus").unwrap();
+        let b = sealed.setup("bonus").unwrap();
+        assert_eq!(a.condition_attrs(), b.condition_attrs());
+        assert_eq!(a.transform_attrs(), b.transform_attrs());
+        for (x, y) in a
+            .condition_candidates
+            .iter()
+            .zip(b.condition_candidates.iter())
+        {
+            assert_eq!(x.correlation.to_bits(), y.correlation.to_bits(), "{}", x.attr);
+        }
+    }
+
+    #[test]
+    fn sharded_bytes_no_longer_double_count_shared_buffers() {
+        // The sharded session and its executor share one extraction cache
+        // (`Arc`-aliased buffers); deduped accounting must report the same
+        // plane footprint as the unsharded session, not a multiple of it.
+        let unsharded = Session::open(fig1_pair()).unwrap();
+        unsharded.run(&fig1_query()).unwrap();
+        let base = unsharded.approx_plane_bytes();
+        for shards in [2usize, 3] {
+            let sharded = Session::open_sharded(fig1_pair(), shards).unwrap();
+            sharded.run(&fig1_query()).unwrap();
+            let bytes = sharded.approx_plane_bytes();
+            let drift = bytes.abs_diff(base);
+            assert!(
+                drift * 10 <= base,
+                "shards={shards}: sharded plane reports {bytes} bytes vs unsharded {base}"
+            );
+        }
+    }
+
+    #[test]
+    fn plane_bytes_count_aliased_views_once() {
+        // Extracting a float column aliases the table's own buffer; the
+        // byte report must not grow by another copy of it.
+        let session = Session::open(fig1_pair()).unwrap();
+        let before = session.approx_plane_bytes();
+        let id = session.pair().source().schema().attr_id("bonus").unwrap();
+        let view = session.source_view(id).unwrap();
+        let aliased = Arc::ptr_eq(
+            view.shared(),
+            // Float columns extract zero-copy; the view shares the
+            // column's allocation.
+            session
+                .pair()
+                .source()
+                .numeric_view_by_id(id)
+                .unwrap()
+                .shared(),
+        );
+        let after = session.approx_plane_bytes();
+        if aliased {
+            assert_eq!(after, before, "aliased view must cost zero bytes");
+        } else {
+            assert!(after >= before);
+        }
     }
 
     #[test]

@@ -88,6 +88,33 @@ fn block_grid_literals_catches_fixture() {
 }
 
 #[test]
+fn compress_decode_paths_stay_in_lint_scope() {
+    // The compressed column plane added block-decode hot paths to the
+    // relation crate; this pins that code shaped like them stays covered:
+    // bare grid literals and ad-hoc float folds in decode loops must keep
+    // firing, while the GRAM_BLOCK_ROWS-referencing twin stays clean.
+    let src = include_str!("fixtures/compress_decode.rs");
+    let findings = lint_source("crates/relation/src/fixture.rs", src);
+    assert_eq!(
+        lines_for(&findings, "block-grid-literals").len(),
+        1,
+        "only the bare 128 in the bad decode: {findings:?}"
+    );
+    assert_eq!(
+        lines_for(&findings, "float-fold-order").len(),
+        1,
+        "only the ad-hoc float checksum: {findings:?}"
+    );
+    // The u64 bit-unpacking accumulator has no float signal.
+    assert!(
+        findings
+            .iter()
+            .all(|f| f.rule == "block-grid-literals" || f.rule == "float-fold-order"),
+        "{findings:?}"
+    );
+}
+
+#[test]
 fn no_panic_catches_fixture_outside_tests() {
     let src = include_str!("fixtures/panic_path.rs");
     let findings = lint_source("crates/server/src/fixture.rs", src);

@@ -52,6 +52,13 @@ use crate::solve::solve_cholesky;
 /// boundaries must be multiples of this (see
 /// `charles_relation::RowRange::split_aligned`) for bit-exact merges.
 /// A multiple of [`kernels::LANES`], so full blocks have no sub-lane tail.
+///
+/// The relation plane's compressed column blocks
+/// (`charles_relation::GRAM_BLOCK_ROWS`) sit on the *same* 128-row grid:
+/// sealed columns decode per block, zone maps prune per block, and shard
+/// boundaries land on block edges — so a sharded fit over sealed columns
+/// folds exactly the bytes the unsharded raw fit folds. The two constants
+/// are pinned equal by a compile-time assert in `charles-core`.
 pub const GRAM_BLOCK_ROWS: usize = 128;
 
 const _: () = assert!(GRAM_BLOCK_ROWS.is_multiple_of(kernels::LANES));

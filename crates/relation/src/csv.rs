@@ -13,6 +13,22 @@ use crate::value::{DataType, Value};
 use std::io::{BufRead, BufReader, Read, Write};
 use std::path::Path;
 
+/// Strip one trailing carriage return. `BufRead::lines` removes `\r\n` on
+/// newline-terminated lines, but a Windows-exported file whose final
+/// record lacks a trailing newline (or uses lone-`\r` endings) leaves the
+/// `\r` glued to the last field — silently corrupting every value parsed
+/// from it.
+fn strip_cr(line: &str) -> &str {
+    line.strip_suffix('\r').unwrap_or(line)
+}
+
+/// Strip a UTF-8 byte-order mark. Excel and friends prepend one; without
+/// this the BOM becomes part of the first header name and target
+/// resolution (`column_by_name`) fails for it.
+fn strip_bom(line: &str) -> &str {
+    line.strip_prefix('\u{feff}').unwrap_or(line)
+}
+
 /// Parse one CSV record (handles quotes); returns fields.
 fn parse_record(line: &str, line_no: usize) -> Result<Vec<String>> {
     let mut fields = Vec::new();
@@ -169,12 +185,13 @@ pub fn read_csv<R: Read>(reader: R) -> Result<Table> {
             })
         }
     };
-    let header = parse_record(&header_line, 1)?;
+    let header = parse_record(strip_cr(strip_bom(&header_line)), 1)?;
     let width = header.len();
 
     let mut raw: Vec<Vec<String>> = Vec::new();
     for (i, line) in lines.enumerate() {
         let line = line?;
+        let line = strip_cr(&line);
         if line.is_empty() {
             // For a single-column document an empty line is a legitimate
             // record holding one empty (null) field; for wider schemas it
@@ -320,6 +337,51 @@ mod tests {
     #[test]
     fn empty_input_rejected() {
         assert!(read_csv("".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn crlf_ingests_identically_to_lf() {
+        let lf = "name,exp,salary\nAnne,2,230000.5\nBob,3,250000\n";
+        let crlf = lf.replace('\n', "\r\n");
+        let a = read_csv(lf.as_bytes()).unwrap();
+        let b = read_csv(crlf.as_bytes()).unwrap();
+        assert!(a.content_eq(&b));
+        // No \r embedded in the last column's values or its header name.
+        assert_eq!(b.value(1, "salary").unwrap(), Value::Float(250_000.0));
+    }
+
+    #[test]
+    fn crlf_final_line_without_newline() {
+        // The residual case `BufRead::lines` does not cover: the last
+        // record keeps its \r when the trailing newline is missing.
+        let data = "a,b\r\n1,x\r\n2,y\r";
+        let t = read_csv(data.as_bytes()).unwrap();
+        assert_eq!(t.height(), 2);
+        assert_eq!(t.value(1, "b").unwrap(), Value::str("y"));
+    }
+
+    #[test]
+    fn bom_stripped_from_first_header() {
+        let data = "\u{feff}name,exp\nAnne,2\n";
+        let t = read_csv(data.as_bytes()).unwrap();
+        // Target resolution by plain name must work.
+        assert_eq!(t.value(0, "name").unwrap(), Value::str("Anne"));
+        assert_eq!(t.schema().dtype_of("exp").unwrap(), DataType::Int64);
+        // BOM + CRLF together (the typical Excel export).
+        let both = "\u{feff}name,exp\r\nAnne,2\r\n";
+        assert!(t.content_eq(&read_csv(both.as_bytes()).unwrap()));
+    }
+
+    #[test]
+    fn quoted_fields_interact_with_crlf() {
+        // Quoted commas and doubled quotes on CRLF-terminated lines; the
+        // quoted field is the *last* column, where a stray \r would land.
+        let data = "a,b\r\n1,\"x, y\"\r\n2,\"he said \"\"hi\"\"\"\r\n";
+        let t = read_csv(data.as_bytes()).unwrap();
+        assert_eq!(t.value(0, "b").unwrap(), Value::str("x, y"));
+        assert_eq!(t.value(1, "b").unwrap(), Value::str("he said \"hi\""));
+        let lf_twin = data.replace("\r\n", "\n");
+        assert!(t.content_eq(&read_csv(lf_twin.as_bytes()).unwrap()));
     }
 
     #[test]

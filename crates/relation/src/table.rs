@@ -131,11 +131,35 @@ impl Table {
     }
 
     /// Approximate resident bytes of all column storage (see
-    /// [`Column::approx_bytes`]). Shared (`Arc`-aliased) buffers are
-    /// counted once per holder, so the figure is an upper bound — suitable
-    /// for memory-budgeted caches, not allocator-exact.
+    /// [`Column::approx_bytes`]). `Arc`-aliased buffers are counted once
+    /// per allocation within this table; to deduplicate across tables that
+    /// share storage (aligned pairs, shards) thread one seen-set through
+    /// [`Table::approx_bytes_dedup`].
     pub fn approx_bytes(&self) -> usize {
-        self.columns.iter().map(Column::approx_bytes).sum()
+        self.approx_bytes_dedup(&mut std::collections::HashSet::new())
+    }
+
+    /// [`Table::approx_bytes`] deduplicated by allocation identity across
+    /// every holder sharing `seen` (see [`Column::approx_bytes_dedup`]).
+    pub fn approx_bytes_dedup(&self, seen: &mut std::collections::HashSet<usize>) -> usize {
+        self.columns
+            .iter()
+            .map(|c| c.approx_bytes_dedup(seen))
+            .sum()
+    }
+
+    /// A sealed copy of this table: every column compressed into per-block
+    /// encodings with zone maps (see [`Column::compress`]). Decoding is
+    /// bit-identical to the raw buffers, so everything computed from a
+    /// sealed table — masks, views, statistics — matches the raw table
+    /// exactly; name, schema, and key declaration carry over unchanged.
+    pub fn sealed(&self) -> Table {
+        Table {
+            schema: self.schema.clone(),
+            columns: self.columns.iter().map(Column::compress).collect(),
+            key: self.key,
+            name: self.name.clone(),
+        }
     }
 
     /// Column by index.

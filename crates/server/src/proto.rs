@@ -511,6 +511,7 @@ impl WireDatasetStats {
             ("approx_bytes", Json::num_usize(d.approx_bytes)),
             ("last_used_tick", Json::num_usize(d.last_used_tick as usize)),
             ("shards", Json::num_usize(d.shards)),
+            ("sealed", Json::Bool(d.sealed)),
             (
                 "session",
                 opt_to_json(&self.session, |s| {
@@ -565,6 +566,11 @@ impl WireDatasetStats {
                 last_used_tick: need_usize(value, "last_used_tick")? as u64,
                 // Absent on pre-sharding peers: default to unsharded.
                 shards: value.get("shards").and_then(Json::as_usize).unwrap_or(1),
+                // Absent on pre-compression peers: default to unsealed.
+                sealed: value
+                    .get("sealed")
+                    .and_then(Json::as_bool)
+                    .unwrap_or(false),
             },
             session,
         })
@@ -1037,6 +1043,7 @@ mod tests {
                 approx_bytes: 123_456,
                 last_used_tick: 42,
                 shards: 4,
+                sealed: true,
             },
             session: Some(SessionStats {
                 columns_extracted: 5,
@@ -1049,18 +1056,18 @@ mod tests {
         };
         let encoded = stats.to_json().encode();
         assert!(encoded.contains("\"shards\":4"), "{encoded}");
+        assert!(encoded.contains("\"sealed\":true"), "{encoded}");
         let decoded = WireDatasetStats::from_json(&Json::parse(&encoded).unwrap()).unwrap();
         assert_eq!(decoded, stats);
-        // Documents from pre-sharding peers (no "shards" key) decode as
-        // unsharded.
+        // Documents from pre-sharding / pre-compression peers (no
+        // "shards" or "sealed" key) decode as unsharded and unsealed.
         let legacy = Json::parse(
             r#"{"name":"x","resident":false,"opens":0,"hits":0,"evictions":0,"approx_bytes":0,"last_used_tick":0,"session":null}"#,
         )
         .unwrap();
-        assert_eq!(
-            WireDatasetStats::from_json(&legacy).unwrap().dataset.shards,
-            1
-        );
+        let legacy = WireDatasetStats::from_json(&legacy).unwrap().dataset;
+        assert_eq!(legacy.shards, 1);
+        assert!(!legacy.sealed);
     }
 
     #[test]

@@ -335,6 +335,7 @@ impl<'a> SearchContext<'a> {
     /// the unsharded one, so everything downstream (residual clustering,
     /// condition induction, scoring, ranking) is too. Warm (memoized)
     /// fits never touch the executor.
+    // lint:allow(cache-invalidation: the shard-equivalence contract makes executor-computed fits byte-identical to unsharded ones, so swapping the execution plane cannot invalidate a memoized fit, labeling, or candidate)
     pub fn with_executor(mut self, executor: Arc<dyn ShardExecutor>) -> Self {
         self.executor = Some(executor);
         self

@@ -11,8 +11,8 @@
 //! dependencies (the build environment is offline, so no `syn`): a
 //! hand-rolled tokenizer (`token`) feeds a statement-level rule engine
 //! plus a workspace-level interprocedural analyzer (`graph` builds the
-//! symbol table and call graph; `reach`, `locks`, and `taint` are the
-//! passes that query it).
+//! symbol table and call graph; `reach`, `locks`, `taint`, `coherence`,
+//! and `wire` are the passes that query it).
 //!
 //! Statement-level rules (scope in parentheses):
 //!
@@ -48,6 +48,19 @@
 //! - `float-taint`: values from non-`kernels` float folds or hash-order
 //!   iteration that reach wire serialization or ranking sinks in a
 //!   *different* function (see `taint`).
+//! - `cache-invalidation`: every function mutating state a cache/memo
+//!   surface is derived from (fields of structs holding `OnceLock` or
+//!   `Mutex`-guarded memo maps) must transitively reach the matching
+//!   invalidation/reset, directly or through every caller (see
+//!   `coherence`).
+//! - `byte-accounting`: a function swapping an `Arc` buffer in a
+//!   cache-bearing struct must be backed by an `approx_bytes`-style
+//!   accounting method on that struct (see `coherence`).
+//! - `wire-drift`: encode/decode symmetry over the protocol files —
+//!   every emitted `op` has a decode arm and a dispatch arm, every
+//!   written object key is read back (and vice versa; intentional
+//!   asymmetries carry `wire:legacy-default(key: reason)`), error codes
+//!   and the protocol version come from one registry (see `wire`).
 //!
 //! Suppressions: `// lint:allow(rule)` or `// lint:allow(rule: reason)`
 //! on the finding's line, or on a standalone comment line directly above
@@ -62,11 +75,13 @@
 //! for suppression hygiene, but no rules run and they stay out of the
 //! call graph.
 
+pub mod coherence;
 pub mod graph;
 pub mod locks;
 pub mod reach;
 pub mod taint;
 pub mod token;
+pub mod wire;
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::fs;
@@ -77,7 +92,7 @@ use graph::{LintFile, Workspace};
 use token::{num_is_float, FileTokens, Tok, TokKind};
 
 /// The enforceable rule names, as accepted by `lint:allow(...)`.
-pub const RULES: [&str; 8] = [
+pub const RULES: [&str; 11] = [
     "float-fold-order",
     "ordered-iteration",
     "wire-float-exactness",
@@ -86,11 +101,18 @@ pub const RULES: [&str; 8] = [
     "lock-discipline",
     "lock-order",
     "float-taint",
+    "cache-invalidation",
+    "byte-accounting",
+    "wire-drift",
 ];
 
 /// Pseudo-rule under which stale/unknown suppressions are reported.
 /// Deliberately not in [`RULES`]: it cannot itself be suppressed.
 pub const UNUSED_SUPPRESSION: &str = "unused-suppression";
+
+/// Contract attached to every [`UNUSED_SUPPRESSION`] finding (shared by
+/// the `lint:allow` machinery and the wire pass's legacy markers).
+pub const SUPPRESSION_CONTRACT: &str = "every suppression matches a live finding";
 
 /// One lint finding.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -103,6 +125,9 @@ pub struct Finding {
     pub line: u32,
     /// Human-readable explanation with the expected fix.
     pub message: String,
+    /// The standing invariant the finding violates (one short clause,
+    /// stable across message rewording; schema v3 emits it verbatim).
+    pub contract: &'static str,
     /// For interprocedural findings: the seed → … → site function chain
     /// (display names). Empty for statement-level findings.
     pub call_chain: Vec<String>,
@@ -171,7 +196,9 @@ pub fn lint_sources(inputs: Vec<(String, String)>) -> Report {
     let inter = reach::panic_reachability(&ws, &files)
         .into_iter()
         .chain(locks::lock_order(&ws, &files))
-        .chain(taint::float_taint(&ws, &files));
+        .chain(taint::float_taint(&ws, &files))
+        .chain(coherence::mutation_coherence(&ws, &files))
+        .chain(wire::wire_drift(&ws, &files));
     for f in inter {
         if let Some(&i) = by_path.get(f.path.as_str()) {
             per_file[i].push(f);
@@ -278,10 +305,11 @@ pub fn render_human(report: &Report) -> String {
 }
 
 /// Render findings as machine-readable JSON (stable key order).
-/// Schema version 2: adds `call_chain` (array of display names, empty
-/// for statement-level findings) and `suppressions_used`.
+/// Schema version 3: v2 added `call_chain` (array of display names,
+/// empty for statement-level findings) and `suppressions_used`; v3 adds
+/// a per-finding `contract` naming the violated invariant.
 pub fn render_json(report: &Report) -> String {
-    let mut out = String::from("{\"version\":2,\"files_scanned\":");
+    let mut out = String::from("{\"version\":3,\"files_scanned\":");
     out.push_str(&report.files_scanned.to_string());
     out.push_str(",\"suppressions_used\":");
     out.push_str(&report.suppressions_used.to_string());
@@ -298,6 +326,8 @@ pub fn render_json(report: &Report) -> String {
         out.push_str(&f.line.to_string());
         out.push_str(",\"message\":\"");
         out.push_str(&json_escape(&f.message));
+        out.push_str("\",\"contract\":\"");
+        out.push_str(&json_escape(f.contract));
         out.push_str("\",\"call_chain\":[");
         for (j, c) in f.call_chain.iter().enumerate() {
             if j > 0 {
@@ -311,6 +341,28 @@ pub fn render_json(report: &Report) -> String {
     }
     out.push_str("]}");
     out
+}
+
+/// Restrict a report to findings in the files named by `list`
+/// (comma-separated; each entry matches its exact workspace-relative
+/// path, or any path with that basename). Reporting narrows, the
+/// analysis that produced the report does not: callers lint the whole
+/// tree first, so an edit in one file still surfaces contract breaks it
+/// causes three crates away — those just anchor in the changed file's
+/// findings via their call chains.
+pub fn retain_changed_only(report: &mut Report, list: &str) {
+    let wanted: Vec<&str> = list
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .collect();
+    report.findings.retain(|f| {
+        wanted.iter().any(|w| {
+            f.path == *w
+                || f.path.ends_with(&format!("/{w}"))
+                || w.ends_with(&format!("/{}", f.path))
+        })
+    });
 }
 
 fn json_escape(s: &str) -> String {
@@ -652,6 +704,7 @@ fn float_fold_rule(rel: &str, s: &[Tok], decls: &BTreeSet<String>, out: &mut Vec
                     "{what}; route float reductions through `charles_numerics::kernels` \
                      (fixed fold order) to keep shard/SIMD execution bit-identical"
                 ),
+                contract: "float reductions use the kernels' fixed fold order",
                 call_chain: Vec::new(),
             });
         }
@@ -780,6 +833,7 @@ fn ordered_iteration_rule(
              (serialization, ranking, or accumulation); use BTreeMap/BTreeSet or \
              sort in the same statement"
         ),
+        contract: "order-sensitive sinks consume deterministic iteration order",
         call_chain: Vec::new(),
     });
 }
@@ -805,6 +859,7 @@ fn wire_float_rule(rel: &str, s: &[Tok], out: &mut Vec<Finding>) {
                           bit-exact — use the `f64_bits`/`f64_from_bits` hex helpers \
                           (or suppress with a reason for human-facing decimals)"
                     .to_string(),
+                contract: "floats cross the wire as to_bits hex, never decimals",
                 call_chain: Vec::new(),
             });
         }
@@ -825,6 +880,7 @@ fn block_grid_rule(rel: &str, s: &[Tok], out: &mut Vec<Finding>) {
                           `charles_numerics::ols::GRAM_BLOCK_ROWS` so the canonical \
                           block grid has one definition"
                     .to_string(),
+                contract: "the canonical block grid has one definition",
                 call_chain: Vec::new(),
             });
         }
@@ -904,6 +960,7 @@ fn lock_discipline_rule(rel: &str, toks: &[Tok], stmts: &[(usize, usize)], out: 
                              suppress citing the documented lock order",
                             s[i].text
                         ),
+                        contract: "nested lock acquisition follows the documented order",
                         call_chain: Vec::new(),
                     });
                 }
@@ -977,6 +1034,7 @@ fn apply_suppressions(rel: &str, ft: &FileTokens, findings: &mut Vec<Finding>) -
                 path: rel.to_string(),
                 line: c.line,
                 message: "malformed `lint:allow(...)`: missing closing parenthesis".to_string(),
+                contract: SUPPRESSION_CONTRACT,
                 call_chain: Vec::new(),
             });
             continue;
@@ -1037,6 +1095,7 @@ fn apply_suppressions(rel: &str, ft: &FileTokens, findings: &mut Vec<Finding>) -
                     path: rel.to_string(),
                     line: c.line,
                     message: format!("unknown rule `{rule}` in lint:allow"),
+                    contract: SUPPRESSION_CONTRACT,
                     call_chain: Vec::new(),
                 });
                 continue;
@@ -1082,6 +1141,7 @@ fn apply_suppressions(rel: &str, ft: &FileTokens, findings: &mut Vec<Finding>) -
                     "suppression `lint:allow({})` matches no finding on lines {}-{}; remove it",
                     a.rule, a.lo, a.hi
                 ),
+                contract: SUPPRESSION_CONTRACT,
                 call_chain: Vec::new(),
             });
         }

@@ -383,6 +383,7 @@ pub fn lock_order(ws: &Workspace, files: &[LintFile]) -> Vec<Finding> {
             path: files[e.file].rel.clone(),
             line: e.line,
             message: msg,
+            contract: "the workspace lock graph is acyclic in the documented order",
             call_chain: chain,
         }
     };

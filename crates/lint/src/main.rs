@@ -3,11 +3,12 @@
 //! nonzero when any survive suppression.
 //!
 //! Usage: `charles-lint [--json] [--fix-suppressions [--apply]]
-//!         [--bench-out PATH] [--max-seconds N] [ROOT]`
+//!         [--bench-out PATH] [--max-seconds N] [--changed-only LIST]
+//!         [ROOT]`
 //!
 //! - `ROOT` defaults to the current directory (CI runs
 //!   `cargo run -p charles-lint` from the repo root).
-//! - `--json` emits the machine-readable report (schema version 2)
+//! - `--json` emits the machine-readable report (schema version 3)
 //!   instead of the `path:line: [rule] message` lines.
 //! - `--fix-suppressions` lists the stale `lint:allow` lines the
 //!   `unused-suppression` pseudo-rule reports; `--apply` rewrites the
@@ -16,6 +17,12 @@
 //!   as JSON (the CI lint job records `BENCH_lint.json`).
 //! - `--max-seconds N` fails (exit 1) if the pass took longer — the
 //!   call graph must stay cheap enough to run on every PR.
+//! - `--changed-only LIST` (comma-separated paths or basenames)
+//!   restricts *reporting* to findings in the listed files. The whole
+//!   workspace is still read and the full call graph built — an edit in
+//!   `kernels.rs` can surface a stale cache three crates away, so the
+//!   analysis itself never narrows; only the report does. Exit code 1
+//!   still means "the listed files carry findings".
 //!
 //! Exit codes: 0 clean, 1 findings (or over time budget), 2 usage or
 //! I/O error.
@@ -26,7 +33,17 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 const USAGE: &str = "usage: charles-lint [--json] [--fix-suppressions [--apply]] \
-                     [--bench-out PATH] [--max-seconds N] [ROOT]";
+                     [--bench-out PATH] [--max-seconds N] [--changed-only LIST] [ROOT]";
+
+const HELP: &str = "  --json                machine-readable report (schema version 3)
+  --fix-suppressions    list stale lint:allow lines (--apply rewrites)
+  --bench-out PATH      write wall-time + counts as JSON
+  --max-seconds N       exit 1 if the pass took longer
+  --changed-only LIST   comma-separated paths/basenames: report only
+                        findings in those files (the full workspace
+                        graph is still built and analyzed)
+
+exit codes: 0 clean, 1 findings or over time budget, 2 usage/IO error";
 
 fn main() -> ExitCode {
     let mut json = false;
@@ -34,6 +51,7 @@ fn main() -> ExitCode {
     let mut apply = false;
     let mut bench_out: Option<PathBuf> = None;
     let mut max_seconds: Option<f64> = None;
+    let mut changed_only: Option<String> = None;
     let mut root: Option<PathBuf> = None;
     let mut args = env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -55,8 +73,15 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             },
+            "--changed-only" => match args.next() {
+                Some(list) => changed_only = Some(list),
+                None => {
+                    eprintln!("charles-lint: --changed-only needs a file list\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
             "--help" | "-h" => {
-                println!("{USAGE}");
+                println!("{USAGE}\n{HELP}");
                 return ExitCode::SUCCESS;
             }
             other if !other.starts_with('-') && root.is_none() => {
@@ -102,7 +127,7 @@ fn main() -> ExitCode {
     }
 
     let started = Instant::now();
-    let report = match charles_lint::lint_tree(&root) {
+    let mut report = match charles_lint::lint_tree(&root) {
         Ok(report) => report,
         Err(e) => {
             eprintln!("charles-lint: failed to scan {}: {e}", root.display());
@@ -110,10 +135,13 @@ fn main() -> ExitCode {
         }
     };
     let wall = started.elapsed().as_secs_f64();
+    if let Some(list) = &changed_only {
+        charles_lint::retain_changed_only(&mut report, list);
+    }
 
     if let Some(path) = &bench_out {
         let bench = format!(
-            "{{\"wall_seconds\":{wall:.3},\"files_scanned\":{},\"findings\":{},\
+            "{{\"version\":3,\"wall_seconds\":{wall:.3},\"files_scanned\":{},\"findings\":{},\
              \"suppressions_used\":{}}}\n",
             report.files_scanned,
             report.findings.len(),

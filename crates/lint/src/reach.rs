@@ -84,6 +84,7 @@ pub fn panic_reachability(ws: &Workspace, files: &[LintFile]) -> Vec<Finding> {
                      (`CharlesError`/`QueryError` → `ErrorEnvelope`) or recover \
                      explicitly",
                 ),
+                contract: "no panics reachable from the serving surface",
                 call_chain: chain.clone(),
             });
         }

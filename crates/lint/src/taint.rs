@@ -365,6 +365,7 @@ pub fn float_taint(ws: &Workspace, files: &[LintFile]) -> Vec<Finding> {
                     t.line,
                     sink,
                 ),
+                contract: "only kernels-computed floats reach wire and ranking sinks",
                 call_chain: chain,
             });
         }

@@ -30,7 +30,8 @@ pub enum TokKind {
     Ident,
     /// Numeric literal, suffix included (`128`, `0.0f64`, `1e-9`).
     Num,
-    /// String literal of any flavor (contents not tokenized).
+    /// String literal of any flavor (contents preserved in `text`,
+    /// delimiters and `r#`/`b` prefixes stripped, escapes verbatim).
     Str,
     /// Char literal (`'a'`, `'\n'`).
     Char,
@@ -45,8 +46,10 @@ pub enum TokKind {
 pub struct Tok {
     /// Token class.
     pub kind: TokKind,
-    /// Verbatim source text (for `Str`, the opening delimiter onward is
-    /// *not* preserved — rules never read string contents).
+    /// Verbatim source text. For `Str` the delimiters are stripped and
+    /// the body kept with escapes verbatim — the wire-drift pass reads
+    /// object keys and `op` strings out of literals; statement rules
+    /// still never match needles inside them (the kind gates that).
     pub text: String,
     /// 1-based source line of the token's first character.
     pub line: u32,
@@ -197,18 +200,25 @@ impl Lexer {
         });
     }
 
-    /// Cooked string: `"…"` with `\` escapes; multi-line allowed.
+    /// Cooked string: `"…"` with `\` escapes; multi-line allowed. The
+    /// body (escapes verbatim, quotes stripped) becomes the token text.
     fn string(&mut self) {
         let line = self.line;
+        let mut text = String::new();
         self.bump(); // opening quote
         while let Some(c) = self.bump() {
             if c == '\\' {
-                self.bump(); // whatever is escaped, including `"` and `\`
+                text.push(c);
+                if let Some(e) = self.bump() {
+                    text.push(e); // whatever is escaped, including `"` and `\`
+                }
             } else if c == '"' {
                 break;
+            } else {
+                text.push(c);
             }
         }
-        self.push(TokKind::Str, String::new(), line);
+        self.push(TokKind::Str, text, line);
     }
 
     /// Handle `r"…"`, `r#"…"#`, `b"…"`, `br##"…"##`, and raw identifiers
@@ -260,6 +270,7 @@ impl Lexer {
         for _ in 0..i + 1 {
             self.bump(); // prefix + hashes + opening quote
         }
+        let mut text = String::new();
         while let Some(c) = self.bump() {
             if c == '"' {
                 let mut closing = 0usize;
@@ -270,9 +281,15 @@ impl Lexer {
                 if closing == hashes {
                     break;
                 }
+                text.push('"');
+                for _ in 0..closing {
+                    text.push('#');
+                }
+            } else {
+                text.push(c);
             }
         }
-        self.push(TokKind::Str, String::new(), line);
+        self.push(TokKind::Str, text, line);
         true
     }
 

@@ -1,0 +1,35 @@
+//! Fixture for `byte-accounting`: two memo-bearing stores that swap an
+//! `Arc` buffer; one has no `approx_bytes`-style accounting (finding),
+//! the other does (clean). Both clear their memo on the swap, so the
+//! `cache-invalidation` rule stays quiet.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+pub struct Store {
+    buf: Arc<Vec<u8>>,
+    memo: Mutex<HashMap<u64, u64>>,
+}
+
+impl Store {
+    pub fn swap_buf(&mut self, data: Vec<u8>) {
+        self.buf = Arc::new(data);
+        self.memo.lock().unwrap().clear();
+    }
+}
+
+pub struct Tracked {
+    buf: Arc<Vec<u8>>,
+    memo: Mutex<HashMap<u64, u64>>,
+}
+
+impl Tracked {
+    pub fn swap_buf(&mut self, data: Vec<u8>) {
+        self.buf = Arc::new(data);
+        self.memo.lock().unwrap().clear();
+    }
+
+    pub fn approx_bytes(&self) -> usize {
+        self.buf.len()
+    }
+}

@@ -1,0 +1,39 @@
+//! Fixture for `cache-invalidation`: a memo-bearing plane with one
+//! mutation path that never reaches the reset (three hops deep), one
+//! that resets inline, and one suppressed with a reasoned allow.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+pub struct Plane {
+    rows: Vec<u64>,
+    tag: u64,
+    memo: Mutex<HashMap<u64, u64>>,
+}
+
+impl Plane {
+    /// Public entry: three hops above the actual write, none of which
+    /// reset `memo` — the pass must report the full chain.
+    pub fn append_rows(&mut self, more: &[u64]) {
+        self.stage(more);
+    }
+
+    fn stage(&mut self, more: &[u64]) {
+        self.commit(more);
+    }
+
+    fn commit(&mut self, more: &[u64]) {
+        self.rows.extend_from_slice(more);
+    }
+
+    /// Clean mutator: the memo is cleared on the same path.
+    pub fn retag(&mut self, tag: u64) {
+        self.tag = tag;
+        self.memo.lock().unwrap().clear();
+    }
+
+    // lint:allow(cache-invalidation: callers rebuild the plane right after, so the memo never serves across this write)
+    pub fn replace_rows(&mut self, rows: Vec<u64>) {
+        self.rows = rows;
+    }
+}

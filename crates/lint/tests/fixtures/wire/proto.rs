@@ -1,0 +1,63 @@
+//! Wire fixture, protocol half: a two-op request codec where the
+//! encoder emits an op (`halt`) the decoder never learned, and a key
+//! (`extra`) no reader consumes. Version handling goes through
+//! `PROTOCOL_VERSION`, so the version rule stays quiet.
+
+pub const PROTOCOL_VERSION: u64 = 1;
+
+pub enum Request {
+    Ping { n: u64 },
+    Halt,
+}
+
+impl Request {
+    pub fn op(&self) -> &'static str {
+        match self {
+            Request::Ping { .. } => "ping",
+            Request::Halt => "halt",
+        }
+    }
+
+    pub fn to_json(&self) -> String {
+        let mut obj = Vec::new();
+        obj.push(("v", PROTOCOL_VERSION.to_string()));
+        obj.push(("op", self.op().to_string()));
+        obj.push(("extra", String::new()));
+        match self {
+            Request::Ping { n } => obj.push(("n", n.to_string())),
+            Request::Halt => {}
+        }
+        render(&obj)
+    }
+
+    pub fn from_json(doc: &str) -> Option<Request> {
+        check_version(need(doc, "v")?, PROTOCOL_VERSION)?;
+        match need(doc, "op")?.as_str() {
+            "ping" => Some(Request::Ping {
+                n: parse(need(doc, "n")?)?,
+            }),
+            _ => None,
+        }
+    }
+}
+
+fn render(obj: &[(&str, String)]) -> String {
+    let mut out = String::new();
+    for (k, v) in obj {
+        out.push_str(k);
+        out.push_str(v);
+    }
+    out
+}
+
+fn need(doc: &str, key: &str) -> Option<String> {
+    doc.split(key).nth(1).map(str::to_string)
+}
+
+fn parse(s: String) -> Option<u64> {
+    s.parse().ok()
+}
+
+fn check_version(v: String, expect: u64) -> Option<()> {
+    (v == expect.to_string()).then_some(())
+}

@@ -1,0 +1,36 @@
+//! Wire fixture, serving half: `dispatch` handles `Ping` but not
+//! `Halt`, and one error site uses a code outside the embedded
+//! registry (a typo of `bad_request`).
+
+use crate::proto::Request;
+
+pub struct Reply {
+    pub body: String,
+}
+
+pub struct ErrorEnvelope;
+
+impl ErrorEnvelope {
+    pub fn new(code: &str, msg: String) -> Reply {
+        Reply {
+            body: format!("{code} {msg}"),
+        }
+    }
+}
+
+pub fn dispatch(req: &Request) -> Reply {
+    match req {
+        Request::Ping { n } => Reply { body: n.to_string() },
+        _ => Reply {
+            body: String::new(),
+        },
+    }
+}
+
+pub fn reject() -> Reply {
+    ErrorEnvelope::new("bad_request", String::from("nope"))
+}
+
+pub fn reject_typo() -> Reply {
+    ErrorEnvelope::new("bad_reqest", String::from("typo"))
+}
